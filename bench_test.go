@@ -1,0 +1,362 @@
+package repro
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§V), plus the ablations DESIGN.md calls out. Each benchmark
+// measures the cost of regenerating its artifact and prints the artifact
+// itself once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. The shared suite (corpus generation +
+// model training) is built once outside the timed regions.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/patchecko"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+	benchErr   error
+)
+
+// benchScale can be overridden via PATCHECKO_BENCH_SCALE=tiny|small|medium.
+func benchScale() corpus.Scale {
+	if name := os.Getenv("PATCHECKO_BENCH_SCALE"); name != "" {
+		if s, err := corpus.ScaleByName(name); err == nil {
+			return s
+		}
+	}
+	return corpus.ScaleSmall
+}
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite, benchErr = experiments.NewSuite(experiments.Config{
+			Scale: benchScale(),
+			Seed:  42,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+// caseDevice/caseCVE pin the paper's §IV case study.
+const (
+	caseCVE = "CVE-2018-9412"
+)
+
+func caseDevice() string { return corpus.ThingOS.Name }
+
+var printOnce sync.Map
+
+// printArtifact renders an artifact exactly once per benchmark name.
+func printArtifact(name string, render func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Println()
+		render()
+	}
+}
+
+// BenchmarkFig8Training regenerates the Fig. 8 training curves: it retrains
+// the 6-layer network on the suite's dataset each iteration.
+func BenchmarkFig8Training(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var r experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = s.Fig8()
+	}
+	b.StopTimer()
+	printArtifact("fig8", func() { r.Render(os.Stdout) })
+}
+
+// BenchmarkFig7FalsePositiveRate regenerates the per-CVE static-stage FP
+// rates on both devices for both query versions.
+func BenchmarkFig7FalsePositiveRate(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.Fig7Result
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("fig7", func() { r.Render(os.Stdout) })
+}
+
+// BenchmarkTable3DynamicProfiling regenerates the case-study dynamic
+// feature profiles (Table III).
+func BenchmarkTable3DynamicProfiling(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.Table3Result
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.Table3(caseDevice(), caseCVE)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("table3", func() { r.Render(os.Stdout) })
+}
+
+// BenchmarkTable4RankingVulnerable regenerates the Table IV similarity
+// ranking (vulnerable query).
+func BenchmarkTable4RankingVulnerable(b *testing.B) {
+	benchRanking(b, patchecko.QueryVulnerable, "table4")
+}
+
+// BenchmarkTable5RankingPatched regenerates the Table V similarity ranking
+// (patched query).
+func BenchmarkTable5RankingPatched(b *testing.B) {
+	benchRanking(b, patchecko.QueryPatched, "table5")
+}
+
+func benchRanking(b *testing.B, mode patchecko.QueryMode, tag string) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.RankResult
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.Ranking(caseDevice(), caseCVE, mode, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact(tag, func() { r.Render(os.Stdout) })
+}
+
+// BenchmarkTable6VulnerablePipeline regenerates Table VI: the full
+// three-stage pipeline for all 25 CVEs, vulnerable query, device A.
+func BenchmarkTable6VulnerablePipeline(b *testing.B) {
+	benchPipeline(b, patchecko.QueryVulnerable, "table6")
+}
+
+// BenchmarkTable7PatchedPipeline regenerates Table VII (patched query).
+func BenchmarkTable7PatchedPipeline(b *testing.B) {
+	benchPipeline(b, patchecko.QueryPatched, "table7")
+}
+
+func benchPipeline(b *testing.B, mode patchecko.QueryMode, tag string) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.PipelineResult
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.Pipeline(caseDevice(), mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact(tag, func() { r.Render(os.Stdout) })
+}
+
+// BenchmarkTable8PatchDetection regenerates Table VIII: per-CVE patch
+// verdicts vs ground truth on both devices.
+func BenchmarkTable8PatchDetection(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r1, r2 experiments.VerdictResult
+		err    error
+	)
+	for i := 0; i < b.N; i++ {
+		r1, err = s.Verdicts(corpus.ThingOS.Name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err = s.Verdicts(corpus.Pebble2XL.Name)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("table8", func() {
+		r1.Render(os.Stdout)
+		fmt.Println()
+		r2.Render(os.Stdout)
+	})
+}
+
+// BenchmarkHeadlines regenerates the §V headline numbers.
+func BenchmarkHeadlines(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		h   experiments.Headline
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		h, err = s.Headlines()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("headline", func() {
+		fmt.Printf("headline: DL accuracy %.1f%% (paper >93%%), AUC %.3f, top-3 %.0f%% (paper 100%%), patch accuracy %.0f%% (paper 96%%)\n",
+			100*h.TestAccuracy, h.TestAUC, 100*h.Top3Rate, 100*h.PatchAccuracy)
+	})
+}
+
+// BenchmarkAblationDistance sweeps the similarity metric (Minkowski p,
+// raw vs log-scaled features).
+func BenchmarkAblationDistance(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.AblationResult
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.AblateDistance(caseDevice())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("abl-dist", func() { r.Render(os.Stdout) })
+}
+
+// BenchmarkAblationEnvironments sweeps K, the number of execution
+// environments.
+func BenchmarkAblationEnvironments(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.AblationResult
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.AblateEnvironments(caseDevice())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("abl-env", func() { r.Render(os.Stdout) })
+}
+
+// BenchmarkAblationExploitReplay regenerates Table VIII with the
+// patch-diff-guided replay extension enabled (the paper's proposed fix for
+// its single misclassification).
+func BenchmarkAblationExploitReplay(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.VerdictResult
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.VerdictsWithReplay(corpus.ThingOS.Name)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("abl-replay", func() {
+		fmt.Println("Table VIII with exploit replay:")
+		r.Render(os.Stdout)
+	})
+}
+
+// BenchmarkAblationHybrid measures static-only vs hybrid candidate pruning.
+func BenchmarkAblationHybrid(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.HybridResult
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.AblateHybrid(caseDevice())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("abl-hybrid", func() { r.Render(os.Stdout) })
+}
+
+// BenchmarkBaselineComparison regenerates the prior-art comparison: the
+// trained detector vs BinDiff-style matching vs graph embeddings on
+// static-stage retrieval (the paper's §VI positioning).
+func BenchmarkBaselineComparison(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.BaselineResult
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.Baselines(caseDevice())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("baselines", func() { r.Render(os.Stdout) })
+}
+
+// BenchmarkAblationFeatureGroups retrains the detector per Table-I feature
+// group to quantify each group's contribution.
+func BenchmarkAblationFeatureGroups(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.FeatureGroupResult
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.AblateFeatureGroups()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("abl-featgroups", func() { r.Render(os.Stdout) })
+}
+
+// BenchmarkAblationObfuscation builds an obfuscated firmware variant and
+// measures each scorer's retrieval degradation.
+func BenchmarkAblationObfuscation(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var (
+		r   experiments.ObfuscationResult
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = s.AblateObfuscation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printArtifact("abl-obf", func() { r.Render(os.Stdout) })
+}

@@ -1,0 +1,77 @@
+// Command corpusgen generates the evaluation corpus to disk: the
+// vulnerability database (Dataset II) and the stripped firmware image sets
+// of both devices (Dataset III).
+//
+// Usage:
+//
+//	corpusgen -out ./corpus -scale small -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/binimg"
+	"repro/internal/corpus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out       = flag.String("out", "corpus", "output directory")
+		scaleName = flag.String("scale", "small", "corpus scale: tiny|small|medium|large")
+		seed      = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	scale, err := corpus.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	fmt.Printf("building vulnerability database (25 CVEs, %d envs each)...\n", scale.NumEnvs)
+	db, err := corpus.BuildDB(scale, *seed)
+	if err != nil {
+		return err
+	}
+	raw, err := db.Marshal()
+	if err != nil {
+		return err
+	}
+	dbPath := filepath.Join(*out, "vulndb.json")
+	if err := os.WriteFile(dbPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s (%d bytes)\n", dbPath, len(raw))
+
+	for _, dev := range []corpus.Device{corpus.ThingOS, corpus.Pebble2XL} {
+		fmt.Printf("building firmware for %s (%s)...\n", dev.Name, dev.Arch.Name)
+		fw, err := corpus.BuildFirmware(dev, scale)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Join(*out, dev.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, im := range fw.Images {
+			p := filepath.Join(dir, im.LibName+".img")
+			if err := os.WriteFile(p, binimg.Encode(im), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("  wrote %d stripped library images to %s\n", len(fw.Images), dir)
+	}
+	return nil
+}

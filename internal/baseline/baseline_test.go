@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+func funcsFor(t *testing.T, mod *minic.Module, arch *isa.Arch, lvl compiler.Level) map[string]*disasm.Function {
+	t.Helper()
+	im, err := compiler.Compile(mod, arch, lvl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]*disasm.Function, len(dis.Funcs))
+	for _, f := range dis.Funcs {
+		out[f.Name] = f
+	}
+	return out
+}
+
+func TestScorersBasicProperties(t *testing.T) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 61, Name: "libbase", NumFuncs: 8})
+	fs := funcsFor(t, mod, isa.AMD64, compiler.O1)
+	for _, sc := range Scorers() {
+		for _, f := range fs {
+			s := sc.Score(f, f)
+			if s < 0.99 || s > 1.0001 {
+				t.Errorf("%s: self-similarity %v, want ~1", sc.Name, s)
+			}
+		}
+		// Symmetry.
+		var a, b *disasm.Function
+		for _, f := range fs {
+			if a == nil {
+				a = f
+			} else if b == nil {
+				b = f
+			}
+		}
+		if s1, s2 := sc.Score(a, b), sc.Score(b, a); s1 != s2 {
+			t.Errorf("%s: asymmetric scores %v vs %v", sc.Name, s1, s2)
+		}
+		// Range.
+		if s := sc.Score(a, b); s < 0 || s > 1 {
+			t.Errorf("%s: score %v out of [0,1]", sc.Name, s)
+		}
+	}
+	// Degenerate empty functions.
+	var empty disasm.Function
+	if BinDiff(&empty, &empty) != 0 {
+		t.Error("empty-function BinDiff should be 0")
+	}
+	if GraphEmbedding(&empty, &empty) != 0.5 { // zero vectors -> cosine 0 -> 0.5
+		t.Error("empty-function embedding cosine should map to 0.5")
+	}
+}
+
+// TestCrossLevelRetrieval checks the property the baselines are used for:
+// the same source function compiled at another level should rank above most
+// unrelated functions — but (as the paper argues) less reliably than the
+// trained detector, especially cross-architecture.
+func TestCrossLevelRetrieval(t *testing.T) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 62, Name: "libret", NumFuncs: 12})
+	q := funcsFor(t, mod, isa.AMD64, compiler.O0)
+	tg := funcsFor(t, mod, isa.AMD64, compiler.O2)
+	names := make([]string, 0, len(tg))
+	targets := make([]*disasm.Function, 0, len(tg))
+	for n, f := range tg {
+		names = append(names, n)
+		targets = append(targets, f)
+	}
+	for _, sc := range Scorers() {
+		top3 := 0
+		for qname, qf := range q {
+			ranked := RankByScore(sc.Score, qf, targets)
+			for r := 0; r < 3 && r < len(ranked); r++ {
+				if names[ranked[r]] == qname {
+					top3++
+					break
+				}
+			}
+		}
+		t.Logf("%s: same-arch cross-level top-3 retrieval %d/%d", sc.Name, top3, len(q))
+		if top3 < len(q)/3 {
+			t.Errorf("%s: retrieval %d/%d is below even the baseline floor", sc.Name, top3, len(q))
+		}
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 63, Name: "libdet", NumFuncs: 4})
+	fs := funcsFor(t, mod, isa.XARM64, compiler.O2)
+	for _, f := range fs {
+		if Embed(f) != Embed(f) {
+			t.Errorf("%s: nondeterministic embedding", f.Name)
+		}
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := [EmbedDim]float64{1, 0, 0, 0, 0, 0, 0, 0}
+	b := [EmbedDim]float64{0, 1, 0, 0, 0, 0, 0, 0}
+	if c := Cosine(a, a); c < 0.999 {
+		t.Errorf("Cosine(a,a) = %v", c)
+	}
+	if c := Cosine(a, b); c != 0 {
+		t.Errorf("orthogonal cosine = %v", c)
+	}
+	var zero [EmbedDim]float64
+	if c := Cosine(a, zero); c != 0 {
+		t.Errorf("zero-vector cosine = %v", c)
+	}
+}

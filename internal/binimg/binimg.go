@@ -1,0 +1,232 @@
+// Package binimg defines the binary image container used for compiled
+// libraries — the repository's stand-in for the ELF shared objects the paper
+// analyzes. An image carries the text section, interned read-only data, an
+// import table (the PLT analog) and, unless stripped, a function symbol
+// table. PATCHECKO's pipeline operates on stripped images; ground-truth
+// symbol tables are retained out-of-band by the corpus for evaluation only,
+// mirroring how the paper strips its corpus "for our problem setting" while
+// keeping debug builds to establish ground truth.
+package binimg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// TextBase is the virtual address where .text is mapped.
+const TextBase = 0x400000
+
+// Magic identifies the image format.
+var Magic = [6]byte{'P', 'C', 'K', 'O', '0', '1'}
+
+// ErrBadImage reports a malformed image file.
+var ErrBadImage = errors.New("binimg: malformed image")
+
+// Symbol is one function symbol.
+type Symbol struct {
+	Name string
+	Addr uint64
+	Size uint64
+}
+
+// Image is one compiled library binary.
+type Image struct {
+	Arch     string
+	LibName  string
+	OptLevel string
+	Text     []byte // mapped at TextBase
+	Rodata   []byte // mapped at minic.RodataBase
+	Imports  []string
+	Symbols  []Symbol // sorted by Addr; nil when stripped
+	Stripped bool
+}
+
+// Strip returns a copy of the image without its symbol table.
+func (im *Image) Strip() *Image {
+	out := *im
+	out.Symbols = nil
+	out.Stripped = true
+	out.Text = append([]byte(nil), im.Text...)
+	out.Rodata = append([]byte(nil), im.Rodata...)
+	out.Imports = append([]string(nil), im.Imports...)
+	return &out
+}
+
+// Lookup returns the symbol with the given name.
+func (im *Image) Lookup(name string) (Symbol, bool) {
+	for _, s := range im.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// SymbolAt returns the symbol covering the given address.
+func (im *Image) SymbolAt(addr uint64) (Symbol, bool) {
+	i := sort.Search(len(im.Symbols), func(i int) bool {
+		return im.Symbols[i].Addr > addr
+	})
+	if i == 0 {
+		return Symbol{}, false
+	}
+	s := im.Symbols[i-1]
+	if addr < s.Addr+s.Size {
+		return s, true
+	}
+	return Symbol{}, false
+}
+
+// Encode serializes the image.
+func Encode(im *Image) []byte {
+	var w writer
+	w.bytes(Magic[:])
+	w.str(im.Arch)
+	w.str(im.LibName)
+	w.str(im.OptLevel)
+	w.u8(boolByte(im.Stripped))
+	w.blob(im.Text)
+	w.blob(im.Rodata)
+	w.u32(uint32(len(im.Imports)))
+	for _, s := range im.Imports {
+		w.str(s)
+	}
+	w.u32(uint32(len(im.Symbols)))
+	for _, s := range im.Symbols {
+		w.str(s.Name)
+		w.u64(s.Addr)
+		w.u64(s.Size)
+	}
+	sum := crc32.ChecksumIEEE(w.buf)
+	w.u32(sum)
+	return w.buf
+}
+
+// Decode parses an encoded image, validating the trailing checksum.
+func Decode(b []byte) (*Image, error) {
+	if len(b) < len(Magic)+4 {
+		return nil, fmt.Errorf("%w: too short", ErrBadImage)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadImage)
+	}
+	r := reader{buf: body}
+	var magic [6]byte
+	copy(magic[:], r.bytes(6))
+	if magic != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	im := &Image{}
+	im.Arch = r.str()
+	im.LibName = r.str()
+	im.OptLevel = r.str()
+	im.Stripped = r.u8() != 0
+	im.Text = r.blob()
+	im.Rodata = r.blob()
+	nImp := int(r.u32())
+	if r.err == nil && nImp > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd import count", ErrBadImage)
+	}
+	for i := 0; i < nImp && r.err == nil; i++ {
+		im.Imports = append(im.Imports, r.str())
+	}
+	nSym := int(r.u32())
+	if r.err == nil && nSym > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd symbol count", ErrBadImage)
+	}
+	for i := 0; i < nSym && r.err == nil; i++ {
+		s := Symbol{Name: r.str()}
+		s.Addr = r.u64()
+		s.Size = r.u64()
+		im.Symbols = append(im.Symbols, s)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.buf) {
+		return nil, fmt.Errorf("%w: trailing garbage", ErrBadImage)
+	}
+	sort.Slice(im.Symbols, func(i, j int) bool { return im.Symbols[i].Addr < im.Symbols[j].Addr })
+	return im, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) bytes(b []byte) {
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) blob(b []byte) {
+	w.u32(uint32(len(b)))
+	w.bytes(b)
+}
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: truncated", ErrBadImage)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.bytes(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) blob() []byte {
+	n := int(r.u32())
+	return append([]byte(nil), r.bytes(n)...)
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	return string(r.bytes(n))
+}

@@ -1,0 +1,107 @@
+package binimg
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleImage() *Image {
+	return &Image{
+		Arch:     "xarm64",
+		LibName:  "libstagefright",
+		OptLevel: "O2",
+		Text:     []byte{1, 2, 3, 4, 5},
+		Rodata:   []byte("hello\x00"),
+		Imports:  []string{"memmove", "strlen"},
+		Symbols: []Symbol{
+			{Name: "f", Addr: TextBase, Size: 3},
+			{Name: "g", Addr: TextBase + 3, Size: 2},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	im := sampleImage()
+	got, err := Decode(Encode(im))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(im, got) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, im)
+	}
+}
+
+func TestEncodeDecodeRoundtripQuick(t *testing.T) {
+	f := func(text, rodata []byte, lib string, stripped bool) bool {
+		im := &Image{
+			Arch: "x86", LibName: lib, OptLevel: "O0",
+			Text: text, Rodata: rodata, Stripped: stripped,
+		}
+		got, err := Decode(Encode(im))
+		if err != nil {
+			return false
+		}
+		// nil and empty slices are equivalent on the wire.
+		return string(got.Text) == string(text) &&
+			string(got.Rodata) == string(rodata) &&
+			got.LibName == lib && got.Stripped == stripped
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := Encode(sampleImage())
+	for _, i := range []int{0, 7, len(enc) / 2, len(enc) - 1} {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0xff
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+	if _, err := Decode(enc[:4]); err == nil {
+		t.Error("short input not rejected")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil input not rejected")
+	}
+}
+
+func TestStrip(t *testing.T) {
+	im := sampleImage()
+	st := im.Strip()
+	if !st.Stripped || st.Symbols != nil {
+		t.Error("Strip did not remove symbols")
+	}
+	if len(im.Symbols) != 2 {
+		t.Error("Strip mutated the original")
+	}
+	st.Text[0] = 99
+	if im.Text[0] == 99 {
+		t.Error("Strip shares text with original")
+	}
+}
+
+func TestSymbolLookup(t *testing.T) {
+	im := sampleImage()
+	if s, ok := im.Lookup("g"); !ok || s.Addr != TextBase+3 {
+		t.Errorf("Lookup(g) = %+v, %v", s, ok)
+	}
+	if _, ok := im.Lookup("missing"); ok {
+		t.Error("Lookup(missing) should fail")
+	}
+	if s, ok := im.SymbolAt(TextBase + 1); !ok || s.Name != "f" {
+		t.Errorf("SymbolAt(mid-f) = %+v, %v", s, ok)
+	}
+	if s, ok := im.SymbolAt(TextBase + 4); !ok || s.Name != "g" {
+		t.Errorf("SymbolAt(mid-g) = %+v, %v", s, ok)
+	}
+	if _, ok := im.SymbolAt(TextBase + 100); ok {
+		t.Error("SymbolAt past end should fail")
+	}
+	if _, ok := im.SymbolAt(TextBase - 1); ok {
+		t.Error("SymbolAt before start should fail")
+	}
+}

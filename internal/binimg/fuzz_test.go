@@ -1,0 +1,24 @@
+package binimg
+
+import "testing"
+
+// FuzzImageDecode hardens the image parser: arbitrary bytes must never
+// panic, and valid images must round-trip.
+func FuzzImageDecode(f *testing.F) {
+	f.Add(Encode(sampleImage()))
+	f.Add([]byte("PCKO01garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Decode(Encode(im))
+		if err != nil {
+			t.Fatalf("accepted image fails re-decode: %v", err)
+		}
+		if re.LibName != im.LibName || len(re.Text) != len(im.Text) {
+			t.Fatal("re-decode drift")
+		}
+	})
+}

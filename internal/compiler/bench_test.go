@@ -1,0 +1,24 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+func BenchmarkCompile(b *testing.B) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 12, Name: "libbench", NumFuncs: 25})
+	for _, arch := range isa.All() {
+		for _, lvl := range []Level{O0, O3} {
+			arch, lvl := arch, lvl
+			b.Run(arch.Name+"/"+string(lvl), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Compile(mod, arch, lvl); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

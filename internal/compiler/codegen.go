@@ -1,0 +1,750 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// Code generation. Two instruction-selection paths share one generator:
+// the RISC family gets three-address ALU ops, compare-to-register and
+// register-conditional branches; the CISC family gets two-address ALU ops,
+// immediate forms, flag-setting compares with conditional branches, and
+// SETcc materialization. Expression evaluation uses a stack discipline over
+// the architecture's scratch registers, spilling to the machine stack when
+// the file is exhausted (which the register-starved x86 target exercises
+// constantly).
+//
+// Calling convention: arguments in r0..r3, return value in r0, all
+// registers caller-saved. Frames are fp-anchored: every variable owns a
+// fp-relative slot; at O1+ the hottest variables are additionally
+// register-allocated and spilled around calls.
+
+// maxParams is the corpus-wide parameter convention.
+const maxParams = 4
+
+type fixup struct {
+	instr int // index into out
+	label int
+}
+
+type loopCtx struct {
+	breakL, contL int
+}
+
+type fngen struct {
+	arch     *isa.Arch
+	cfg      levelCfg
+	fn       *minic.Func
+	funcIdx  map[string]int
+	arity    map[string]int
+	strAddrs map[string]int64
+
+	out       []isa.Instr
+	fixups    []fixup
+	labelPos  map[int]int
+	nextLabel int
+
+	slots     map[string]int
+	varReg    map[string]isa.Reg
+	scratch   []isa.Reg
+	sp        int
+	frameSize int64
+	epilogue  int
+	loops     []loopCtx
+}
+
+func newFngen(arch *isa.Arch, cfg levelCfg, fn *minic.Func,
+	funcIdx map[string]int, arity map[string]int, strAddrs map[string]int64) *fngen {
+	return &fngen{
+		arch:     arch,
+		cfg:      cfg,
+		fn:       fn,
+		funcIdx:  funcIdx,
+		arity:    arity,
+		strAddrs: strAddrs,
+		labelPos: make(map[int]int),
+		slots:    make(map[string]int),
+		varReg:   make(map[string]isa.Reg),
+		scratch:  arch.ScratchRegs(),
+	}
+}
+
+func (g *fngen) generate() ([]isa.Instr, error) {
+	if len(g.fn.Params) > maxParams {
+		return nil, fmt.Errorf("function %s has %d params; the ABI passes at most %d",
+			g.fn.Name, len(g.fn.Params), maxParams)
+	}
+	g.assignHomes()
+	g.epilogue = g.newLabel()
+
+	// Prologue.
+	for _, in := range g.arch.Prologue() {
+		g.emit(in)
+	}
+	if g.frameSize > 0 {
+		g.emit(isa.Instr{Op: isa.AddSp, Imm: -g.frameSize})
+	}
+	// Home the incoming arguments.
+	for i, p := range g.fn.Params {
+		argReg := g.arch.ArgRegs()[i]
+		if vr, ok := g.varReg[p]; ok {
+			g.emit(isa.Instr{Op: isa.Mov, Rd: vr, Rs1: argReg})
+		} else {
+			g.emit(isa.Instr{Op: isa.Stw, Rs1: g.arch.FP(), Imm: g.slotOff(p), Rs2: argReg})
+		}
+	}
+
+	if err := g.stmts(g.fn.Body); err != nil {
+		return nil, err
+	}
+
+	// Falling off the end returns 0.
+	g.emit(isa.Instr{Op: isa.Ldi, Rd: 0, Imm: 0})
+	g.bind(g.epilogue)
+	g.emit(isa.Instr{Op: isa.Mov, Rd: g.arch.SP(), Rs1: g.arch.FP()})
+	g.emit(isa.Instr{Op: isa.Pop, Rd: g.arch.FP()})
+	g.emit(isa.Instr{Op: isa.Ret})
+
+	// Patch branch fixups with final instruction indexes.
+	for _, fx := range g.fixups {
+		pos, ok := g.labelPos[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("unbound label %d", fx.label)
+		}
+		g.out[fx.instr].Imm = int64(pos)
+	}
+	if g.sp != 0 {
+		return nil, fmt.Errorf("internal: %d scratch registers leaked", g.sp)
+	}
+	return g.out, nil
+}
+
+// assignHomes gives every variable a frame slot and, at O1+, register-
+// allocates the most-used variables.
+func (g *fngen) assignHomes() {
+	vars := append([]string(nil), g.fn.Params...)
+	vars = append(vars, g.fn.Locals()...)
+	for i, v := range vars {
+		g.slots[v] = i
+	}
+	g.frameSize = int64(len(vars)) * 8
+	if g.frameSize%16 != 0 {
+		g.frameSize += 16 - g.frameSize%16
+	}
+	if !g.cfg.regAlloc {
+		return
+	}
+	regs := g.arch.VarRegs()
+	if len(regs) == 0 {
+		return
+	}
+	counts := countVarUses(g.fn.Body)
+	type vc struct {
+		name string
+		n    int
+	}
+	ranked := make([]vc, 0, len(vars))
+	for _, v := range vars {
+		ranked = append(ranked, vc{v, counts[v]})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].n > ranked[j].n })
+	for i := 0; i < len(regs) && i < len(ranked); i++ {
+		if ranked[i].n == 0 {
+			break
+		}
+		g.varReg[ranked[i].name] = regs[i]
+	}
+}
+
+func countVarUses(ss []minic.Stmt) map[string]int {
+	counts := make(map[string]int)
+	var walkExpr func(e minic.Expr)
+	walkExpr = func(e minic.Expr) {
+		switch e := e.(type) {
+		case *minic.VarRef:
+			counts[e.Name]++
+		case *minic.Bin:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *minic.Un:
+			walkExpr(e.X)
+		case *minic.Load:
+			walkExpr(e.Base)
+			walkExpr(e.Index)
+		case *minic.LoadW:
+			walkExpr(e.Base)
+			walkExpr(e.Index)
+		case *minic.CallExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walk func(ss []minic.Stmt)
+	walk = func(ss []minic.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *minic.Assign:
+				counts[s.Name]++
+				walkExpr(s.E)
+			case *minic.Store:
+				walkExpr(s.Base)
+				walkExpr(s.Index)
+				walkExpr(s.Val)
+			case *minic.StoreW:
+				walkExpr(s.Base)
+				walkExpr(s.Index)
+				walkExpr(s.Val)
+			case *minic.If:
+				walkExpr(s.Cond)
+				walk(s.Then)
+				walk(s.Else)
+			case *minic.While:
+				walkExpr(s.Cond)
+				walk(s.Body)
+			case *minic.Return:
+				if s.E != nil {
+					walkExpr(s.E)
+				}
+			case *minic.ExprStmt:
+				walkExpr(s.E)
+			}
+		}
+	}
+	walk(ss)
+	return counts
+}
+
+// --- emission helpers ---
+
+func (g *fngen) emit(in isa.Instr) int {
+	g.out = append(g.out, in)
+	return len(g.out) - 1
+}
+
+func (g *fngen) newLabel() int {
+	g.nextLabel++
+	return g.nextLabel
+}
+
+func (g *fngen) bind(label int) {
+	g.labelPos[label] = len(g.out)
+}
+
+func (g *fngen) emitJump(op isa.Op, rs isa.Reg, label int) {
+	idx := g.emit(isa.Instr{Op: op, Rs1: rs})
+	g.fixups = append(g.fixups, fixup{instr: idx, label: label})
+}
+
+// --- scratch register stack ---
+
+func (g *fngen) alloc() isa.Reg {
+	r := g.scratch[g.sp%len(g.scratch)]
+	if g.sp >= len(g.scratch) {
+		g.emit(isa.Instr{Op: isa.Push, Rs1: r})
+	}
+	g.sp++
+	return r
+}
+
+func (g *fngen) free(r isa.Reg) {
+	g.sp--
+	if g.scratch[g.sp%len(g.scratch)] != r {
+		panic("compiler: scratch registers freed out of LIFO order")
+	}
+	if g.sp >= len(g.scratch) {
+		g.emit(isa.Instr{Op: isa.Pop, Rd: r})
+	}
+}
+
+// liveScratch returns the scratch registers currently holding live values.
+func (g *fngen) liveScratch() []isa.Reg {
+	n := g.sp
+	if n > len(g.scratch) {
+		n = len(g.scratch)
+	}
+	return g.scratch[:n]
+}
+
+// --- variable access ---
+
+func (g *fngen) slotOff(name string) int64 {
+	return -8 * int64(g.slots[name]+1)
+}
+
+func (g *fngen) readVar(name string) isa.Reg {
+	r := g.alloc()
+	if vr, ok := g.varReg[name]; ok {
+		g.emit(isa.Instr{Op: isa.Mov, Rd: r, Rs1: vr})
+		return r
+	}
+	g.emit(isa.Instr{Op: isa.Ldw, Rd: r, Rs1: g.arch.FP(), Imm: g.slotOff(name)})
+	return r
+}
+
+func (g *fngen) writeVar(name string, r isa.Reg) {
+	if vr, ok := g.varReg[name]; ok {
+		g.emit(isa.Instr{Op: isa.Mov, Rd: vr, Rs1: r})
+		return
+	}
+	g.emit(isa.Instr{Op: isa.Stw, Rs1: g.arch.FP(), Imm: g.slotOff(name), Rs2: r})
+}
+
+// --- statements ---
+
+func (g *fngen) stmts(ss []minic.Stmt) error {
+	for _, s := range ss {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *fngen) stmt(s minic.Stmt) error {
+	switch s := s.(type) {
+	case *minic.Assign:
+		r, err := g.expr(s.E)
+		if err != nil {
+			return err
+		}
+		g.writeVar(s.Name, r)
+		g.free(r)
+	case *minic.Store:
+		return g.store(s.Base, s.Index, s.Val, isa.Stb, 1)
+	case *minic.StoreW:
+		return g.store(s.Base, s.Index, s.Val, isa.Stw, 8)
+	case *minic.If:
+		return g.ifStmt(s)
+	case *minic.While:
+		return g.whileStmt(s)
+	case *minic.Return:
+		if s.E == nil {
+			g.emit(isa.Instr{Op: isa.Ldi, Rd: 0, Imm: 0})
+		} else {
+			r, err := g.expr(s.E)
+			if err != nil {
+				return err
+			}
+			g.emit(isa.Instr{Op: isa.Mov, Rd: 0, Rs1: r})
+			g.free(r)
+		}
+		g.emitJump(isa.Jmp, 0, g.epilogue)
+	case *minic.ExprStmt:
+		r, err := g.expr(s.E)
+		if err != nil {
+			return err
+		}
+		g.free(r)
+	case *minic.Break:
+		if len(g.loops) == 0 {
+			return fmt.Errorf("break outside loop")
+		}
+		g.emitJump(isa.Jmp, 0, g.loops[len(g.loops)-1].breakL)
+	case *minic.Continue:
+		if len(g.loops) == 0 {
+			return fmt.Errorf("continue outside loop")
+		}
+		g.emitJump(isa.Jmp, 0, g.loops[len(g.loops)-1].contL)
+	default:
+		return fmt.Errorf("unknown statement %T", s)
+	}
+	return nil
+}
+
+func (g *fngen) store(base, index, val minic.Expr, op isa.Op, scale int64) error {
+	rb, err := g.addr(base, index, scale)
+	if err != nil {
+		return err
+	}
+	rv, err := g.expr(val)
+	if err != nil {
+		return err
+	}
+	g.emit(isa.Instr{Op: op, Rs1: rb, Imm: 0, Rs2: rv})
+	g.free(rv)
+	g.free(rb)
+	return nil
+}
+
+// addr computes base + index*scale into a scratch register. Constant
+// indexes fold into the instruction offset at smart-selection levels, so
+// the caller must pass Imm: 0 — addr signals folding by returning the base
+// register and emitting the arithmetic.
+func (g *fngen) addr(base, index minic.Expr, scale int64) (isa.Reg, error) {
+	rb, err := g.expr(base)
+	if err != nil {
+		return 0, err
+	}
+	if c, ok := index.(*minic.IntLit); ok && g.cfg.smartSelect {
+		// Fold the constant displacement with an immediate add so the
+		// final memory operand is [rb+0]; keeping displacement inside the
+		// address register keeps Encode's operand forms uniform.
+		disp := c.V * scale
+		if disp != 0 {
+			g.addImm(rb, disp)
+		}
+		return rb, nil
+	}
+	ri, err := g.expr(index)
+	if err != nil {
+		return 0, err
+	}
+	if scale == 8 {
+		if g.arch.Family == isa.CISC {
+			g.emit(isa.Instr{Op: isa.ShlI, Rd: ri, Imm: 3})
+		} else {
+			rs := g.alloc()
+			g.emit(isa.Instr{Op: isa.Ldi, Rd: rs, Imm: 3})
+			g.emit(isa.Instr{Op: isa.Shl, Rd: ri, Rs1: ri, Rs2: rs})
+			g.free(rs)
+		}
+	}
+	if g.arch.Family == isa.CISC {
+		g.emit(isa.Instr{Op: isa.Add2, Rd: rb, Rs1: ri})
+	} else {
+		g.emit(isa.Instr{Op: isa.Add, Rd: rb, Rs1: rb, Rs2: ri})
+	}
+	g.free(ri)
+	return rb, nil
+}
+
+// addImm adds a constant to a register using the cheapest form available.
+func (g *fngen) addImm(r isa.Reg, v int64) {
+	if g.arch.Family == isa.CISC {
+		g.emit(isa.Instr{Op: isa.AddI, Rd: r, Imm: v})
+		return
+	}
+	t := g.alloc()
+	g.emit(isa.Instr{Op: isa.Ldi, Rd: t, Imm: v})
+	g.emit(isa.Instr{Op: isa.Add, Rd: r, Rs1: r, Rs2: t})
+	g.free(t)
+}
+
+func (g *fngen) ifStmt(s *minic.If) error {
+	elseL := g.newLabel()
+	endL := elseL
+	if len(s.Else) > 0 {
+		endL = g.newLabel()
+	}
+	if err := g.condFalseJump(s.Cond, elseL); err != nil {
+		return err
+	}
+	if err := g.stmts(s.Then); err != nil {
+		return err
+	}
+	if len(s.Else) > 0 {
+		g.emitJump(isa.Jmp, 0, endL)
+		g.bind(elseL)
+		if err := g.stmts(s.Else); err != nil {
+			return err
+		}
+	}
+	g.bind(endL)
+	return nil
+}
+
+func (g *fngen) whileStmt(s *minic.While) error {
+	condL := g.newLabel()
+	endL := g.newLabel()
+	g.bind(condL)
+	if err := g.condFalseJump(s.Cond, endL); err != nil {
+		return err
+	}
+	g.loops = append(g.loops, loopCtx{breakL: endL, contL: condL})
+	err := g.stmts(s.Body)
+	g.loops = g.loops[:len(g.loops)-1]
+	if err != nil {
+		return err
+	}
+	g.emitJump(isa.Jmp, 0, condL)
+	g.bind(endL)
+	return nil
+}
+
+// negatedCondJump maps a comparison operator to the CISC conditional branch
+// taken when the comparison is FALSE.
+var negatedCondJump = map[minic.BinOp]isa.Op{
+	minic.OpEq: isa.Jne,
+	minic.OpNe: isa.Je,
+	minic.OpLt: isa.Jge,
+	minic.OpLe: isa.Jg,
+	minic.OpGt: isa.Jle,
+	minic.OpGe: isa.Jl,
+}
+
+// condFalseJump emits a jump to label taken when cond evaluates to zero.
+func (g *fngen) condFalseJump(cond minic.Expr, label int) error {
+	if b, ok := cond.(*minic.Bin); ok && b.Op.IsCompare() && g.arch.Family == isa.CISC {
+		rl, err := g.expr(b.L)
+		if err != nil {
+			return err
+		}
+		rr, err := g.expr(b.R)
+		if err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.Cmp, Rs1: rl, Rs2: rr})
+		g.free(rr)
+		g.free(rl)
+		g.emitJump(negatedCondJump[b.Op], 0, label)
+		return nil
+	}
+	r, err := g.expr(cond)
+	if err != nil {
+		return err
+	}
+	if g.arch.Family == isa.CISC {
+		g.emit(isa.Instr{Op: isa.CmpI, Rs1: r, Imm: 0})
+		g.free(r)
+		g.emitJump(isa.Je, 0, label)
+		return nil
+	}
+	g.emitJump(isa.Jz, r, label)
+	g.free(r)
+	return nil
+}
+
+// --- expressions ---
+
+var riscBinOps = map[minic.BinOp]isa.Op{
+	minic.OpAdd: isa.Add, minic.OpSub: isa.Sub, minic.OpMul: isa.Mul,
+	minic.OpDiv: isa.Div, minic.OpMod: isa.Mod,
+	minic.OpAnd: isa.AndOp, minic.OpOr: isa.OrOp, minic.OpXor: isa.XorOp,
+	minic.OpShl: isa.Shl, minic.OpShr: isa.Shr,
+	minic.OpFAdd: isa.Fadd, minic.OpFSub: isa.Fsub,
+	minic.OpFMul: isa.Fmul, minic.OpFDiv: isa.Fdiv,
+	minic.OpEq: isa.Seq, minic.OpNe: isa.Sne, minic.OpLt: isa.Slt,
+	minic.OpLe: isa.Sle, minic.OpGt: isa.Sgt, minic.OpGe: isa.Sge,
+}
+
+var ciscBinOps = map[minic.BinOp]isa.Op{
+	minic.OpAdd: isa.Add2, minic.OpSub: isa.Sub2, minic.OpMul: isa.Mul2,
+	minic.OpDiv: isa.Div2, minic.OpMod: isa.Mod2,
+	minic.OpAnd: isa.And2, minic.OpOr: isa.Or2, minic.OpXor: isa.Xor2,
+	minic.OpShl: isa.Shl2, minic.OpShr: isa.Shr2,
+	minic.OpFAdd: isa.Fadd2, minic.OpFSub: isa.Fsub2,
+	minic.OpFMul: isa.Fmul2, minic.OpFDiv: isa.Fdiv2,
+}
+
+var ciscImmOps = map[minic.BinOp]isa.Op{
+	minic.OpAdd: isa.AddI, minic.OpSub: isa.SubI, minic.OpMul: isa.MulI,
+	minic.OpAnd: isa.AndI, minic.OpOr: isa.OrI, minic.OpXor: isa.XorI,
+	minic.OpShl: isa.ShlI, minic.OpShr: isa.ShrI,
+}
+
+var ciscSetOps = map[minic.BinOp]isa.Op{
+	minic.OpEq: isa.Sete, minic.OpNe: isa.Setne, minic.OpLt: isa.Setl,
+	minic.OpLe: isa.Setle, minic.OpGt: isa.Setg, minic.OpGe: isa.Setge,
+}
+
+func (g *fngen) expr(e minic.Expr) (isa.Reg, error) {
+	switch e := e.(type) {
+	case *minic.IntLit:
+		r := g.alloc()
+		g.emit(isa.Instr{Op: isa.Ldi, Rd: r, Imm: e.V})
+		return r, nil
+	case *minic.StrLit:
+		addr, ok := g.strAddrs[e.S]
+		if !ok {
+			return 0, fmt.Errorf("string literal %q not interned", e.S)
+		}
+		r := g.alloc()
+		g.emit(isa.Instr{Op: isa.Ldi, Rd: r, Imm: addr})
+		return r, nil
+	case *minic.VarRef:
+		return g.readVar(e.Name), nil
+	case *minic.Un:
+		return g.unary(e)
+	case *minic.Bin:
+		return g.binary(e)
+	case *minic.Load:
+		return g.load(e.Base, e.Index, isa.Ldb, 1)
+	case *minic.LoadW:
+		return g.load(e.Base, e.Index, isa.Ldw, 8)
+	case *minic.CallExpr:
+		return g.call(e)
+	default:
+		return 0, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+func (g *fngen) unary(e *minic.Un) (isa.Reg, error) {
+	r, err := g.expr(e.X)
+	if err != nil {
+		return 0, err
+	}
+	if g.arch.Family == isa.CISC {
+		var op isa.Op
+		switch e.Op {
+		case minic.OpNeg:
+			op = isa.Neg2
+		case minic.OpNot:
+			op = isa.Not2
+		default:
+			op = isa.Inv2
+		}
+		g.emit(isa.Instr{Op: op, Rd: r})
+		return r, nil
+	}
+	var op isa.Op
+	switch e.Op {
+	case minic.OpNeg:
+		op = isa.NegOp
+	case minic.OpNot:
+		op = isa.NotOp
+	default:
+		op = isa.Inv
+	}
+	g.emit(isa.Instr{Op: op, Rd: r, Rs1: r})
+	return r, nil
+}
+
+func (g *fngen) binary(e *minic.Bin) (isa.Reg, error) {
+	// Smart selection: immediate right operands.
+	if c, ok := e.R.(*minic.IntLit); ok && g.cfg.smartSelect && !e.Op.IsCompare() && !e.Op.IsFloat() {
+		// Strength-reduce multiplications by powers of two.
+		op := e.Op
+		imm := c.V
+		if op == minic.OpMul && imm > 0 && imm&(imm-1) == 0 {
+			op = minic.OpShl
+			imm = log2(imm)
+		}
+		if g.arch.Family == isa.CISC {
+			if iop, ok := ciscImmOps[op]; ok {
+				rl, err := g.expr(e.L)
+				if err != nil {
+					return 0, err
+				}
+				g.emit(isa.Instr{Op: iop, Rd: rl, Imm: imm})
+				return rl, nil
+			}
+		} else if op == minic.OpShl && e.Op == minic.OpMul {
+			// RISC strength reduction still saves a multiply.
+			rl, err := g.expr(e.L)
+			if err != nil {
+				return 0, err
+			}
+			rr := g.alloc()
+			g.emit(isa.Instr{Op: isa.Ldi, Rd: rr, Imm: imm})
+			g.emit(isa.Instr{Op: isa.Shl, Rd: rl, Rs1: rl, Rs2: rr})
+			g.free(rr)
+			return rl, nil
+		}
+	}
+	rl, err := g.expr(e.L)
+	if err != nil {
+		return 0, err
+	}
+	rr, err := g.expr(e.R)
+	if err != nil {
+		return 0, err
+	}
+	if g.arch.Family == isa.RISC {
+		op, ok := riscBinOps[e.Op]
+		if !ok {
+			return 0, fmt.Errorf("no RISC lowering for %v", e.Op)
+		}
+		g.emit(isa.Instr{Op: op, Rd: rl, Rs1: rl, Rs2: rr})
+		g.free(rr)
+		return rl, nil
+	}
+	if e.Op.IsCompare() {
+		g.emit(isa.Instr{Op: isa.Cmp, Rs1: rl, Rs2: rr})
+		g.emit(isa.Instr{Op: ciscSetOps[e.Op], Rd: rl})
+		g.free(rr)
+		return rl, nil
+	}
+	op, ok := ciscBinOps[e.Op]
+	if !ok {
+		return 0, fmt.Errorf("no CISC lowering for %v", e.Op)
+	}
+	g.emit(isa.Instr{Op: op, Rd: rl, Rs1: rr})
+	g.free(rr)
+	return rl, nil
+}
+
+func (g *fngen) load(base, index minic.Expr, op isa.Op, scale int64) (isa.Reg, error) {
+	rb, err := g.addr(base, index, scale)
+	if err != nil {
+		return 0, err
+	}
+	g.emit(isa.Instr{Op: op, Rd: rb, Rs1: rb, Imm: 0})
+	return rb, nil
+}
+
+func (g *fngen) call(e *minic.CallExpr) (isa.Reg, error) {
+	if len(e.Args) > maxParams {
+		return 0, fmt.Errorf("call to %s with %d args; ABI maximum is %d", e.Name, len(e.Args), maxParams)
+	}
+	var callInstr isa.Instr
+	if b, ok := minic.Builtins[e.Name]; ok {
+		if len(e.Args) != b.NArgs {
+			return 0, fmt.Errorf("builtin %s expects %d args, got %d", e.Name, b.NArgs, len(e.Args))
+		}
+		callInstr = isa.Instr{Op: isa.CallI, Imm: int64(b.Index)}
+	} else if idx, ok := g.funcIdx[e.Name]; ok {
+		if want := g.arity[e.Name]; len(e.Args) != want {
+			return 0, fmt.Errorf("%s expects %d args, got %d", e.Name, want, len(e.Args))
+		}
+		callInstr = isa.Instr{Op: isa.Call, Imm: int64(idx)}
+	} else {
+		return 0, fmt.Errorf("call to undefined function %s", e.Name)
+	}
+
+	// Save scratch registers holding live outer temporaries.
+	saved := append([]isa.Reg(nil), g.liveScratch()...)
+	for _, r := range saved {
+		g.emit(isa.Instr{Op: isa.Push, Rs1: r})
+	}
+	// Evaluate arguments left to right, parking each on the stack so even
+	// register-starved targets can form four arguments.
+	for _, a := range e.Args {
+		r, err := g.expr(a)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(isa.Instr{Op: isa.Push, Rs1: r})
+		g.free(r)
+	}
+	for i := len(e.Args) - 1; i >= 0; i-- {
+		g.emit(isa.Instr{Op: isa.Pop, Rd: g.arch.ArgRegs()[i]})
+	}
+	// Spill register-allocated variables (caller-saved ABI).
+	spilled := g.sortedVarRegs()
+	for _, v := range spilled {
+		g.emit(isa.Instr{Op: isa.Stw, Rs1: g.arch.FP(), Imm: g.slotOff(v), Rs2: g.varReg[v]})
+	}
+	g.emit(callInstr)
+	for _, v := range spilled {
+		g.emit(isa.Instr{Op: isa.Ldw, Rd: g.varReg[v], Rs1: g.arch.FP(), Imm: g.slotOff(v)})
+	}
+	for i := len(saved) - 1; i >= 0; i-- {
+		g.emit(isa.Instr{Op: isa.Pop, Rd: saved[i]})
+	}
+	res := g.alloc()
+	g.emit(isa.Instr{Op: isa.Mov, Rd: res, Rs1: 0})
+	return res, nil
+}
+
+// sortedVarRegs returns register-allocated variable names in a stable order.
+func (g *fngen) sortedVarRegs() []string {
+	names := make([]string, 0, len(g.varReg))
+	for v := range g.varReg {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func log2(v int64) int64 {
+	var n int64
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

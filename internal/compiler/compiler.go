@@ -1,0 +1,180 @@
+// Package compiler lowers minic source modules to binary images for the
+// four target architectures at six optimization levels — the stand-in for
+// the paper's "Clang emitting x86, amd64, ARM 32-bit and ARM 64-bit with
+// optimization levels O0, O1, O2, O3, Oz, Ofast". The combination of
+// AST-level passes (transform.go), per-family instruction selection
+// (codegen.go) and encoding-level peepholes (peephole.go) ensures the same
+// source function yields materially different binaries per (arch, level)
+// pair while remaining semantically identical to the reference interpreter.
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// Level names an optimization level.
+type Level string
+
+// The six optimization levels.
+const (
+	O0    Level = "O0"
+	O1    Level = "O1"
+	O2    Level = "O2"
+	O3    Level = "O3"
+	Oz    Level = "Oz"
+	Ofast Level = "Ofast"
+)
+
+// Levels lists all optimization levels in the paper's order.
+func Levels() []Level { return []Level{O0, O1, O2, O3, Oz, Ofast} }
+
+// levelCfg is the pass configuration of one level.
+type levelCfg struct {
+	constFold   bool
+	regAlloc    bool
+	smartSelect bool // immediate-form / strength-reduction selection
+	peephole    bool
+	inline      bool
+	inlineDepth int
+	unroll      bool
+	reassoc     bool
+	align       int // function alignment in .text
+}
+
+var levelCfgs = map[Level]levelCfg{
+	O0: {align: 16},
+	O1: {constFold: true, regAlloc: true, align: 16},
+	O2: {constFold: true, regAlloc: true, smartSelect: true, peephole: true, align: 16},
+	O3: {constFold: true, regAlloc: true, smartSelect: true, peephole: true,
+		inline: true, inlineDepth: 2, unroll: true, align: 16},
+	Oz: {constFold: true, regAlloc: true, smartSelect: true, peephole: true, align: 1},
+	Ofast: {constFold: true, regAlloc: true, smartSelect: true, peephole: true,
+		inline: true, inlineDepth: 3, unroll: true, reassoc: true, align: 16},
+}
+
+// Object is a compiled-but-not-yet-linked module: per-function instruction
+// lists with symbolic call targets (function indexes / import slots).
+type Object struct {
+	Arch   *isa.Arch
+	Level  Level
+	Module string
+	Funcs  []ObjFunc
+	Rodata []byte
+}
+
+// ObjFunc is one compiled function.
+type ObjFunc struct {
+	Name   string
+	Instrs []isa.Instr
+}
+
+// Compile lowers a module for one (arch, level) pair and links it into a
+// binary image (with symbols; call Strip for the COTS form).
+func Compile(mod *minic.Module, arch *isa.Arch, level Level) (*binimg.Image, error) {
+	obj, err := CompileToObject(mod, arch, level)
+	if err != nil {
+		return nil, err
+	}
+	return Link(obj)
+}
+
+// CompileToObject runs AST transforms and code generation without linking.
+func CompileToObject(mod *minic.Module, arch *isa.Arch, level Level) (*Object, error) {
+	cfg, ok := levelCfgs[level]
+	if !ok {
+		return nil, fmt.Errorf("compiler: unknown optimization level %q", level)
+	}
+	rodata, strAddrs := minic.InternStrings(mod)
+	funcIdx := make(map[string]int, len(mod.Funcs))
+	arity := make(map[string]int, len(mod.Funcs))
+	for i, f := range mod.Funcs {
+		if _, dup := funcIdx[f.Name]; dup {
+			return nil, fmt.Errorf("compiler: duplicate function %q in %q", f.Name, mod.Name)
+		}
+		funcIdx[f.Name] = i
+		arity[f.Name] = len(f.Params)
+	}
+	obj := &Object{Arch: arch, Level: level, Module: mod.Name, Rodata: rodata}
+	for _, f := range mod.Funcs {
+		tf := transform(f, mod, cfg)
+		g := newFngen(arch, cfg, tf, funcIdx, arity, strAddrs)
+		instrs, err := g.generate()
+		if err != nil {
+			return nil, fmt.Errorf("compiler: %s/%s %s: %w", arch.Name, level, f.Name, err)
+		}
+		if cfg.peephole {
+			instrs = peephole(instrs)
+		}
+		obj.Funcs = append(obj.Funcs, ObjFunc{Name: f.Name, Instrs: instrs})
+	}
+	return obj, nil
+}
+
+// Link lays out the object's functions in .text, resolves call targets to
+// absolute addresses, encodes every instruction and emits the final image.
+func Link(obj *Object) (*binimg.Image, error) {
+	arch := obj.Arch
+	align := levelCfgs[obj.Level].align
+	if align <= 0 {
+		align = 1
+	}
+	// Pass 1: measure.
+	addrs := make([]uint64, len(obj.Funcs))
+	sizes := make([]int, len(obj.Funcs))
+	addr := uint64(binimg.TextBase)
+	for i, f := range obj.Funcs {
+		for addr%uint64(align) != 0 {
+			addr++
+		}
+		addrs[i] = addr
+		size := 0
+		for _, in := range f.Instrs {
+			size += arch.InstrSize(in)
+		}
+		sizes[i] = size
+		addr += uint64(size)
+	}
+	// Pass 2: patch call targets and encode.
+	text := make([]byte, addr-uint64(binimg.TextBase))
+	symbols := make([]binimg.Symbol, 0, len(obj.Funcs))
+	for i, f := range obj.Funcs {
+		instrs := make([]isa.Instr, len(f.Instrs))
+		copy(instrs, f.Instrs)
+		for j := range instrs {
+			if instrs[j].Op == isa.Call {
+				idx := int(instrs[j].Imm)
+				if idx < 0 || idx >= len(addrs) {
+					return nil, fmt.Errorf("compiler: %s: call to unknown function index %d", f.Name, idx)
+				}
+				instrs[j].Imm = int64(addrs[idx])
+			}
+		}
+		b, _, err := arch.Encode(instrs)
+		if err != nil {
+			return nil, fmt.Errorf("compiler: encode %s: %w", f.Name, err)
+		}
+		if len(b) != sizes[i] {
+			return nil, fmt.Errorf("compiler: %s: size drifted between passes (%d vs %d)", f.Name, len(b), sizes[i])
+		}
+		copy(text[addrs[i]-uint64(binimg.TextBase):], b)
+		symbols = append(symbols, binimg.Symbol{Name: f.Name, Addr: addrs[i], Size: uint64(len(b))})
+	}
+	imports := make([]string, minic.NumBuiltins())
+	for i := range imports {
+		b, _ := minic.BuiltinByIndex(i)
+		imports[i] = b.Name
+	}
+	return &binimg.Image{
+		Arch:     arch.Name,
+		LibName:  obj.Module,
+		OptLevel: string(obj.Level),
+		Text:     text,
+		Rodata:   obj.Rodata,
+		Imports:  imports,
+		Symbols:  symbols,
+	}, nil
+}

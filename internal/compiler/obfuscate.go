@@ -1,0 +1,134 @@
+package compiler
+
+import (
+	"math/rand"
+
+	"repro/internal/binimg"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// Binary obfuscation, applied after code generation and peephole. The
+// related work the paper builds on (Asm2Vec and friends) is motivated by
+// exactly this threat: vendors shipping obfuscated builds that degrade
+// similarity analysis. The passes here preserve semantics exactly — the
+// semantics-preservation property tests run over obfuscated binaries too —
+// while distorting the static features similarity models see:
+//
+//   - dead-code islands: a jump over a run of never-executed junk
+//     instructions (inflates instruction counts, splits basic blocks);
+//   - live junk: flag-safe save/compute/restore sequences on a scratch
+//     register (inflates arithmetic and stack-traffic counts);
+//   - stack churn: redundant push/pop pairs.
+//
+// CompileObfuscated drives the passes; the obfuscation ablation measures
+// how much each similarity approach degrades.
+
+// ObfConfig controls obfuscation strength.
+type ObfConfig struct {
+	Seed int64
+	// Density is the per-instruction probability of injecting an
+	// obfuscation gadget before it (0.12 is a fairly heavy build).
+	Density float64
+}
+
+// DefaultObfConfig returns a moderately aggressive configuration.
+func DefaultObfConfig(seed int64) ObfConfig {
+	return ObfConfig{Seed: seed, Density: 0.12}
+}
+
+// CompileObfuscated compiles the module and then obfuscates every function.
+func CompileObfuscated(mod *minic.Module, arch *isa.Arch, level Level, cfg ObfConfig) (*binimg.Image, error) {
+	obj, err := CompileToObject(mod, arch, level)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range obj.Funcs {
+		obj.Funcs[i].Instrs = obfuscate(obj.Funcs[i].Instrs, arch, cfg, rng)
+	}
+	return Link(obj)
+}
+
+// obfuscate rewrites one function's instruction stream, remapping the
+// original branch targets (still instruction indexes at this stage) around
+// insertions. Gadget-internal jumps already carry final indexes and are
+// excluded from the remap.
+func obfuscate(instrs []isa.Instr, arch *isa.Arch, cfg ObfConfig, rng *rand.Rand) []isa.Instr {
+	if cfg.Density <= 0 {
+		return instrs
+	}
+	scratch := arch.ScratchRegs()
+	out := make([]isa.Instr, 0, len(instrs)*2)
+	newIndex := make([]int, len(instrs)+1)
+	gadgetJumps := make(map[int]bool)
+	prevWasCompare := false
+	for i, in := range instrs {
+		// Never split a flag-setting compare from its consumer, and keep
+		// the prologue (the first three instructions) intact so function-
+		// boundary recovery still works on stripped obfuscated binaries.
+		if i >= 3 && !prevWasCompare && rng.Float64() < cfg.Density {
+			out = appendGadget(out, scratch, rng, gadgetJumps)
+		}
+		newIndex[i] = len(out)
+		out = append(out, in)
+		prevWasCompare = in.Op == isa.Cmp || in.Op == isa.CmpI
+	}
+	newIndex[len(instrs)] = len(out)
+	for i := range out {
+		if out[i].Op.IsBranch() && !gadgetJumps[i] {
+			out[i].Imm = int64(newIndex[out[i].Imm])
+		}
+	}
+	return out
+}
+
+// appendGadget emits one semantics-preserving obfuscation gadget,
+// recording the index of any jump it emits in gadgetJumps.
+func appendGadget(out []isa.Instr, scratch []isa.Reg, rng *rand.Rand, gadgetJumps map[int]bool) []isa.Instr {
+	r := scratch[rng.Intn(len(scratch))]
+	switch rng.Intn(3) {
+	case 0:
+		// Dead-code island: a jump over never-executed junk. The jump's
+		// target is a final-stream index, so it is excluded from the
+		// original-index remap via gadgetJumps.
+		n := 2 + rng.Intn(4)
+		jmpIdx := len(out)
+		gadgetJumps[jmpIdx] = true
+		out = append(out, isa.Instr{Op: isa.Jmp, Imm: int64(jmpIdx + 1 + n)})
+		for k := 0; k < n; k++ {
+			out = append(out, junkInstr(scratch, rng))
+		}
+		return out
+	case 1:
+		// Live junk: save, compute nonsense, restore.
+		out = append(out,
+			isa.Instr{Op: isa.Push, Rs1: r},
+			isa.Instr{Op: isa.Ldi, Rd: r, Imm: int64(rng.Intn(1 << 16))},
+			isa.Instr{Op: isa.XorOp, Rd: r, Rs1: r, Rs2: r},
+			isa.Instr{Op: isa.Pop, Rd: r},
+		)
+		return out
+	default:
+		// Stack churn.
+		out = append(out,
+			isa.Instr{Op: isa.Push, Rs1: r},
+			isa.Instr{Op: isa.Pop, Rd: r},
+		)
+		return out
+	}
+}
+
+// junkInstr returns a random, decodable, never-executed instruction.
+func junkInstr(scratch []isa.Reg, rng *rand.Rand) isa.Instr {
+	r1 := scratch[rng.Intn(len(scratch))]
+	r2 := scratch[rng.Intn(len(scratch))]
+	ops := []isa.Op{isa.Add, isa.Sub, isa.Mul, isa.XorOp, isa.Mov, isa.Ldi, isa.NegOp, isa.Fadd}
+	op := ops[rng.Intn(len(ops))]
+	in := isa.Instr{Op: op, Rd: r1, Rs1: r2, Rs2: r1}
+	if op == isa.Ldi {
+		in.Imm = int64(rng.Intn(1 << 20))
+		in.Rs1, in.Rs2 = 0, 0
+	}
+	return in
+}

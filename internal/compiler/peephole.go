@@ -1,0 +1,93 @@
+package compiler
+
+import "repro/internal/isa"
+
+// peephole applies always-safe encoding-level rewrites at O2 and above.
+// Branch immediates at this stage are instruction indexes (Encode converts
+// them to byte offsets later), so deletions remap every branch target.
+//
+// Patterns:
+//   - branches to the immediately-following instruction are deleted;
+//   - self-moves (mov r, r) and addsp 0 are deleted;
+//   - adjacent push r / pop r pairs are deleted when nothing branches
+//     between them;
+//   - a load that immediately re-reads a just-stored frame slot is
+//     forwarded from the stored register (store-to-load forwarding).
+func peephole(instrs []isa.Instr) []isa.Instr {
+	for {
+		next, changed := peepholeOnce(instrs)
+		instrs = next
+		if !changed {
+			return instrs
+		}
+	}
+}
+
+func peepholeOnce(instrs []isa.Instr) ([]isa.Instr, bool) {
+	targets := make(map[int]bool)
+	for _, in := range instrs {
+		if in.Op.IsBranch() {
+			targets[int(in.Imm)] = true
+		}
+	}
+
+	remove := make([]bool, len(instrs))
+	changed := false
+	for i := 0; i < len(instrs); i++ {
+		in := instrs[i]
+		switch {
+		case in.Op.IsBranch() && int(in.Imm) == i+1:
+			remove[i] = true
+			changed = true
+		case in.Op == isa.Mov && in.Rd == in.Rs1:
+			if !targets[i] {
+				remove[i] = true
+				changed = true
+			}
+		case in.Op == isa.AddSp && in.Imm == 0:
+			if !targets[i] {
+				remove[i] = true
+				changed = true
+			}
+		case in.Op == isa.Push && i+1 < len(instrs) &&
+			instrs[i+1].Op == isa.Pop && instrs[i+1].Rd == in.Rs1 &&
+			!targets[i] && !targets[i+1] && !remove[i]:
+			remove[i] = true
+			remove[i+1] = true
+			changed = true
+		case in.Op == isa.Stw && i+1 < len(instrs) && !targets[i+1]:
+			// stw [fp+o], rA ; ldw rB, [fp+o]  =>  stw ; mov rB, rA
+			nx := instrs[i+1]
+			if nx.Op == isa.Ldw && nx.Rs1 == in.Rs1 && nx.Imm == in.Imm {
+				instrs[i+1] = isa.Instr{Op: isa.Mov, Rd: nx.Rd, Rs1: in.Rs2}
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return instrs, false
+	}
+
+	// Rebuild with remapped branch targets. newIndex[i] is the index the
+	// i-th old instruction (or, if deleted, the next kept one) lands on.
+	newIndex := make([]int, len(instrs)+1)
+	kept := 0
+	for i := range instrs {
+		newIndex[i] = kept
+		if !remove[i] {
+			kept++
+		}
+	}
+	newIndex[len(instrs)] = kept
+	out := make([]isa.Instr, 0, kept)
+	for i, in := range instrs {
+		if remove[i] {
+			continue
+		}
+		if in.Op.IsBranch() {
+			in.Imm = int64(newIndex[in.Imm])
+		}
+		out = append(out, in)
+	}
+	return out, true
+}

@@ -1,0 +1,130 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestPeepholeJumpToNext(t *testing.T) {
+	in := []isa.Instr{
+		{Op: isa.Ldi, Rd: 0, Imm: 1},
+		{Op: isa.Jmp, Imm: 2}, // jump to the immediately-following instruction
+		{Op: isa.Ret},
+	}
+	out := peephole(in)
+	if len(out) != 2 {
+		t.Fatalf("got %d instrs, want 2: %v", len(out), out)
+	}
+	if out[0].Op != isa.Ldi || out[1].Op != isa.Ret {
+		t.Errorf("wrong survivors: %v", out)
+	}
+}
+
+func TestPeepholeSelfMove(t *testing.T) {
+	in := []isa.Instr{
+		{Op: isa.Mov, Rd: 3, Rs1: 3},
+		{Op: isa.Mov, Rd: 3, Rs1: 4}, // real move stays
+		{Op: isa.Ret},
+	}
+	out := peephole(in)
+	if len(out) != 2 || out[0].Rs1 != 4 {
+		t.Errorf("self-move not removed: %v", out)
+	}
+}
+
+func TestPeepholePushPopPair(t *testing.T) {
+	in := []isa.Instr{
+		{Op: isa.Push, Rs1: 5},
+		{Op: isa.Pop, Rd: 5},
+		{Op: isa.Ret},
+	}
+	out := peephole(in)
+	if len(out) != 1 || out[0].Op != isa.Ret {
+		t.Errorf("push/pop pair not removed: %v", out)
+	}
+	// Different registers: must stay (it's a move via stack).
+	in2 := []isa.Instr{
+		{Op: isa.Push, Rs1: 5},
+		{Op: isa.Pop, Rd: 6},
+		{Op: isa.Ret},
+	}
+	if out := peephole(in2); len(out) != 3 {
+		t.Errorf("push/pop to different reg was removed: %v", out)
+	}
+}
+
+func TestPeepholeBranchTargetRemap(t *testing.T) {
+	// 0: jz ->3 ; 1: mov r2,r2 (dead) ; 2: ldi ; 3: ret
+	in := []isa.Instr{
+		{Op: isa.Jz, Rs1: 1, Imm: 3},
+		{Op: isa.Mov, Rd: 2, Rs1: 2},
+		{Op: isa.Ldi, Rd: 0, Imm: 9},
+		{Op: isa.Ret},
+	}
+	out := peephole(in)
+	if len(out) != 3 {
+		t.Fatalf("got %d instrs: %v", len(out), out)
+	}
+	if out[0].Op != isa.Jz || out[0].Imm != 2 {
+		t.Errorf("branch target not remapped: %v", out[0])
+	}
+}
+
+func TestPeepholeStoreLoadForwarding(t *testing.T) {
+	fp := isa.Reg(14)
+	in := []isa.Instr{
+		{Op: isa.Stw, Rs1: fp, Imm: -8, Rs2: 4},
+		{Op: isa.Ldw, Rd: 5, Rs1: fp, Imm: -8},
+		{Op: isa.Ret},
+	}
+	out := peephole(in)
+	if len(out) != 3 {
+		t.Fatalf("got %d instrs: %v", len(out), out)
+	}
+	if out[1].Op != isa.Mov || out[1].Rd != 5 || out[1].Rs1 != 4 {
+		t.Errorf("load not forwarded: %v", out[1])
+	}
+	// Different slot: untouched.
+	in2 := []isa.Instr{
+		{Op: isa.Stw, Rs1: fp, Imm: -8, Rs2: 4},
+		{Op: isa.Ldw, Rd: 5, Rs1: fp, Imm: -16},
+		{Op: isa.Ret},
+	}
+	if out := peephole(in2); out[1].Op != isa.Ldw {
+		t.Errorf("forwarding across different slots: %v", out[1])
+	}
+}
+
+func TestPeepholeRespectsBranchTargets(t *testing.T) {
+	// The Pop at index 2 is a branch target: the pair must NOT be removed.
+	in := []isa.Instr{
+		{Op: isa.Jz, Rs1: 1, Imm: 2},
+		{Op: isa.Push, Rs1: 5},
+		{Op: isa.Pop, Rd: 5},
+		{Op: isa.Ret},
+	}
+	out := peephole(in)
+	if len(out) != 4 {
+		t.Errorf("branch-targeted push/pop removed: %v", out)
+	}
+}
+
+func TestPeepholeFixpoint(t *testing.T) {
+	// Removing one jump exposes another jump-to-next; the pass iterates.
+	in := []isa.Instr{
+		{Op: isa.Jmp, Imm: 1},
+		{Op: isa.Jmp, Imm: 2},
+		{Op: isa.Ret},
+	}
+	out := peephole(in)
+	if len(out) != 1 || out[0].Op != isa.Ret {
+		t.Errorf("fixpoint not reached: %v", out)
+	}
+}
+
+func TestPeepholeEmpty(t *testing.T) {
+	if out := peephole(nil); len(out) != 0 {
+		t.Errorf("empty input produced %v", out)
+	}
+}

@@ -1,0 +1,449 @@
+package compiler
+
+import (
+	"repro/internal/minic"
+)
+
+// AST-level optimization passes. These run before instruction selection and
+// are what makes the same source function compile to structurally different
+// machine code at different optimization levels: constant folding collapses
+// expression trees, dead-branch elimination changes the CFG, inlining melts
+// small callees into callers, unrolling multiplies basic blocks, and
+// reassociation permutes arithmetic. All passes are semantics-preserving —
+// the cross-check against the reference interpreter is part of the compiler
+// test suite.
+
+// transform applies the level's AST passes, returning a fresh function.
+func transform(f *minic.Func, mod *minic.Module, cfg levelCfg) *minic.Func {
+	out := minic.CloneFunc(f)
+	if cfg.inline {
+		out.Body = inlineBody(out.Body, mod, cfg.inlineDepth)
+	}
+	if cfg.unroll {
+		out.Body = unrollBody(out.Body)
+	}
+	if cfg.reassoc {
+		out.Body = mapExprs(out.Body, reassociate)
+	}
+	if cfg.constFold {
+		out.Body = mapExprs(out.Body, fold)
+		out.Body = elideDeadBranches(out.Body)
+	}
+	return out
+}
+
+// --- generic expression rewriting ---
+
+// mapExprs applies fn bottom-up to every expression in the statements.
+func mapExprs(ss []minic.Stmt, fn func(minic.Expr) minic.Expr) []minic.Stmt {
+	var rewrite func(e minic.Expr) minic.Expr
+	rewrite = func(e minic.Expr) minic.Expr {
+		switch e := e.(type) {
+		case *minic.Bin:
+			e.L = rewrite(e.L)
+			e.R = rewrite(e.R)
+		case *minic.Un:
+			e.X = rewrite(e.X)
+		case *minic.Load:
+			e.Base = rewrite(e.Base)
+			e.Index = rewrite(e.Index)
+		case *minic.LoadW:
+			e.Base = rewrite(e.Base)
+			e.Index = rewrite(e.Index)
+		case *minic.CallExpr:
+			for i := range e.Args {
+				e.Args[i] = rewrite(e.Args[i])
+			}
+		}
+		return fn(e)
+	}
+	var walk func(ss []minic.Stmt) []minic.Stmt
+	walk = func(ss []minic.Stmt) []minic.Stmt {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *minic.Assign:
+				s.E = rewrite(s.E)
+			case *minic.Store:
+				s.Base, s.Index, s.Val = rewrite(s.Base), rewrite(s.Index), rewrite(s.Val)
+			case *minic.StoreW:
+				s.Base, s.Index, s.Val = rewrite(s.Base), rewrite(s.Index), rewrite(s.Val)
+			case *minic.If:
+				s.Cond = rewrite(s.Cond)
+				s.Then = walk(s.Then)
+				s.Else = walk(s.Else)
+			case *minic.While:
+				s.Cond = rewrite(s.Cond)
+				s.Body = walk(s.Body)
+			case *minic.Return:
+				if s.E != nil {
+					s.E = rewrite(s.E)
+				}
+			case *minic.ExprStmt:
+				s.E = rewrite(s.E)
+			}
+		}
+		return ss
+	}
+	return walk(ss)
+}
+
+// --- constant folding ---
+
+// fold collapses constant subexpressions. Trapping operations (x/0) are
+// left in place so runtime behaviour is preserved.
+func fold(e minic.Expr) minic.Expr {
+	switch e := e.(type) {
+	case *minic.Bin:
+		l, lok := e.L.(*minic.IntLit)
+		r, rok := e.R.(*minic.IntLit)
+		if lok && rok {
+			v, err := minic.EvalBinOp(e.Op, l.V, r.V)
+			if err == nil {
+				return &minic.IntLit{V: v}
+			}
+			return e
+		}
+		// Algebraic identities (safe for two's-complement ints).
+		if rok {
+			switch {
+			case r.V == 0 && (e.Op == minic.OpAdd || e.Op == minic.OpSub ||
+				e.Op == minic.OpOr || e.Op == minic.OpXor ||
+				e.Op == minic.OpShl || e.Op == minic.OpShr):
+				return e.L
+			case r.V == 1 && e.Op == minic.OpMul:
+				return e.L
+			case r.V == 0 && e.Op == minic.OpMul:
+				// Only fold 0*x when x is pure (no side effects to drop).
+				if isPure(e.L) {
+					return &minic.IntLit{V: 0}
+				}
+			}
+		}
+		if lok {
+			switch {
+			case l.V == 0 && e.Op == minic.OpAdd:
+				return e.R
+			case l.V == 1 && e.Op == minic.OpMul:
+				return e.R
+			case l.V == 0 && e.Op == minic.OpMul && isPure(e.R):
+				return &minic.IntLit{V: 0}
+			}
+		}
+		return e
+	case *minic.Un:
+		if x, ok := e.X.(*minic.IntLit); ok {
+			return &minic.IntLit{V: minic.EvalUnOp(e.Op, x.V)}
+		}
+		return e
+	default:
+		return e
+	}
+}
+
+// isPure reports whether evaluating e has no side effects and cannot trap.
+func isPure(e minic.Expr) bool {
+	switch e := e.(type) {
+	case *minic.IntLit, *minic.StrLit, *minic.VarRef:
+		return true
+	case *minic.Bin:
+		if e.Op == minic.OpDiv || e.Op == minic.OpMod {
+			return false // may trap
+		}
+		return isPure(e.L) && isPure(e.R)
+	case *minic.Un:
+		return isPure(e.X)
+	default:
+		return false // loads may trap; calls have side effects
+	}
+}
+
+// elideDeadBranches removes statically-dead control flow after folding.
+func elideDeadBranches(ss []minic.Stmt) []minic.Stmt {
+	var out []minic.Stmt
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *minic.If:
+			s.Then = elideDeadBranches(s.Then)
+			s.Else = elideDeadBranches(s.Else)
+			if c, ok := s.Cond.(*minic.IntLit); ok {
+				if c.V != 0 {
+					out = append(out, s.Then...)
+				} else {
+					out = append(out, s.Else...)
+				}
+				continue
+			}
+			out = append(out, s)
+		case *minic.While:
+			s.Body = elideDeadBranches(s.Body)
+			if c, ok := s.Cond.(*minic.IntLit); ok && c.V == 0 {
+				continue // while(0) never runs
+			}
+			out = append(out, s)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// --- inlining ---
+
+// inlineBody replaces calls to single-return leaf functions with the
+// substituted return expression. Only calls whose arguments are literals or
+// variable references are inlined, so argument evaluation order and
+// multiplicity are preserved.
+func inlineBody(ss []minic.Stmt, mod *minic.Module, depth int) []minic.Stmt {
+	if depth <= 0 {
+		return ss
+	}
+	rewrite := func(e minic.Expr) minic.Expr {
+		call, ok := e.(*minic.CallExpr)
+		if !ok {
+			return e
+		}
+		callee := mod.Lookup(call.Name)
+		if callee == nil || len(callee.Body) != 1 || len(call.Args) != len(callee.Params) {
+			return e
+		}
+		ret, ok := callee.Body[0].(*minic.Return)
+		if !ok || ret.E == nil {
+			return e
+		}
+		for _, a := range call.Args {
+			switch a.(type) {
+			case *minic.IntLit, *minic.VarRef, *minic.StrLit:
+			default:
+				return e
+			}
+		}
+		// The return expression must reference only parameters (no stray
+		// locals that would capture the caller's variables).
+		if !onlyRefsParams(ret.E, callee.Params) {
+			return e
+		}
+		sub := make(map[string]minic.Expr, len(call.Args))
+		for i, p := range callee.Params {
+			sub[p] = call.Args[i]
+		}
+		return substitute(minic.CloneExpr(ret.E), sub)
+	}
+	for d := 0; d < depth; d++ {
+		ss = mapExprs(ss, rewrite)
+	}
+	return ss
+}
+
+func onlyRefsParams(e minic.Expr, params []string) bool {
+	ok := true
+	inParams := func(n string) bool {
+		for _, p := range params {
+			if p == n {
+				return true
+			}
+		}
+		return false
+	}
+	var walk func(e minic.Expr)
+	walk = func(e minic.Expr) {
+		switch e := e.(type) {
+		case *minic.VarRef:
+			if !inParams(e.Name) {
+				ok = false
+			}
+		case *minic.Bin:
+			walk(e.L)
+			walk(e.R)
+		case *minic.Un:
+			walk(e.X)
+		case *minic.Load:
+			walk(e.Base)
+			walk(e.Index)
+		case *minic.LoadW:
+			walk(e.Base)
+			walk(e.Index)
+		case *minic.CallExpr:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return ok
+}
+
+func substitute(e minic.Expr, sub map[string]minic.Expr) minic.Expr {
+	switch e := e.(type) {
+	case *minic.VarRef:
+		if r, ok := sub[e.Name]; ok {
+			return minic.CloneExpr(r)
+		}
+		return e
+	case *minic.Bin:
+		e.L = substitute(e.L, sub)
+		e.R = substitute(e.R, sub)
+	case *minic.Un:
+		e.X = substitute(e.X, sub)
+	case *minic.Load:
+		e.Base = substitute(e.Base, sub)
+		e.Index = substitute(e.Index, sub)
+	case *minic.LoadW:
+		e.Base = substitute(e.Base, sub)
+		e.Index = substitute(e.Index, sub)
+	case *minic.CallExpr:
+		for i := range e.Args {
+			e.Args[i] = substitute(e.Args[i], sub)
+		}
+	}
+	return e
+}
+
+// --- loop unrolling ---
+
+// maxUnrollTrips bounds full unrolling.
+const maxUnrollTrips = 4
+
+// unrollBody fully unrolls the canonical counted-loop pattern emitted by
+// minic.For when the trip count is a small constant:
+//
+//	i = C0; while (i < C1) { body...; i = i + 1 }
+//
+// The body must not touch i (other than the increment), break, continue or
+// return, and must be side-effect-ordered the same after expansion (always
+// true for straight-line duplication).
+func unrollBody(ss []minic.Stmt) []minic.Stmt {
+	var out []minic.Stmt
+	for idx := 0; idx < len(ss); idx++ {
+		s := ss[idx]
+		// Recurse first.
+		switch s := s.(type) {
+		case *minic.If:
+			s.Then = unrollBody(s.Then)
+			s.Else = unrollBody(s.Else)
+		case *minic.While:
+			s.Body = unrollBody(s.Body)
+		}
+		if idx+1 < len(ss) {
+			if expanded, ok := tryUnroll(ss[idx], ss[idx+1]); ok {
+				out = append(out, expanded...)
+				idx++ // consume the While too
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func tryUnroll(initStmt, loopStmt minic.Stmt) ([]minic.Stmt, bool) {
+	init, ok := initStmt.(*minic.Assign)
+	if !ok {
+		return nil, false
+	}
+	start, ok := init.E.(*minic.IntLit)
+	if !ok {
+		return nil, false
+	}
+	loop, ok := loopStmt.(*minic.While)
+	if !ok {
+		return nil, false
+	}
+	cond, ok := loop.Cond.(*minic.Bin)
+	if !ok || cond.Op != minic.OpLt {
+		return nil, false
+	}
+	cv, ok := cond.L.(*minic.VarRef)
+	if !ok || cv.Name != init.Name {
+		return nil, false
+	}
+	limit, ok := cond.R.(*minic.IntLit)
+	if !ok {
+		return nil, false
+	}
+	trips := limit.V - start.V
+	if trips <= 0 || trips > maxUnrollTrips {
+		return nil, false
+	}
+	if len(loop.Body) == 0 {
+		return nil, false
+	}
+	// Last body statement must be the canonical increment.
+	incr, ok := loop.Body[len(loop.Body)-1].(*minic.Assign)
+	if !ok || incr.Name != init.Name {
+		return nil, false
+	}
+	add, ok := incr.E.(*minic.Bin)
+	if !ok || add.Op != minic.OpAdd {
+		return nil, false
+	}
+	av, aok := add.L.(*minic.VarRef)
+	one, ook := add.R.(*minic.IntLit)
+	if !aok || !ook || av.Name != init.Name || one.V != 1 {
+		return nil, false
+	}
+	inner := loop.Body[:len(loop.Body)-1]
+	if !unrollable(inner, init.Name) {
+		return nil, false
+	}
+	var out []minic.Stmt
+	for k := start.V; k < limit.V; k++ {
+		out = append(out, &minic.Assign{Name: init.Name, E: &minic.IntLit{V: k}})
+		out = append(out, minic.CloneStmts(inner)...)
+	}
+	out = append(out, &minic.Assign{Name: init.Name, E: &minic.IntLit{V: limit.V}})
+	return out, true
+}
+
+// unrollable reports whether the loop body is safe to duplicate: no control
+// transfers out of the loop and no writes to the induction variable.
+func unrollable(ss []minic.Stmt, ind string) bool {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *minic.Assign:
+			if s.Name == ind {
+				return false
+			}
+		case *minic.Break, *minic.Continue, *minic.Return:
+			return false
+		case *minic.If:
+			if !unrollable(s.Then, ind) || !unrollable(s.Else, ind) {
+				return false
+			}
+		case *minic.While:
+			if !unrollable(s.Body, ind) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// --- reassociation (Ofast) ---
+
+// reassociate rotates left-leaning chains of associative operators into
+// right-leaning ones: (a op b) op c => a op (b op c). Integer add, mul, and
+// the bitwise ops are fully associative in two's complement, so this is
+// exact — but only when the subtrees are pure, to preserve side-effect and
+// trap ordering.
+func reassociate(e minic.Expr) minic.Expr {
+	b, ok := e.(*minic.Bin)
+	if !ok || !assocOp(b.Op) {
+		return e
+	}
+	l, ok := b.L.(*minic.Bin)
+	if !ok || l.Op != b.Op {
+		return e
+	}
+	if !isPure(l.L) || !isPure(l.R) || !isPure(b.R) {
+		return e
+	}
+	return &minic.Bin{Op: b.Op, L: l.L, R: &minic.Bin{Op: b.Op, L: l.R, R: b.R}}
+}
+
+func assocOp(op minic.BinOp) bool {
+	switch op {
+	case minic.OpAdd, minic.OpMul, minic.OpAnd, minic.OpOr, minic.OpXor:
+		return true
+	}
+	return false
+}

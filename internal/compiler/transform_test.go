@@ -1,0 +1,233 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+// evalConst runs a single-expression function through the interpreter.
+func evalConst(t *testing.T, e minic.Expr, args []int64, params []string) (int64, error) {
+	t.Helper()
+	mod := &minic.Module{Name: "t", Funcs: []*minic.Func{
+		minic.NewFunc("f", params, minic.Ret(e)),
+	}}
+	res, err := minic.Run(mod, "f", &minic.Env{Args: args}, 1<<16)
+	if err != nil {
+		return 0, err
+	}
+	return res.Ret, nil
+}
+
+func TestFoldConstants(t *testing.T) {
+	tests := []struct {
+		name string
+		in   minic.Expr
+		want int64
+	}{
+		{"add", minic.Add(minic.I(2), minic.I(3)), 5},
+		{"nested", minic.Mul(minic.Add(minic.I(1), minic.I(2)), minic.I(4)), 12},
+		{"identity-add0", minic.Add(minic.V("a"), minic.I(0)), -99},   // folds to V(a)
+		{"identity-mul1", minic.Mul(minic.V("a"), minic.I(1)), -99},   // folds to V(a)
+		{"identity-0add", minic.Add(minic.I(0), minic.V("a")), -99},   // folds to V(a)
+		{"mul-zero-pure", minic.Mul(minic.V("a"), minic.I(0)), -1000}, // folds to 0
+		{"unary", minic.Neg(minic.I(7)), -7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			body := mapExprs([]minic.Stmt{minic.Ret(minic.CloneExpr(tt.in))}, fold)
+			ret := body[0].(*minic.Return)
+			switch tt.want {
+			case -99: // expect exactly V("a")
+				if v, ok := ret.E.(*minic.VarRef); !ok || v.Name != "a" {
+					t.Errorf("folded to %s, want a", ret.E)
+				}
+			case -1000: // expect constant 0
+				if c, ok := ret.E.(*minic.IntLit); !ok || c.V != 0 {
+					t.Errorf("folded to %s, want 0", ret.E)
+				}
+			default:
+				c, ok := ret.E.(*minic.IntLit)
+				if !ok || c.V != tt.want {
+					t.Errorf("folded to %s, want %d", ret.E, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestFoldPreservesTraps(t *testing.T) {
+	// 1/0 must NOT fold away — runtime behaviour is a trap.
+	body := mapExprs([]minic.Stmt{minic.Ret(minic.Div(minic.I(1), minic.I(0)))}, fold)
+	if _, ok := body[0].(*minic.Return).E.(*minic.Bin); !ok {
+		t.Error("trapping division was folded away")
+	}
+	// 0 * call() must not fold: the call has side effects.
+	e := minic.Mul(minic.I(0), minic.Call("read_time"))
+	body = mapExprs([]minic.Stmt{minic.Ret(e)}, fold)
+	if _, ok := body[0].(*minic.Return).E.(*minic.Bin); !ok {
+		t.Error("0*call() was folded, dropping a side effect")
+	}
+}
+
+func TestFoldSemanticsPreservedQuick(t *testing.T) {
+	// Random pure expression trees: folding must not change the value.
+	rng := rand.New(rand.NewSource(44))
+	var gen func(depth int) minic.Expr
+	ops := []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpMul, minic.OpAnd,
+		minic.OpOr, minic.OpXor, minic.OpShl, minic.OpShr, minic.OpLt, minic.OpEq}
+	gen = func(depth int) minic.Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return minic.I(int64(rng.Intn(201) - 100))
+			}
+			return minic.V("a")
+		}
+		return minic.B(ops[rng.Intn(len(ops))], gen(depth-1), gen(depth-1))
+	}
+	for trial := 0; trial < 300; trial++ {
+		e := gen(4)
+		arg := int64(rng.Intn(1000) - 500)
+		want, werr := evalConst(t, minic.CloneExpr(e), []int64{arg}, []string{"a"})
+		folded := mapExprs([]minic.Stmt{minic.Ret(minic.CloneExpr(e))}, fold)
+		got, gerr := evalConst(t, folded[0].(*minic.Return).E, []int64{arg}, []string{"a"})
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("trial %d: trap behaviour changed: %v vs %v (expr %s)", trial, werr, gerr, e)
+		}
+		if werr == nil && want != got {
+			t.Fatalf("trial %d: %s: folded %d, want %d", trial, e, got, want)
+		}
+	}
+}
+
+func TestElideDeadBranches(t *testing.T) {
+	body := []minic.Stmt{
+		minic.IfElse(minic.I(1),
+			[]minic.Stmt{minic.Set("x", minic.I(10))},
+			[]minic.Stmt{minic.Set("x", minic.I(20))}),
+		minic.IfElse(minic.I(0),
+			[]minic.Stmt{minic.Set("y", minic.I(1))},
+			[]minic.Stmt{minic.Set("y", minic.I(2))}),
+		minic.Loop(minic.I(0), minic.Set("z", minic.I(9))),
+		minic.Ret(minic.V("x")),
+	}
+	out := elideDeadBranches(body)
+	if len(out) != 3 { // two Sets + Ret; while(0) dropped
+		t.Fatalf("got %d statements, want 3", len(out))
+	}
+	if s, ok := out[0].(*minic.Assign); !ok || s.Name != "x" {
+		t.Errorf("then-branch not inlined: %T", out[0])
+	}
+	if s, ok := out[1].(*minic.Assign); !ok || s.Name != "y" {
+		t.Errorf("else-branch not inlined: %T", out[1])
+	}
+}
+
+func TestUnroll(t *testing.T) {
+	// i = 0; while (i < 3) { s = s + i; i = i + 1 }
+	body := append([]minic.Stmt{},
+		minic.For("i", minic.I(0), minic.I(3),
+			minic.Set("s", minic.Add(minic.V("s"), minic.V("i"))))...)
+	out := unrollBody(body)
+	// Expect: (Set i; Set s) ×3 + final Set i — no While left.
+	for _, s := range out {
+		if _, ok := s.(*minic.While); ok {
+			t.Fatal("loop was not unrolled")
+		}
+	}
+	mod := &minic.Module{Name: "t", Funcs: []*minic.Func{
+		{Name: "f", Body: append(out, minic.Ret(minic.V("s")))},
+	}}
+	res, err := minic.Run(mod, "f", &minic.Env{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 3 { // 0+1+2
+		t.Errorf("unrolled sum = %d, want 3", res.Ret)
+	}
+}
+
+func TestUnrollRefusals(t *testing.T) {
+	mk := func(body ...minic.Stmt) []minic.Stmt { return body }
+	tests := []struct {
+		name string
+		body []minic.Stmt
+	}{
+		{"trip-count-too-large", minic.For("i", minic.I(0), minic.I(100),
+			minic.Set("s", minic.V("i")))},
+		{"non-constant-bound", minic.For("i", minic.I(0), minic.V("n"),
+			minic.Set("s", minic.V("i")))},
+		{"body-writes-induction", minic.For("i", minic.I(0), minic.I(2),
+			minic.Set("i", minic.I(0)))},
+		{"body-breaks", minic.For("i", minic.I(0), minic.I(2), &minic.Break{})},
+		{"body-returns", minic.For("i", minic.I(0), minic.I(2), minic.Ret(minic.I(1)))},
+		{"not-canonical", mk(minic.Set("i", minic.I(0)),
+			minic.Loop(minic.Gt(minic.V("i"), minic.I(0)), minic.Set("i", minic.I(9))))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out := unrollBody(minic.CloneStmts(tt.body))
+			hasWhile := false
+			for _, s := range out {
+				if _, ok := s.(*minic.While); ok {
+					hasWhile = true
+				}
+			}
+			if !hasWhile {
+				t.Error("loop was unrolled but must not be")
+			}
+		})
+	}
+}
+
+func TestInlineLeafFunctions(t *testing.T) {
+	mod := &minic.Module{Name: "t", Funcs: []*minic.Func{
+		minic.NewFunc("twice", []string{"a"}, minic.Ret(minic.Mul(minic.V("a"), minic.I(2)))),
+		minic.NewFunc("f", []string{"x"},
+			minic.Ret(minic.Add(minic.Call("twice", minic.V("x")), minic.I(1)))),
+	}}
+	body := inlineBody(minic.CloneStmts(mod.Funcs[1].Body), mod, 2)
+	// The call must be gone.
+	if callees := (&minic.Func{Body: body}).Callees(); len(callees) != 0 {
+		t.Errorf("call not inlined: callees %v", callees)
+	}
+	// Semantics preserved.
+	inlined := &minic.Module{Name: "t", Funcs: []*minic.Func{
+		{Name: "f", Params: []string{"x"}, Body: body},
+	}}
+	res, err := minic.Run(inlined, "f", &minic.Env{Args: []int64{21}}, 0)
+	if err != nil || res.Ret != 43 {
+		t.Errorf("inlined f(21) = %d, %v; want 43", res.Ret, err)
+	}
+}
+
+func TestInlineRefusesComplexArgs(t *testing.T) {
+	mod := &minic.Module{Name: "t", Funcs: []*minic.Func{
+		// Parameter used twice: inlining a call-argument would duplicate
+		// its side effects, so only simple args are allowed.
+		minic.NewFunc("sq", []string{"a"}, minic.Ret(minic.Mul(minic.V("a"), minic.V("a")))),
+		minic.NewFunc("f", nil, minic.Ret(minic.Call("sq", minic.Call("read_time")))),
+	}}
+	body := inlineBody(minic.CloneStmts(mod.Funcs[1].Body), mod, 2)
+	callees := (&minic.Func{Body: body}).Callees()
+	if len(callees) == 0 || callees[0] != "sq" {
+		t.Errorf("call with effectful argument must not inline; callees %v", callees)
+	}
+}
+
+func TestReassociatePreservesValue(t *testing.T) {
+	// ((a+3)+5) => a+(3+5); after folding both orders agree.
+	e := minic.Add(minic.Add(minic.V("a"), minic.I(3)), minic.I(5))
+	r := reassociate(minic.CloneExpr(e))
+	want, _ := evalConst(t, minic.CloneExpr(e), []int64{100}, []string{"a"})
+	got, _ := evalConst(t, r, []int64{100}, []string{"a"})
+	if want != got {
+		t.Errorf("reassociation changed value: %d vs %d", got, want)
+	}
+	// Impure subtrees must not reassociate.
+	imp := minic.Add(minic.Add(minic.Call("read_time"), minic.I(1)), minic.I(2))
+	if out := reassociate(minic.CloneExpr(imp)); out.String() != imp.String() {
+		t.Error("impure expression was reassociated")
+	}
+}

@@ -1,0 +1,425 @@
+// Package corpus generates the three datasets of the paper's evaluation
+// (§V-A):
+//
+//   - Dataset I — the training corpus: generated libraries compiled from
+//     source for 4 architectures × 6 optimization levels (the paper's 100
+//     Android libraries / 2,108 binaries; some (library, level) combinations
+//     are skipped, mirroring the paper's footnote that "some compiler
+//     optimization levels didn't work for certain instances").
+//   - Dataset II — the vulnerability database: the 25 CVE reference pairs
+//     compiled per architecture plus fuzzer-derived execution environments.
+//   - Dataset III — device firmware images: per-device library sets with
+//     per-CVE patch states, stripped for scanning, with ground truth kept
+//     aside for evaluation only.
+//
+// Everything is deterministic from seeds, so every table in EXPERIMENTS.md
+// is reproducible bit-for-bit.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/binimg"
+	"repro/internal/compiler"
+	"repro/internal/detector"
+	"repro/internal/disasm"
+	"repro/internal/features"
+	"repro/internal/fuzz"
+	"repro/internal/isa"
+	"repro/internal/minic"
+	"repro/internal/vulndb"
+)
+
+// Scale sizes corpus generation. The paper's full corpus needs GPU-scale
+// training; these presets keep each experiment tractable on one CPU core
+// while preserving the evaluation's shape.
+type Scale struct {
+	Name        string
+	NumLibs     int // Dataset I libraries
+	FuncsPerLib int
+	// SkipFrac is the fraction of (lib, arch, level) compilations dropped,
+	// like the paper's failed optimization-level builds.
+	SkipFrac float64
+
+	// Detector training knobs.
+	MaxPosPerFunc int
+	Epochs        int
+
+	// Dataset III sizing.
+	FirmwareExtraLibs int // generated-only libraries besides the CVE hosts
+	FirmwareFuncs     int // functions per firmware library
+	// SiblingsPerCVE is how many lookalike functions are planted next to
+	// each hosted CVE function (half of them crashy). Real libraries are
+	// full of such lookalikes; they are what the static stage over-reports
+	// and the dynamic stage prunes.
+	SiblingsPerCVE int
+
+	// Dynamic stage knobs.
+	NumEnvs   int
+	FuzzIters int
+}
+
+// Preset scales.
+var (
+	ScaleTiny = Scale{
+		Name: "tiny", NumLibs: 3, FuncsPerLib: 8, SkipFrac: 0.05,
+		MaxPosPerFunc: 8, Epochs: 4,
+		FirmwareExtraLibs: 1, FirmwareFuncs: 10, SiblingsPerCVE: 2,
+		NumEnvs: 3, FuzzIters: 120,
+	}
+	ScaleSmall = Scale{
+		Name: "small", NumLibs: 8, FuncsPerLib: 15, SkipFrac: 0.08,
+		MaxPosPerFunc: 10, Epochs: 6,
+		FirmwareExtraLibs: 3, FirmwareFuncs: 25, SiblingsPerCVE: 4,
+		NumEnvs: 4, FuzzIters: 250,
+	}
+	ScaleMedium = Scale{
+		Name: "medium", NumLibs: 25, FuncsPerLib: 25, SkipFrac: 0.1,
+		MaxPosPerFunc: 12, Epochs: 8,
+		FirmwareExtraLibs: 8, FirmwareFuncs: 60, SiblingsPerCVE: 6,
+		NumEnvs: 4, FuzzIters: 400,
+	}
+	ScaleLarge = Scale{
+		Name: "large", NumLibs: 100, FuncsPerLib: 40, SkipFrac: 0.12,
+		MaxPosPerFunc: 16, Epochs: 10,
+		FirmwareExtraLibs: 16, FirmwareFuncs: 120, SiblingsPerCVE: 10,
+		NumEnvs: 4, FuzzIters: 600,
+	}
+)
+
+// ScaleByName resolves a preset.
+func ScaleByName(name string) (Scale, error) {
+	for _, s := range []Scale{ScaleTiny, ScaleSmall, ScaleMedium, ScaleLarge} {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scale{}, fmt.Errorf("corpus: unknown scale %q", name)
+}
+
+// refLevel is the optimization level used for vulnerability-database
+// reference builds.
+const refLevel = compiler.O1
+
+// siblingSuffixes name the lookalike variants planted next to CVE
+// functions, like neighbouring overloads in a real library.
+var siblingSuffixes = []string{"Fast", "Compat", "Legacy", "V2", "Impl", "Ex", "Raw", "Slow", "Alt", "Pre"}
+
+// TrainingGroups builds Dataset I: per-function static feature vectors
+// grouped by source function across all (arch, level) compilations.
+func TrainingGroups(s Scale, seed int64) (detector.Groups, error) {
+	groups := make(detector.Groups)
+	rng := rand.New(rand.NewSource(seed))
+	for li := 0; li < s.NumLibs; li++ {
+		mod := minic.GenLibrary(minic.GenConfig{
+			Seed:     seed + int64(li)*7919,
+			Name:     fmt.Sprintf("libtrain%03d", li),
+			NumFuncs: s.FuncsPerLib,
+		})
+		for _, arch := range isa.All() {
+			for _, lvl := range compiler.Levels() {
+				if rng.Float64() < s.SkipFrac {
+					continue // "didn't work for certain instances"
+				}
+				im, err := compiler.Compile(mod, arch, lvl)
+				if err != nil {
+					return nil, fmt.Errorf("corpus: compile %s %s/%s: %w", mod.Name, arch.Name, lvl, err)
+				}
+				dis, err := disasm.Disassemble(im)
+				if err != nil {
+					return nil, fmt.Errorf("corpus: disasm %s %s/%s: %w", mod.Name, arch.Name, lvl, err)
+				}
+				for _, f := range dis.Funcs {
+					groups.Add(mod.Name, f.Name, features.Extract(dis, f))
+				}
+			}
+		}
+	}
+	return groups, nil
+}
+
+// BuildDB builds Dataset II: the 25-entry vulnerability database with
+// per-architecture reference binaries and fuzzer-derived environments.
+func BuildDB(s Scale, seed int64) (*vulndb.DB, error) {
+	db := &vulndb.DB{}
+	for ci, pair := range minic.CVEs() {
+		entry := &vulndb.Entry{
+			ID:            pair.ID,
+			Library:       pair.Library,
+			FuncName:      pair.FuncName,
+			Class:         pair.Class,
+			Minute:        pair.Minute,
+			VulnImages:    make(map[string][]byte),
+			PatchedImages: make(map[string][]byte),
+		}
+		for _, arch := range isa.All() {
+			vim, err := compiler.Compile(
+				&minic.Module{Name: pair.Library + ".vuln", Funcs: []*minic.Func{pair.Vulnerable}},
+				arch, refLevel)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: %s vuln ref: %w", pair.ID, err)
+			}
+			pim, err := compiler.Compile(
+				&minic.Module{Name: pair.Library + ".patched", Funcs: []*minic.Func{pair.Patched}},
+				arch, refLevel)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: %s patched ref: %w", pair.ID, err)
+			}
+			entry.VulnImages[arch.Name] = binimg.Encode(vim)
+			entry.PatchedImages[arch.Name] = binimg.Encode(pim)
+		}
+		// Derive environments on a reference architecture, requiring every
+		// environment to run cleanly on BOTH versions (the paper "tested
+		// that these inputs worked with both the vulnerable and patched
+		// functions"). Thanks to the toolchain's semantics preservation,
+		// clean execution carries over to the other architectures.
+		vref, err := entry.VulnRef(isa.AMD64.Name)
+		if err != nil {
+			return nil, err
+		}
+		pref, err := entry.PatchedRef(isa.AMD64.Name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := fuzz.DefaultConfig(seed + int64(ci)*131)
+		cfg.NumEnvs = s.NumEnvs
+		cfg.MaxIters = s.FuzzIters
+		envs := fuzz.Environments([]fuzz.Ref{
+			{Dis: vref.Dis, Fn: vref.Fn},
+			{Dis: pref.Dis, Fn: pref.Fn},
+		}, cfg)
+		if len(envs) == 0 {
+			return nil, fmt.Errorf("corpus: %s: no clean environments found", pair.ID)
+		}
+		for _, env := range envs {
+			entry.Envs = append(entry.Envs, vulndb.FromEnv(env))
+		}
+		db.Entries = append(db.Entries, entry)
+	}
+	return db, nil
+}
+
+// Device describes one target platform of Dataset III.
+type Device struct {
+	Name string
+	Arch *isa.Arch
+	Seed int64
+	// PatchState maps CVE id to whether this device's firmware carries the
+	// patched version. CVEs absent from the map are present and vulnerable.
+	PatchState map[string]bool
+	// Obfuscate builds the firmware with the compiler's obfuscation passes
+	// (dead-code islands, live junk, stack churn) — the hostile-vendor
+	// scenario used by the obfuscation-robustness ablation.
+	Obfuscate bool
+}
+
+// Obfuscated derives a device variant whose firmware is built obfuscated.
+func (d Device) Obfuscated() Device {
+	d.Name += "-obf"
+	d.Obfuscate = true
+	return d
+}
+
+// The two evaluation devices, mirroring the paper's Android Things 1.0 and
+// Google Pixel 2 XL targets. ThingOS carries the patch states of the
+// paper's Table VIII ground-truth column (10 CVEs patched, including the
+// one-integer CVE-2018-9470 left unpatched); Pebble2XL models the Pixel's
+// older 2017 patch level with a smaller patched set.
+var (
+	ThingOS = Device{
+		Name: "thingos-1.0",
+		Arch: isa.XARM32,
+		Seed: 90001,
+		PatchState: map[string]bool{
+			"CVE-2017-13232": true,
+			"CVE-2017-13210": true,
+			"CVE-2017-13209": true,
+			"CVE-2017-13252": true,
+			"CVE-2017-13253": true,
+			"CVE-2017-13278": true,
+			"CVE-2017-13208": true,
+			"CVE-2017-13279": true,
+			"CVE-2017-13180": true,
+			"CVE-2017-13182": true,
+		},
+	}
+	Pebble2XL = Device{
+		Name: "pebble-2xl",
+		Arch: isa.XARM64,
+		Seed: 90002,
+		PatchState: map[string]bool{
+			"CVE-2017-13232": true,
+			"CVE-2017-13208": true,
+			"CVE-2017-13178": true,
+		},
+	}
+	// FruitOS is the iOS stand-in: the paper's Dataset III also collects
+	// "different versions of ... IOS" firmware (§II-A counts 198 libraries
+	// with 93,714 functions in IOS 12.0.1), though the evaluation tables
+	// run on the two devices above. FruitOS exists for cross-ecosystem
+	// scans and the corpus census; its patch level is current (most CVEs
+	// patched).
+	FruitOS = Device{
+		Name: "fruitos-12",
+		Arch: isa.AMD64,
+		Seed: 90003,
+		PatchState: map[string]bool{
+			"CVE-2017-13232": true, "CVE-2017-13210": true, "CVE-2017-13209": true,
+			"CVE-2017-13252": true, "CVE-2017-13253": true, "CVE-2017-13278": true,
+			"CVE-2017-13208": true, "CVE-2017-13279": true, "CVE-2017-13180": true,
+			"CVE-2017-13182": true, "CVE-2017-13178": true, "CVE-2018-9340": true,
+			"CVE-2018-9345": true, "CVE-2018-9410": true, "CVE-2018-9411": true,
+			"CVE-2018-9412": true, "CVE-2018-9420": true, "CVE-2018-9424": true,
+			"CVE-2018-9427": true, "CVE-2018-9440": true,
+		},
+	}
+)
+
+// CVETruth is the ground truth for one CVE in one firmware image.
+type CVETruth struct {
+	ID       string
+	Library  string
+	FuncName string
+	Patched  bool
+	Addr     uint64 // address of the CVE function in the host library
+}
+
+// LibraryTruth retains the pre-strip symbol table of one firmware library.
+type LibraryTruth struct {
+	Library string
+	Symbols []binimg.Symbol
+}
+
+// Firmware is one device image set (Dataset III), stripped for scanning.
+type Firmware struct {
+	Device string
+	Arch   string
+	Images []*binimg.Image // stripped
+
+	// Ground truth, used by the evaluation only — never by the pipeline.
+	Truth map[string]LibraryTruth // by library name
+	CVEs  []CVETruth
+}
+
+// Image returns the firmware library image with the given name.
+func (fw *Firmware) Image(lib string) (*binimg.Image, bool) {
+	for _, im := range fw.Images {
+		if im.LibName == lib {
+			return im, true
+		}
+	}
+	return nil, false
+}
+
+// CVETruthFor returns the ground truth record for a CVE id.
+func (fw *Firmware) CVETruthFor(id string) (CVETruth, bool) {
+	for _, ct := range fw.CVEs {
+		if ct.ID == id {
+			return ct, true
+		}
+	}
+	return CVETruth{}, false
+}
+
+// BuildFirmware generates Dataset III for one device: every CVE host
+// library (carrying the vulnerable or patched function per the device's
+// patch state) plus extra unrelated libraries, each compiled at a
+// device-deterministic optimization level and stripped.
+func BuildFirmware(dev Device, s Scale) (*Firmware, error) {
+	fw := &Firmware{
+		Device: dev.Name,
+		Arch:   dev.Arch.Name,
+		Truth:  make(map[string]LibraryTruth),
+	}
+	rng := rand.New(rand.NewSource(dev.Seed))
+	levels := compiler.Levels()
+
+	// Group CVEs by host library.
+	byLib := make(map[string][]*minic.CVEPair)
+	var libOrder []string
+	for _, pair := range minic.CVEs() {
+		if _, ok := byLib[pair.Library]; !ok {
+			libOrder = append(libOrder, pair.Library)
+		}
+		byLib[pair.Library] = append(byLib[pair.Library], pair)
+	}
+
+	buildLib := func(mod *minic.Module) (*binimg.Image, error) {
+		lvl := levels[rng.Intn(len(levels))]
+		var (
+			im  *binimg.Image
+			err error
+		)
+		if dev.Obfuscate {
+			im, err = compiler.CompileObfuscated(mod, dev.Arch, lvl,
+				compiler.DefaultObfConfig(dev.Seed+int64(len(fw.Images))))
+		} else {
+			im, err = compiler.Compile(mod, dev.Arch, lvl)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("corpus: firmware %s %s: %w", dev.Name, mod.Name, err)
+		}
+		fw.Truth[mod.Name] = LibraryTruth{Library: mod.Name, Symbols: im.Symbols}
+		stripped := im.Strip()
+		fw.Images = append(fw.Images, stripped)
+		return im, nil
+	}
+
+	for li, lib := range libOrder {
+		mod := minic.GenLibrary(minic.GenConfig{
+			Seed:     dev.Seed + int64(li)*104729,
+			Name:     lib,
+			NumFuncs: s.FirmwareFuncs,
+		})
+		// Insert each hosted CVE function at a deterministic position, and
+		// plant lookalike siblings around it (half with latent faults).
+		for ci, pair := range byLib[lib] {
+			fn := pair.Vulnerable
+			if dev.PatchState[pair.ID] {
+				fn = pair.Patched
+			}
+			insert := []*minic.Func{fn}
+			for si := 0; si < s.SiblingsPerCVE; si++ {
+				insert = append(insert, minic.SiblingFunc(
+					pair.Vulnerable,
+					fmt.Sprintf("%s%s", pair.FuncName, siblingSuffixes[si%len(siblingSuffixes)]),
+					dev.Seed+int64(ci)*977+int64(si),
+					si%2 == 0, /* crashy */
+				))
+			}
+			for _, f := range insert {
+				pos := rng.Intn(len(mod.Funcs) + 1)
+				mod.Funcs = append(mod.Funcs[:pos], append([]*minic.Func{f}, mod.Funcs[pos:]...)...)
+			}
+		}
+		im, err := buildLib(mod)
+		if err != nil {
+			return nil, err
+		}
+		for _, pair := range byLib[lib] {
+			sym, ok := im.Lookup(pair.FuncName)
+			if !ok {
+				return nil, fmt.Errorf("corpus: %s lost %s", lib, pair.FuncName)
+			}
+			fw.CVEs = append(fw.CVEs, CVETruth{
+				ID:       pair.ID,
+				Library:  lib,
+				FuncName: pair.FuncName,
+				Patched:  dev.PatchState[pair.ID],
+				Addr:     sym.Addr,
+			})
+		}
+	}
+	for xi := 0; xi < s.FirmwareExtraLibs; xi++ {
+		mod := minic.GenLibrary(minic.GenConfig{
+			Seed:     dev.Seed + int64(1000+xi)*104729,
+			Name:     fmt.Sprintf("libvendor%02d", xi),
+			NumFuncs: s.FirmwareFuncs,
+		})
+		if _, err := buildLib(mod); err != nil {
+			return nil, err
+		}
+	}
+	return fw, nil
+}

@@ -1,0 +1,204 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/disasm"
+	"repro/internal/emu"
+	"repro/internal/minic"
+	"repro/internal/vulndb"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium", "large"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ScaleByName(%s) = %+v, %v", name, s, err)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Error("want error for unknown scale")
+	}
+}
+
+func TestTrainingGroupsShape(t *testing.T) {
+	groups, err := TrainingGroups(ScaleTiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != ScaleTiny.NumLibs*ScaleTiny.FuncsPerLib {
+		t.Errorf("%d function groups, want %d", len(groups), ScaleTiny.NumLibs*ScaleTiny.FuncsPerLib)
+	}
+	// Each function appears under multiple compilations (24 minus skips).
+	for k, vs := range groups {
+		if len(vs) < 12 {
+			t.Errorf("%v has only %d compilations", k, len(vs))
+		}
+		if len(vs) > 24 {
+			t.Errorf("%v has %d compilations, max is 24", k, len(vs))
+		}
+	}
+}
+
+func TestTrainingGroupsDeterministic(t *testing.T) {
+	a, err := TrainingGroups(ScaleTiny, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainingGroups(ScaleTiny, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic group count")
+	}
+	for k := range a {
+		if len(a[k]) != len(b[k]) {
+			t.Fatalf("%v: nondeterministic compilation count", k)
+		}
+		for i := range a[k] {
+			if a[k][i] != b[k][i] {
+				t.Fatalf("%v: nondeterministic features", k)
+			}
+		}
+	}
+}
+
+func TestBuildDB(t *testing.T) {
+	db, err := BuildDB(ScaleTiny, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Entries) != 25 {
+		t.Fatalf("%d entries, want 25", len(db.Entries))
+	}
+	minute := 0
+	for _, e := range db.Entries {
+		if len(e.Envs) == 0 {
+			t.Errorf("%s: no environments", e.ID)
+		}
+		if len(e.VulnImages) != 4 || len(e.PatchedImages) != 4 {
+			t.Errorf("%s: missing per-arch references", e.ID)
+		}
+		if e.Minute {
+			minute++
+		}
+		// Environments must run cleanly on both references on the device
+		// architectures too (semantics preservation makes this hold).
+		for _, archName := range []string{"xarm32", "xarm64"} {
+			vref, err := e.VulnRef(archName)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			pref, err := e.PatchedRef(archName)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			for i, env := range e.Environments() {
+				if _, err := emu.Execute(vref.Dis, vref.Fn, env.Clone(), 1<<20); err != nil {
+					t.Errorf("%s %s env %d: vulnerable ref traps: %v", e.ID, archName, i, err)
+				}
+				if _, err := emu.Execute(pref.Dis, pref.Fn, env.Clone(), 1<<20); err != nil {
+					t.Errorf("%s %s env %d: patched ref traps: %v", e.ID, archName, i, err)
+				}
+			}
+		}
+	}
+	if minute != 1 {
+		t.Errorf("%d minute entries, want 1", minute)
+	}
+	// Serialization survives.
+	raw, err := db.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vulndb.Load(raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildFirmware(t *testing.T) {
+	for _, dev := range []Device{ThingOS, Pebble2XL} {
+		fw, err := BuildFirmware(dev, ScaleTiny)
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name, err)
+		}
+		if fw.Arch != dev.Arch.Name {
+			t.Errorf("%s: arch %s", dev.Name, fw.Arch)
+		}
+		if len(fw.CVEs) != 25 {
+			t.Errorf("%s: %d CVE truths, want 25", dev.Name, len(fw.CVEs))
+		}
+		for _, im := range fw.Images {
+			if !im.Stripped || im.Symbols != nil {
+				t.Errorf("%s: image %s not stripped", dev.Name, im.LibName)
+			}
+			if _, ok := fw.Truth[im.LibName]; !ok {
+				t.Errorf("%s: no ground truth for %s", dev.Name, im.LibName)
+			}
+		}
+		// Patch states follow the device table.
+		for _, ct := range fw.CVEs {
+			if ct.Patched != dev.PatchState[ct.ID] {
+				t.Errorf("%s %s: patch state %v, want %v", dev.Name, ct.ID, ct.Patched, dev.PatchState[ct.ID])
+			}
+		}
+		// The CVE function is really present at the recorded address and
+		// the stripped image disassembles around it.
+		ct, ok := fw.CVETruthFor("CVE-2018-9412")
+		if !ok {
+			t.Fatalf("%s: no truth for the case-study CVE", dev.Name)
+		}
+		im, ok := fw.Image(ct.Library)
+		if !ok {
+			t.Fatalf("%s: host library missing", dev.Name)
+		}
+		dis, err := disasm.Disassemble(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := dis.FuncAt(ct.Addr); !ok {
+			t.Errorf("%s: boundary recovery lost the CVE function at %#x", dev.Name, ct.Addr)
+		}
+	}
+}
+
+func TestDevicesDiffer(t *testing.T) {
+	// The two devices must have different patch levels (that difference
+	// drives Fig. 7's per-device FP variation) and the paper's known-miss
+	// CVE must be unpatched on ThingOS.
+	if ThingOS.PatchState["CVE-2018-9470"] {
+		t.Error("CVE-2018-9470 must be unpatched on ThingOS (Table VIII)")
+	}
+	same := true
+	for id, p := range ThingOS.PatchState {
+		if Pebble2XL.PatchState[id] != p {
+			same = false
+		}
+	}
+	if same {
+		t.Error("devices share identical patch states")
+	}
+}
+
+func TestFirmwareGeneratedFunctionsExecutable(t *testing.T) {
+	fw, err := BuildFirmware(ThingOS, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := fw.Images[0]
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &minic.Env{Args: []int64{minic.DataBase, 32, 3, 2}, Data: make([]byte, 64)}
+	ran := 0
+	for _, f := range dis.Funcs {
+		if _, err := emu.Execute(dis, f, env.Clone(), 1<<18); err == nil {
+			ran++
+		}
+	}
+	if ran == 0 {
+		t.Error("no firmware function executes cleanly")
+	}
+}

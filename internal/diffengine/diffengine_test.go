@@ -1,0 +1,163 @@
+package diffengine
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/dynamic"
+	"repro/internal/features"
+	"repro/internal/fuzz"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+type refData struct {
+	dis *disasm.Disassembly
+	fn  *disasm.Function
+	vec features.Vector
+	sig Signature
+}
+
+func buildRef(t *testing.T, f *minic.Func, lvl compiler.Level) refData {
+	t.Helper()
+	mod := &minic.Module{Name: "m", Funcs: []*minic.Func{f}}
+	im, err := compiler.Compile(mod, isa.XARM32, lvl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := dis.Lookup(f.Name)
+	return refData{dis: dis, fn: fn, vec: features.Extract(dis, fn), sig: SigOf(fn)}
+}
+
+// decideFor runs the full differential pipeline: fuzz envs against both
+// references, profile all three functions, decide.
+func decideFor(t *testing.T, pair *minic.CVEPair, targetPatched bool, targetLvl compiler.Level) Verdict {
+	t.Helper()
+	vuln := buildRef(t, pair.Vulnerable, compiler.O1)
+	patched := buildRef(t, pair.Patched, compiler.O1)
+	tf := pair.Vulnerable
+	if targetPatched {
+		tf = pair.Patched
+	}
+	target := buildRef(t, tf, targetLvl)
+
+	cfg := fuzz.DefaultConfig(42)
+	envs := fuzz.Environments([]fuzz.Ref{
+		{Dis: vuln.dis, Fn: vuln.fn},
+		{Dis: patched.dis, Fn: patched.fn},
+	}, cfg)
+	if len(envs) == 0 {
+		t.Fatal("no environments")
+	}
+	vp, err := dynamic.ProfileFunc(vuln.dis, vuln.fn, envs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := dynamic.ProfileFunc(patched.dis, patched.fn, envs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := dynamic.ProfileFunc(target.dis, target.fn, envs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Decide(Inputs{
+		VulnStatic: vuln.vec, PatchedStatic: patched.vec, TargetStatic: target.vec,
+		VulnProfiles: vp, PatchedProfiles: pp, TargetProfiles: tp,
+		VulnSig: vuln.sig, PatchedSig: patched.sig, TargetSig: target.sig,
+	})
+}
+
+func TestDecideStructuralPatches(t *testing.T) {
+	// For structural (non-minute) patches the engine must classify the
+	// target correctly even when compiled at a different level than the
+	// references.
+	ids := []string{
+		"CVE-2018-9412", "CVE-2018-9451", "CVE-2017-13232", "CVE-2018-9411",
+		"CVE-2017-13278", "CVE-2018-9424", "CVE-2018-9427",
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			pair := minic.CVEByID(id)
+			for _, lvl := range []compiler.Level{compiler.O0, compiler.O2} {
+				if v := decideFor(t, pair, false, lvl); v.Patched {
+					t.Errorf("lvl %s: vulnerable target judged patched (conf %.2f, ev %+v)",
+						lvl, v.Confidence, v.Evidence)
+				}
+				if v := decideFor(t, pair, true, lvl); !v.Patched {
+					t.Errorf("lvl %s: patched target judged vulnerable (conf %.2f, ev %+v)",
+						lvl, v.Confidence, v.Evidence)
+				}
+			}
+		})
+	}
+}
+
+func TestMinutePatchIsBlindSpot(t *testing.T) {
+	// CVE-2018-9470's one-integer patch must be a (near-)tie: the engine
+	// reports "patched" for BOTH versions — reproducing the paper's single
+	// Table VIII misclassification when the device is actually vulnerable.
+	pair := minic.CVEByID("CVE-2018-9470")
+	vv := decideFor(t, pair, false, compiler.O1)
+	pv := decideFor(t, pair, true, compiler.O1)
+	if !vv.Patched || !pv.Patched {
+		t.Errorf("minute patch should fall back to 'patched' on both versions (got vuln=%v patched=%v)",
+			vv.Patched, pv.Patched)
+	}
+	if vv.Confidence > 0.55 {
+		t.Errorf("minute-patch verdict should be low confidence, got %.2f", vv.Confidence)
+	}
+}
+
+func TestSignatureCapturesLibraryCalls(t *testing.T) {
+	// The paper's case study: the patched removeUnsynchronization drops
+	// memmove. The signatures must disagree on the import set.
+	pair := minic.CVEByID("CVE-2018-9412")
+	vuln := buildRef(t, pair.Vulnerable, compiler.O1)
+	patched := buildRef(t, pair.Patched, compiler.O1)
+	if setDiff(vuln.sig.Imports, patched.sig.Imports) == 0 {
+		t.Error("import sets identical; memmove removal not captured")
+	}
+	if Distance(vuln.sig, patched.sig) == 0 {
+		t.Error("signatures identical for a structural patch")
+	}
+	if Distance(vuln.sig, vuln.sig) != 0 {
+		t.Error("self-distance nonzero")
+	}
+}
+
+func TestSetDiff(t *testing.T) {
+	tests := []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int{1, 2}, []int{1, 2}, 0},
+		{[]int{1}, []int{2}, 2},
+		{[]int{1, 2, 3}, []int{2}, 2},
+		{nil, []int{5, 6}, 2},
+	}
+	for _, tt := range tests {
+		if got := setDiff(tt.a, tt.b); got != tt.want {
+			t.Errorf("setDiff(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestVote(t *testing.T) {
+	if vote(1, 1) != 0 {
+		t.Error("tie should vote 0")
+	}
+	if v := vote(10, 2); v <= 0 {
+		t.Errorf("closer-to-patched should vote positive, got %v", v)
+	}
+	if v := vote(2, 10); v >= 0 {
+		t.Errorf("closer-to-vuln should vote negative, got %v", v)
+	}
+}

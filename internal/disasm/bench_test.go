@@ -1,0 +1,32 @@
+package disasm
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// BenchmarkDisassembleStripped measures boundary recovery + CFG
+// construction on a stripped image (the scanner's per-image setup cost).
+func BenchmarkDisassembleStripped(b *testing.B) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 13, Name: "libbench", NumFuncs: 40})
+	for _, arch := range isa.All() {
+		arch := arch
+		b.Run(arch.Name, func(b *testing.B) {
+			im, err := compiler.Compile(mod, arch, compiler.O2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stripped := im.Strip()
+			b.SetBytes(int64(len(stripped.Text)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Disassemble(stripped); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package disasm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// Dump writes an objdump-style listing of the function: one instruction
+// per line with its address, block boundaries marked, branch targets
+// resolved to local labels, and import calls resolved to library names.
+func (d *Disassembly) Dump(w io.Writer, fn *Function) {
+	name := fn.Name
+	if name == "" {
+		name = fmt.Sprintf("sub_%x", fn.Addr)
+	}
+	fmt.Fprintf(w, "%08x <%s>: %d instructions, %d blocks, %d bytes\n",
+		fn.Addr, name, len(fn.Instrs), len(fn.Blocks), fn.Size)
+
+	blockStart := make(map[int]int, len(fn.Blocks)) // first instr idx -> block idx
+	for bi := range fn.Blocks {
+		blockStart[fn.Blocks[bi].First] = bi
+	}
+	for i, in := range fn.Instrs {
+		if bi, ok := blockStart[i]; ok {
+			b := &fn.Blocks[bi]
+			var succs []string
+			for _, s := range b.Succs {
+				succs = append(succs, fmt.Sprintf("bb%d", s))
+			}
+			kind := ""
+			switch b.Kind {
+			case BlockRet:
+				kind = " ret"
+			case BlockError:
+				kind = " !error"
+			}
+			fmt.Fprintf(w, "bb%d:%s -> [%s]\n", bi, kind, strings.Join(succs, " "))
+		}
+		fmt.Fprintf(w, "  %08x:  %s\n", fn.Addr+uint64(in.Offset), d.format(fn, in))
+	}
+}
+
+// format renders one instruction, resolving targets symbolically.
+func (d *Disassembly) format(fn *Function, in DInstr) string {
+	switch {
+	case in.Op.IsBranch():
+		if idx, ok := fn.IndexAtOffset(int(in.Imm)); ok {
+			for bi := range fn.Blocks {
+				if fn.Blocks[bi].First == idx {
+					s := in.Instr
+					base := s.String()
+					return fmt.Sprintf("%s  ; -> bb%d", base, bi)
+				}
+			}
+		}
+		return in.Instr.String()
+	case in.Op == isa.Call:
+		if callee, ok := d.FuncAt(uint64(in.Imm)); ok {
+			name := callee.Name
+			if name == "" {
+				name = fmt.Sprintf("sub_%x", callee.Addr)
+			}
+			return fmt.Sprintf("call <%s>", name)
+		}
+		return in.Instr.String()
+	case in.Op == isa.CallI:
+		if b, ok := minic.BuiltinByIndex(int(in.Imm)); ok {
+			return fmt.Sprintf("calli <%s@plt>", b.Name)
+		}
+		return in.Instr.String()
+	default:
+		return in.Instr.String()
+	}
+}
+
+// DumpAll writes the listing for every function in the image.
+func (d *Disassembly) DumpAll(w io.Writer) {
+	for i, fn := range d.Funcs {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		d.Dump(w, fn)
+	}
+}

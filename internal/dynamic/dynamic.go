@@ -1,0 +1,222 @@
+// Package dynamic implements PATCHECKO's second stage: candidate-function
+// validation and similarity ranking from dynamic features.
+//
+// Following §III-B/III-C of the paper: candidates surviving the static
+// stage are executed under the CVE function's execution environments;
+// candidates that trap are discarded ("if the candidate f triggers a system
+// exception, we will remove [it] from the candidate set"); the survivors
+// are profiled into 21-dimensional dynamic feature vectors (Table II), and
+// similarity to the reference is the Minkowski distance with p=3 averaged
+// over the K environments (equations (1) and (2)). Smaller is more similar.
+package dynamic
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/disasm"
+	"repro/internal/emu"
+	"repro/internal/minic"
+)
+
+// NumDynamic is the dynamic feature vector width (Table II).
+const NumDynamic = 21
+
+// Names lists the Table II feature names in vector order.
+var Names = [NumDynamic]string{
+	"binary_defined_fun_call_num",
+	"min_stack_depth", "max_stack_depth", "avg_stack_depth", "std_stack_depth",
+	"instruction_num", "unique_instruction_num",
+	"call_instruction_num", "arithmetic_instruction_num", "branch_instruction_num",
+	"load_instruction_num", "store_instruction_num",
+	"max_branch_frequency", "max_arith_frequency",
+	"mem_heap_access", "mem_stack_access", "mem_lib_access",
+	"mem_anon_access", "mem_others_access",
+	"library_call_num", "syscall_num",
+}
+
+// Profile is one execution's dynamic feature vector.
+type Profile [NumDynamic]float64
+
+// MinkowskiP is the paper's distance exponent ("In our case, we set p=3").
+const MinkowskiP = 3.0
+
+// Minkowski computes the Minkowski distance of order p between raw
+// profiles (equation (1) verbatim).
+func Minkowski(a, b Profile, p float64) float64 {
+	var sum float64
+	for i := range a {
+		sum += math.Pow(math.Abs(a[i]-b[i]), p)
+	}
+	return math.Pow(sum, 1/p)
+}
+
+// MinkowskiScaled applies the distance to log-scaled features. The paper
+// notes that "the instruction execution traces of these functions may
+// differ drastically for the same input" when compilation flags differ and
+// that the analysis must therefore compare semantic rather than raw
+// behaviour; log scaling makes count features compare by ratio, which is
+// what keeps the same source function recognizable across optimization
+// levels (an O0 build executes several times more instructions than O2).
+func MinkowskiScaled(a, b Profile, p float64) float64 {
+	var sum float64
+	for i := range a {
+		sum += math.Pow(math.Abs(slog(a[i])-slog(b[i])), p)
+	}
+	return math.Pow(sum, 1/p)
+}
+
+func slog(x float64) float64 {
+	if x < 0 {
+		return -math.Log1p(-x)
+	}
+	return math.Log1p(x)
+}
+
+// Similarity is equation (2): the (scaled) Minkowski distance averaged
+// over the K execution environments. Both profile sets must have equal
+// length K. Smaller is more similar; identical traces score exactly 0.
+func Similarity(f, g []Profile) float64 {
+	return similarity(f, g, MinkowskiScaled)
+}
+
+// SimilarityRaw averages the unscaled distance — the paper's literal
+// equation (2). The ablation benchmarks compare it against the scaled form.
+func SimilarityRaw(f, g []Profile) float64 {
+	return similarity(f, g, Minkowski)
+}
+
+func similarity(f, g []Profile, dist func(Profile, Profile, float64) float64) float64 {
+	k := len(f)
+	if len(g) < k {
+		k = len(g)
+	}
+	if k == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += dist(f[i], g[i], MinkowskiP)
+	}
+	return sum / float64(k)
+}
+
+// DefaultStepLimit bounds candidate executions.
+const DefaultStepLimit = 1 << 20
+
+// ProfileFunc executes fn under every environment, returning one profile
+// per environment. Any trap aborts with the error.
+func ProfileFunc(dis *disasm.Disassembly, fn *disasm.Function, envs []*minic.Env, limit int64) ([]Profile, error) {
+	if limit <= 0 {
+		limit = DefaultStepLimit
+	}
+	out := make([]Profile, 0, len(envs))
+	for _, env := range envs {
+		res, err := emu.Execute(dis, fn, env.Clone(), limit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Profile(res.Trace.Vector()))
+	}
+	return out, nil
+}
+
+// Validate executes every candidate under every environment and returns
+// the indexes (into cands) of those that complete all executions cleanly,
+// together with their profiles. This is the paper's
+// "candidate functions execution validation" step.
+func Validate(dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.Env, limit int64) ([]int, map[int][]Profile) {
+	var survivors []int
+	profiles := make(map[int][]Profile)
+	for i, fn := range cands {
+		ps, err := ProfileFunc(dis, fn, envs, limit)
+		if err != nil {
+			continue
+		}
+		survivors = append(survivors, i)
+		profiles[i] = ps
+	}
+	return survivors, profiles
+}
+
+// ValidateParallel is Validate with a bounded worker pool — the paper's
+// stated future work ("parallelizing the candidate function execution in
+// each environment to further reduce the dynamic analysis processing
+// time"). Results are identical to Validate: candidates are independent
+// and the emulator is deterministic, so only wall-clock changes.
+func ValidateParallel(dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.Env, limit int64, workers int) ([]int, map[int][]Profile) {
+	if workers <= 1 || len(cands) <= 1 {
+		return Validate(dis, cands, envs, limit)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	type result struct {
+		idx int
+		ps  []Profile
+		ok  bool
+	}
+	results := make([]result, len(cands))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ps, err := ProfileFunc(dis, cands[i], envs, limit)
+				results[i] = result{idx: i, ps: ps, ok: err == nil}
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var survivors []int
+	profiles := make(map[int][]Profile)
+	for _, r := range results {
+		if r.ok {
+			survivors = append(survivors, r.idx)
+			profiles[r.idx] = r.ps
+		}
+	}
+	return survivors, profiles
+}
+
+// Ranked is one candidate with its similarity distance to the reference.
+type Ranked struct {
+	Index int
+	Sim   float64
+}
+
+// Rank orders candidates by ascending similarity distance to the reference
+// profiles (most similar first), producing the (function, similarity
+// distance) ranking of the paper's Tables IV/V.
+func Rank(ref []Profile, cands map[int][]Profile) []Ranked {
+	out := make([]Ranked, 0, len(cands))
+	for idx, ps := range cands {
+		out = append(out, Ranked{Index: idx, Sim: Similarity(ref, ps)})
+	}
+	sortRanked(out)
+	return out
+}
+
+func sortRanked(rs []Ranked) {
+	// Insertion sort: candidate lists are short after validation, and a
+	// deterministic stable order (ties by index) matters for the tables.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && less(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func less(a, b Ranked) bool {
+	if a.Sim != b.Sim {
+		return a.Sim < b.Sim
+	}
+	return a.Index < b.Index
+}

@@ -1,0 +1,204 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+func TestMinkowskiProperties(t *testing.T) {
+	// Metric axioms on random profiles: identity, symmetry, non-negativity.
+	f := func(seedA, seedB [NumDynamic]int16) bool {
+		var a, b Profile
+		for i := range a {
+			a[i] = float64(seedA[i])
+			b[i] = float64(seedB[i])
+		}
+		dab := Minkowski(a, b, MinkowskiP)
+		dba := Minkowski(b, a, MinkowskiP)
+		daa := Minkowski(a, a, MinkowskiP)
+		return daa == 0 && dab >= 0 && math.Abs(dab-dba) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinkowskiSpecialCases(t *testing.T) {
+	var a, b Profile
+	a[0], b[0] = 0, 3
+	a[1], b[1] = 0, 4
+	// p=2 is Euclidean: sqrt(9+16)=5.
+	if d := Minkowski(a, b, 2); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Euclidean = %v, want 5", d)
+	}
+	// p=1 is Manhattan: 7.
+	if d := Minkowski(a, b, 1); math.Abs(d-7) > 1e-12 {
+		t.Errorf("Manhattan = %v, want 7", d)
+	}
+	// p=3: (27+64)^(1/3).
+	want := math.Pow(91, 1.0/3)
+	if d := Minkowski(a, b, 3); math.Abs(d-want) > 1e-12 {
+		t.Errorf("p=3 = %v, want %v", d, want)
+	}
+}
+
+func TestSimilarityAveragesOverEnvs(t *testing.T) {
+	var p0, p1 Profile
+	p1[5] = 10
+	f := []Profile{p0, p0}
+	g := []Profile{p1, p0} // raw distance 10 in env 0, 0 in env 1
+	if got := SimilarityRaw(f, g); math.Abs(got-5) > 1e-12 {
+		t.Errorf("SimilarityRaw = %v, want 5", got)
+	}
+	// The scaled form averages log-space distances the same way.
+	want := math.Log1p(10) / 2
+	if got := Similarity(f, g); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Similarity = %v, want %v", got, want)
+	}
+	if !math.IsInf(Similarity(nil, nil), 1) {
+		t.Error("empty profile sets should be infinitely dissimilar")
+	}
+	// Identical profile sets are perfectly similar under both metrics.
+	if Similarity(f, f) != 0 || SimilarityRaw(f, f) != 0 {
+		t.Error("self-similarity should be 0")
+	}
+}
+
+func TestNamesMatchTableII(t *testing.T) {
+	if len(Names) != 21 {
+		t.Fatalf("%d dynamic feature names, want 21", len(Names))
+	}
+	if Names[0] != "binary_defined_fun_call_num" || Names[20] != "syscall_num" {
+		t.Error("Table II ordering broken")
+	}
+}
+
+// buildFirmwareLib compiles a module and returns its disassembly.
+func buildFirmwareLib(t *testing.T, mod *minic.Module) *disasm.Disassembly {
+	t.Helper()
+	im, err := compiler.Compile(mod, isa.XARM64, compiler.O1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dis
+}
+
+func TestValidatePrunesCrashers(t *testing.T) {
+	mod := &minic.Module{Name: "t", Funcs: []*minic.Func{
+		minic.NewFunc("good", []string{"p", "n"},
+			minic.Ret(minic.Call("checksum", minic.V("p"), minic.Call("min", minic.V("n"), minic.I(32))))),
+		minic.NewFunc("crasher", []string{"p", "n"},
+			minic.Ret(minic.Ld(minic.I(0), minic.I(0)))), // null deref
+		minic.NewFunc("divzero", []string{"p", "n"},
+			minic.Ret(minic.Div(minic.V("n"), minic.Sub(minic.V("n"), minic.V("n"))))),
+	}}
+	dis := buildFirmwareLib(t, mod)
+	envs := []*minic.Env{
+		{Args: []int64{minic.DataBase, 16, 1, 1}, Data: make([]byte, 32)},
+		{Args: []int64{minic.DataBase, 8, 2, 2}, Data: []byte("abcdefgh")},
+	}
+	cands := dis.Funcs
+	survivors, profiles := Validate(dis, cands, envs, 0)
+	if len(survivors) != 1 {
+		t.Fatalf("%d survivors, want 1 (only 'good')", len(survivors))
+	}
+	if dis.Funcs[survivors[0]].Name != "good" {
+		t.Errorf("survivor is %s", dis.Funcs[survivors[0]].Name)
+	}
+	if len(profiles[survivors[0]]) != len(envs) {
+		t.Errorf("survivor has %d profiles, want %d", len(profiles[survivors[0]]), len(envs))
+	}
+}
+
+func TestRankFindsTrueMatch(t *testing.T) {
+	// The same source function at a different optimization level must rank
+	// closest to the reference among decoys.
+	src := minic.NewFunc("target", []string{"p", "n"},
+		minic.Set("s", minic.I(0)),
+		minic.Loop(minic.Gt(minic.V("n"), minic.I(0)),
+			minic.Set("s", minic.Add(minic.V("s"), minic.Ld(minic.V("p"), minic.V("n")))),
+			minic.Set("n", minic.Sub(minic.V("n"), minic.I(1)))),
+		minic.Ret(minic.V("s")))
+	decoy1 := minic.NewFunc("decoy1", []string{"p", "n"},
+		minic.Ret(minic.Call("checksum", minic.V("p"), minic.Call("min", minic.V("n"), minic.I(16)))))
+	decoy2 := minic.NewFunc("decoy2", []string{"p", "n"},
+		minic.Set("x", minic.Mul(minic.V("n"), minic.V("n"))),
+		minic.Ret(minic.Xor(minic.V("x"), minic.I(255))))
+
+	refMod := &minic.Module{Name: "ref", Funcs: []*minic.Func{src}}
+	refIm, err := compiler.Compile(refMod, isa.XARM64, compiler.O0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDis, err := disasm.Disassemble(refIm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFn, _ := refDis.Lookup("target")
+
+	tgtDis := buildFirmwareLib(t, &minic.Module{Name: "fw", Funcs: []*minic.Func{decoy1, src, decoy2}})
+
+	envs := []*minic.Env{
+		{Args: []int64{minic.DataBase, 24, 0, 0}, Data: []byte("abcdefghijklmnopqrstuvwxyz")},
+		{Args: []int64{minic.DataBase, 8, 0, 0}, Data: []byte("12345678")},
+	}
+	refProfiles, err := ProfileFunc(refDis, refFn, envs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors, profiles := Validate(tgtDis, tgtDis.Funcs, envs, 0)
+	if len(survivors) != 3 {
+		t.Fatalf("%d survivors, want 3", len(survivors))
+	}
+	ranked := Rank(refProfiles, profiles)
+	if tgtDis.Funcs[ranked[0].Index].Name != "target" {
+		t.Errorf("top ranked is %s (sim %v), want target",
+			tgtDis.Funcs[ranked[0].Index].Name, ranked[0].Sim)
+	}
+	// Distances are ascending.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Sim < ranked[i-1].Sim {
+			t.Error("ranking not sorted ascending")
+		}
+	}
+}
+
+func TestValidateParallelMatchesSequential(t *testing.T) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 71, Name: "libpar", NumFuncs: 24, FragileFrac: 0.4})
+	dis := buildFirmwareLib(t, mod)
+	envs := []*minic.Env{
+		{Args: []int64{minic.DataBase, 32, 5, 2}, Data: make([]byte, 64)},
+		{Args: []int64{minic.DataBase, 16, -3, 9}, Data: []byte("parallel-validation-data")},
+	}
+	seqIdx, seqProf := Validate(dis, dis.Funcs, envs, 0)
+	for _, workers := range []int{2, 4, 100} {
+		parIdx, parProf := ValidateParallel(dis, dis.Funcs, envs, 0, workers)
+		if len(parIdx) != len(seqIdx) {
+			t.Fatalf("workers=%d: %d survivors vs sequential %d", workers, len(parIdx), len(seqIdx))
+		}
+		for i := range seqIdx {
+			if parIdx[i] != seqIdx[i] {
+				t.Fatalf("workers=%d: survivor order differs at %d", workers, i)
+			}
+			for e := range seqProf[seqIdx[i]] {
+				if parProf[parIdx[i]][e] != seqProf[seqIdx[i]][e] {
+					t.Fatalf("workers=%d: profiles differ for candidate %d", workers, seqIdx[i])
+				}
+			}
+		}
+	}
+	// Degenerate worker counts fall back to sequential.
+	if idx, _ := ValidateParallel(dis, dis.Funcs, envs, 0, 0); len(idx) != len(seqIdx) {
+		t.Error("workers=0 should behave like Validate")
+	}
+}

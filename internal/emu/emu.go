@@ -1,0 +1,615 @@
+// Package emu executes disassembled functions in isolation under fixed
+// execution environments, collecting the dynamic features of the paper's
+// Table II. It is the stand-in for PATCHECKO's device-side instrumentation
+// stack (DLL injection + dlopen/dlsym to run a single exported function,
+// GDBServer to trace it): given a function and an environment, it runs just
+// that function — no whole-binary loading — and records instruction mix,
+// stack depth statistics, per-region memory access counts, and library/
+// system call counts. Abnormal executions surface as minic.TrapError, which
+// the dynamic analysis engine uses to discard candidates, exactly as the
+// paper removes candidates that "trigger a system exception".
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/disasm"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// Stack layout. The machine stack lives well away from the data, rodata and
+// heap regions shared with the source-level semantics.
+const (
+	StackTop  = 0x7ff0_0000
+	StackSize = 1 << 20
+)
+
+// DefaultStepLimit bounds executions ("infinite loop" detection).
+const DefaultStepLimit = 1 << 20
+
+// maxCallDepth matches the interpreter's recursion budget.
+const maxCallDepth = 64
+
+// Region tags memory areas for the Table II access counters.
+type Region int
+
+// Regions.
+const (
+	RegionStack Region = iota + 1
+	RegionHeap
+	RegionLib  // read-only library data (rodata)
+	RegionAnon // the anonymously-mapped input buffer (data region)
+	RegionOther
+)
+
+// Trace aggregates the 21 dynamic features of Table II plus the raw
+// counters they derive from.
+type Trace struct {
+	BinaryFunCalls int64 // F1
+
+	stackDepthMin  int64
+	stackDepthMax  int64
+	stackDepthSum  float64
+	stackDepthSum2 float64
+
+	Instrs       int64 // F6
+	uniquePCs    map[uint64]struct{}
+	CallInstrs   int64 // F8
+	ArithInstrs  int64 // F9
+	BranchInstrs int64 // F10
+	LoadInstrs   int64 // F11
+	StoreInstrs  int64 // F12
+
+	branchFreq map[uint64]int64
+	arithFreq  map[uint64]int64
+
+	HeapAccess   int64 // F15
+	StackAccess  int64 // F16
+	LibAccess    int64 // F17
+	AnonAccess   int64 // F18
+	OthersAccess int64 // F19
+
+	LibCalls int64 // F20
+	Syscalls int64 // F21
+}
+
+func newTrace() *Trace {
+	return &Trace{
+		stackDepthMin: math.MaxInt64,
+		uniquePCs:     make(map[uint64]struct{}),
+		branchFreq:    make(map[uint64]int64),
+		arithFreq:     make(map[uint64]int64),
+	}
+}
+
+// UniqueInstrs is feature F7.
+func (t *Trace) UniqueInstrs() int64 { return int64(len(t.uniquePCs)) }
+
+// PCs returns the set of executed instruction addresses. The fuzzer uses it
+// as its coverage signal.
+func (t *Trace) PCs() map[uint64]struct{} {
+	out := make(map[uint64]struct{}, len(t.uniquePCs))
+	for pc := range t.uniquePCs {
+		out[pc] = struct{}{}
+	}
+	return out
+}
+
+// StackDepthStats returns features F2..F5 (min, max, mean, stddev of the
+// call-stack depth sampled at every executed instruction).
+func (t *Trace) StackDepthStats() (minD, maxD int64, mean, std float64) {
+	if t.Instrs == 0 {
+		return 0, 0, 0, 0
+	}
+	mean = t.stackDepthSum / float64(t.Instrs)
+	variance := t.stackDepthSum2/float64(t.Instrs) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return t.stackDepthMin, t.stackDepthMax, mean, math.Sqrt(variance)
+}
+
+// MaxBranchFreq is feature F13: the execution count of the hottest single
+// branch instruction.
+func (t *Trace) MaxBranchFreq() int64 { return maxVal(t.branchFreq) }
+
+// MaxArithFreq is feature F14.
+func (t *Trace) MaxArithFreq() int64 { return maxVal(t.arithFreq) }
+
+func maxVal(m map[uint64]int64) int64 {
+	var best int64
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Vector flattens the trace into the 21-dimensional dynamic feature vector
+// in Table II order.
+func (t *Trace) Vector() [21]float64 {
+	minD, maxD, mean, std := t.StackDepthStats()
+	return [21]float64{
+		float64(t.BinaryFunCalls),
+		float64(minD),
+		float64(maxD),
+		mean,
+		std,
+		float64(t.Instrs),
+		float64(t.UniqueInstrs()),
+		float64(t.CallInstrs),
+		float64(t.ArithInstrs),
+		float64(t.BranchInstrs),
+		float64(t.LoadInstrs),
+		float64(t.StoreInstrs),
+		float64(t.MaxBranchFreq()),
+		float64(t.MaxArithFreq()),
+		float64(t.HeapAccess),
+		float64(t.StackAccess),
+		float64(t.LibAccess),
+		float64(t.AnonAccess),
+		float64(t.OthersAccess),
+		float64(t.LibCalls),
+		float64(t.Syscalls),
+	}
+}
+
+// Result is a completed execution.
+type Result struct {
+	Ret   int64
+	Trace *Trace
+	Mem   []byte // final data-region contents
+}
+
+// taggedMem is the emulator's address space with per-region access counting.
+type taggedMem struct {
+	data   []byte
+	rodata []byte
+	heap   []byte
+	stack  []byte
+	trace  *Trace
+}
+
+var _ minic.Memory = (*taggedMem)(nil)
+
+func (m *taggedMem) region(addr int64) (Region, []byte, int64) {
+	switch {
+	case addr >= minic.DataBase && addr < minic.DataBase+minic.DataSize:
+		return RegionAnon, m.data, addr - minic.DataBase
+	case addr >= minic.RodataBase && addr < minic.RodataBase+int64(len(m.rodata)):
+		return RegionLib, m.rodata, addr - minic.RodataBase
+	case addr >= minic.HeapBase && addr < minic.HeapBase+minic.HeapSize:
+		return RegionHeap, m.heap, addr - minic.HeapBase
+	case addr >= StackTop-StackSize && addr < StackTop:
+		return RegionStack, m.stack, addr - (StackTop - StackSize)
+	}
+	return RegionOther, nil, 0
+}
+
+func (m *taggedMem) count(r Region) {
+	switch r {
+	case RegionStack:
+		m.trace.StackAccess++
+	case RegionHeap:
+		m.trace.HeapAccess++
+	case RegionLib:
+		m.trace.LibAccess++
+	case RegionAnon:
+		m.trace.AnonAccess++
+	default:
+		m.trace.OthersAccess++
+	}
+}
+
+func (m *taggedMem) LoadByte(addr int64) (byte, error) {
+	r, buf, off := m.region(addr)
+	if buf == nil {
+		m.trace.OthersAccess++
+		return 0, &minic.TrapError{Kind: minic.TrapOOB, Addr: addr}
+	}
+	m.count(r)
+	return buf[off], nil
+}
+
+func (m *taggedMem) StoreByte(addr int64, v byte) error {
+	r, buf, off := m.region(addr)
+	if buf == nil || r == RegionLib { // rodata is not writable
+		m.trace.OthersAccess++
+		return &minic.TrapError{Kind: minic.TrapOOB, Addr: addr}
+	}
+	m.count(r)
+	buf[off] = v
+	return nil
+}
+
+// frame is one activation record of the Go-side return stack (the emulator
+// models the link register in Go, like hardware keeps it out of data memory).
+type frame struct {
+	fn *disasm.Function
+	pc int // resume instruction index in fn
+}
+
+// Machine executes one function invocation.
+type Machine struct {
+	dis   *disasm.Disassembly
+	mem   *taggedMem
+	regs  [16]int64
+	flagL int64
+	flagR int64
+	bst   *minic.BuiltinState
+	trace *Trace
+	limit int64
+
+	fn     *disasm.Function
+	pc     int
+	frames []frame
+}
+
+// Execute runs fn under env, with the given instruction budget
+// (DefaultStepLimit if limit <= 0). The environment's scalar arguments load
+// into r0..r3 — the same convention for every candidate function, which is
+// what lets one environment drive many candidates, as in the paper.
+func Execute(dis *disasm.Disassembly, fn *disasm.Function, env *minic.Env, limit int64) (*Result, error) {
+	if limit <= 0 {
+		limit = DefaultStepLimit
+	}
+	tr := newTrace()
+	m := &Machine{
+		dis: dis,
+		mem: &taggedMem{
+			data:   make([]byte, minic.DataSize),
+			rodata: dis.Image.Rodata,
+			heap:   make([]byte, minic.HeapSize),
+			stack:  make([]byte, StackSize),
+			trace:  tr,
+		},
+		bst:   minic.NewBuiltinState(),
+		trace: tr,
+		limit: limit,
+		fn:    fn,
+	}
+	copy(m.mem.data, env.Data)
+	for i, a := range env.Args {
+		if i >= 4 {
+			break
+		}
+		m.regs[i] = a
+	}
+	m.regs[m.sp()] = StackTop
+	if err := m.run(); err != nil {
+		return nil, err
+	}
+	return &Result{Ret: m.regs[0], Trace: tr, Mem: m.mem.data}, nil
+}
+
+func (m *Machine) sp() int { return m.dis.Arch.NumRegs - 1 }
+func (m *Machine) fp() int { return m.dis.Arch.NumRegs - 2 }
+
+func (m *Machine) run() error {
+	for {
+		if m.pc < 0 || m.pc >= len(m.fn.Instrs) {
+			return &minic.TrapError{Kind: minic.TrapDecode,
+				Msg: fmt.Sprintf("pc %d outside function %#x", m.pc, m.fn.Addr)}
+		}
+		in := m.fn.Instrs[m.pc]
+		pcAddr := m.fn.Addr + uint64(in.Offset)
+
+		m.trace.Instrs++
+		if m.trace.Instrs > m.limit {
+			return &minic.TrapError{Kind: minic.TrapStepLimit}
+		}
+		m.trace.uniquePCs[pcAddr] = struct{}{}
+		depth := int64(len(m.frames)) + 1
+		if depth < m.trace.stackDepthMin {
+			m.trace.stackDepthMin = depth
+		}
+		if depth > m.trace.stackDepthMax {
+			m.trace.stackDepthMax = depth
+		}
+		m.trace.stackDepthSum += float64(depth)
+		m.trace.stackDepthSum2 += float64(depth) * float64(depth)
+		switch {
+		case in.Op.IsArith() || in.Op.IsArithFP():
+			m.trace.ArithInstrs++
+			m.trace.arithFreq[pcAddr]++
+		case in.Op.IsBranch():
+			m.trace.BranchInstrs++
+			m.trace.branchFreq[pcAddr]++
+		case in.Op.IsCall():
+			m.trace.CallInstrs++
+		case in.Op.IsLoad():
+			m.trace.LoadInstrs++
+		case in.Op.IsStore():
+			m.trace.StoreInstrs++
+		}
+
+		done, err := m.step(in)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// step executes one instruction; it returns true when the outermost
+// function returned.
+func (m *Machine) step(in disasm.DInstr) (bool, error) {
+	next := m.pc + 1
+	switch op := in.Op; op {
+	case isa.Nop:
+	case isa.Ldi:
+		m.regs[in.Rd] = in.Imm
+	case isa.Mov:
+		m.regs[in.Rd] = m.regs[in.Rs1]
+
+	case isa.Add, isa.Sub, isa.Mul, isa.Div, isa.Mod, isa.AndOp, isa.OrOp,
+		isa.XorOp, isa.Shl, isa.Shr, isa.Fadd, isa.Fsub, isa.Fmul, isa.Fdiv,
+		isa.Seq, isa.Sne, isa.Slt, isa.Sle, isa.Sgt, isa.Sge:
+		v, err := minic.EvalBinOp(binOpOf(op), m.regs[in.Rs1], m.regs[in.Rs2])
+		if err != nil {
+			return false, err
+		}
+		m.regs[in.Rd] = v
+
+	case isa.Add2, isa.Sub2, isa.Mul2, isa.Div2, isa.Mod2, isa.And2, isa.Or2,
+		isa.Xor2, isa.Shl2, isa.Shr2, isa.Fadd2, isa.Fsub2, isa.Fmul2, isa.Fdiv2:
+		v, err := minic.EvalBinOp(binOpOf(op), m.regs[in.Rd], m.regs[in.Rs1])
+		if err != nil {
+			return false, err
+		}
+		m.regs[in.Rd] = v
+
+	case isa.AddI, isa.SubI, isa.MulI, isa.AndI, isa.OrI, isa.XorI, isa.ShlI, isa.ShrI:
+		v, err := minic.EvalBinOp(binOpOf(op), m.regs[in.Rd], in.Imm)
+		if err != nil {
+			return false, err
+		}
+		m.regs[in.Rd] = v
+
+	case isa.NegOp, isa.NotOp, isa.Inv:
+		m.regs[in.Rd] = minic.EvalUnOp(unOpOf(op), m.regs[in.Rs1])
+	case isa.Neg2, isa.Not2, isa.Inv2:
+		m.regs[in.Rd] = minic.EvalUnOp(unOpOf(op), m.regs[in.Rd])
+
+	case isa.Cmp:
+		m.flagL, m.flagR = m.regs[in.Rs1], m.regs[in.Rs2]
+	case isa.CmpI:
+		m.flagL, m.flagR = m.regs[in.Rs1], in.Imm
+	case isa.Sete:
+		m.regs[in.Rd] = b2i(m.flagL == m.flagR)
+	case isa.Setne:
+		m.regs[in.Rd] = b2i(m.flagL != m.flagR)
+	case isa.Setl:
+		m.regs[in.Rd] = b2i(m.flagL < m.flagR)
+	case isa.Setle:
+		m.regs[in.Rd] = b2i(m.flagL <= m.flagR)
+	case isa.Setg:
+		m.regs[in.Rd] = b2i(m.flagL > m.flagR)
+	case isa.Setge:
+		m.regs[in.Rd] = b2i(m.flagL >= m.flagR)
+
+	case isa.Ldb:
+		b, err := m.mem.LoadByte(m.regs[in.Rs1] + in.Imm)
+		if err != nil {
+			return false, err
+		}
+		m.regs[in.Rd] = int64(b)
+	case isa.Stb:
+		if err := m.mem.StoreByte(m.regs[in.Rs1]+in.Imm, byte(m.regs[in.Rs2])); err != nil {
+			return false, err
+		}
+	case isa.Ldw:
+		v, err := minic.LoadWord(m.mem, m.regs[in.Rs1]+in.Imm)
+		if err != nil {
+			return false, err
+		}
+		m.regs[in.Rd] = v
+	case isa.Stw:
+		if err := minic.StoreWord(m.mem, m.regs[in.Rs1]+in.Imm, m.regs[in.Rs2]); err != nil {
+			return false, err
+		}
+
+	case isa.Jmp:
+		return false, m.jump(int(in.Imm))
+	case isa.Jz:
+		if m.regs[in.Rs1] == 0 {
+			return false, m.jump(int(in.Imm))
+		}
+		m.pc = next
+		return false, nil
+	case isa.Jnz:
+		if m.regs[in.Rs1] != 0 {
+			return false, m.jump(int(in.Imm))
+		}
+		m.pc = next
+		return false, nil
+	case isa.Je, isa.Jne, isa.Jl, isa.Jle, isa.Jg, isa.Jge:
+		if m.flagTaken(op) {
+			return false, m.jump(int(in.Imm))
+		}
+		m.pc = next
+		return false, nil
+
+	case isa.Call:
+		callee, ok := m.dis.FuncAt(uint64(in.Imm))
+		if !ok {
+			return false, &minic.TrapError{Kind: minic.TrapBadCall,
+				Msg: fmt.Sprintf("call to unmapped address %#x", in.Imm)}
+		}
+		if len(m.frames) >= maxCallDepth {
+			return false, &minic.TrapError{Kind: minic.TrapStack, Msg: "call stack overflow"}
+		}
+		m.trace.BinaryFunCalls++
+		m.frames = append(m.frames, frame{fn: m.fn, pc: next})
+		m.fn = callee
+		m.pc = 0
+		return false, nil
+
+	case isa.CallI:
+		b, ok := minic.BuiltinByIndex(int(in.Imm))
+		if !ok {
+			return false, &minic.TrapError{Kind: minic.TrapBadCall,
+				Msg: fmt.Sprintf("bad import index %d", in.Imm)}
+		}
+		args := make([]int64, b.NArgs)
+		for i := range args {
+			args[i] = m.regs[i]
+		}
+		v, err := b.Fn(m.mem, m.bst, args)
+		if err != nil {
+			return false, err
+		}
+		if b.Kind == minic.KindSys {
+			m.trace.Syscalls++
+		} else {
+			m.trace.LibCalls++
+		}
+		m.regs[0] = v
+
+	case isa.Ret:
+		if len(m.frames) == 0 {
+			return true, nil
+		}
+		top := m.frames[len(m.frames)-1]
+		m.frames = m.frames[:len(m.frames)-1]
+		m.fn, m.pc = top.fn, top.pc
+		return false, nil
+
+	case isa.Push:
+		sp := m.regs[m.sp()] - 8
+		if sp < StackTop-StackSize {
+			return false, &minic.TrapError{Kind: minic.TrapStack, Msg: "stack overflow"}
+		}
+		m.regs[m.sp()] = sp
+		if err := minic.StoreWord(m.mem, sp, m.regs[in.Rs1]); err != nil {
+			return false, err
+		}
+	case isa.Pop:
+		sp := m.regs[m.sp()]
+		if sp >= StackTop {
+			return false, &minic.TrapError{Kind: minic.TrapStack, Msg: "stack underflow"}
+		}
+		v, err := minic.LoadWord(m.mem, sp)
+		if err != nil {
+			return false, err
+		}
+		m.regs[in.Rd] = v
+		m.regs[m.sp()] = sp + 8
+	case isa.AddSp:
+		m.regs[m.sp()] += in.Imm
+
+	default:
+		return false, &minic.TrapError{Kind: minic.TrapDecode,
+			Msg: fmt.Sprintf("unimplemented op %v", in.Op)}
+	}
+	m.pc = next
+	return false, nil
+}
+
+// jump resolves an intra-function byte offset.
+func (m *Machine) jump(off int) error {
+	idx, ok := m.fn.IndexAtOffset(off)
+	if !ok {
+		return &minic.TrapError{Kind: minic.TrapDecode,
+			Msg: fmt.Sprintf("branch to mid-instruction offset %d", off)}
+	}
+	m.pc = idx
+	return nil
+}
+
+func (m *Machine) flagTaken(op isa.Op) bool {
+	switch op {
+	case isa.Je:
+		return m.flagL == m.flagR
+	case isa.Jne:
+		return m.flagL != m.flagR
+	case isa.Jl:
+		return m.flagL < m.flagR
+	case isa.Jle:
+		return m.flagL <= m.flagR
+	case isa.Jg:
+		return m.flagL > m.flagR
+	default:
+		return m.flagL >= m.flagR
+	}
+}
+
+// binOpOf maps ISA ALU ops onto the shared source-level semantics, keeping
+// interpreter and emulator arithmetic identical by construction.
+func binOpOf(op isa.Op) minic.BinOp {
+	switch op {
+	case isa.Add, isa.Add2, isa.AddI:
+		return minic.OpAdd
+	case isa.Sub, isa.Sub2, isa.SubI:
+		return minic.OpSub
+	case isa.Mul, isa.Mul2, isa.MulI:
+		return minic.OpMul
+	case isa.Div, isa.Div2:
+		return minic.OpDiv
+	case isa.Mod, isa.Mod2:
+		return minic.OpMod
+	case isa.AndOp, isa.And2, isa.AndI:
+		return minic.OpAnd
+	case isa.OrOp, isa.Or2, isa.OrI:
+		return minic.OpOr
+	case isa.XorOp, isa.Xor2, isa.XorI:
+		return minic.OpXor
+	case isa.Shl, isa.Shl2, isa.ShlI:
+		return minic.OpShl
+	case isa.Shr, isa.Shr2, isa.ShrI:
+		return minic.OpShr
+	case isa.Fadd, isa.Fadd2:
+		return minic.OpFAdd
+	case isa.Fsub, isa.Fsub2:
+		return minic.OpFSub
+	case isa.Fmul, isa.Fmul2:
+		return minic.OpFMul
+	case isa.Fdiv, isa.Fdiv2:
+		return minic.OpFDiv
+	case isa.Seq:
+		return minic.OpEq
+	case isa.Sne:
+		return minic.OpNe
+	case isa.Slt:
+		return minic.OpLt
+	case isa.Sle:
+		return minic.OpLe
+	case isa.Sgt:
+		return minic.OpGt
+	default: // isa.Sge
+		return minic.OpGe
+	}
+}
+
+func unOpOf(op isa.Op) minic.UnOp {
+	switch op {
+	case isa.NegOp, isa.Neg2:
+		return minic.OpNeg
+	case isa.NotOp, isa.Not2:
+		return minic.OpNot
+	default:
+		return minic.OpInv
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ExecuteByName looks the function up by symbol and executes it — a
+// convenience for tests and ground-truth runs on unstripped images.
+func ExecuteByName(dis *disasm.Disassembly, name string, env *minic.Env, limit int64) (*Result, error) {
+	fn, ok := dis.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("emu: no function %q in %s", name, dis.Image.LibName)
+	}
+	return Execute(dis, fn, env, limit)
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/corpus"
+	"repro/internal/disasm"
+	"repro/patchecko"
+)
+
+// BaselineRow is one scorer's static-stage retrieval quality over the 25
+// CVEs: how often the true function ranks top-1/3/10 among all functions
+// of the host library, by static similarity alone.
+type BaselineRow struct {
+	Scorer            string
+	Top1, Top3, Top10 int
+	Total             int
+}
+
+// BaselineResult compares the paper's trained detector against the
+// prior-art scorers of §VI (BinDiff-style matching, graph embeddings).
+type BaselineResult struct {
+	Device string
+	Rows   []BaselineRow
+}
+
+// Baselines ranks every CVE's vulnerable reference against all functions
+// of its host library under each scorer. The detector row uses the same
+// protocol (pure static ranking, no dynamic stage) so the comparison
+// isolates the similarity function.
+func (s *Suite) Baselines(device string) (BaselineResult, error) {
+	res := BaselineResult{Device: device}
+
+	type ranker struct {
+		name string
+		rank func(entry string, p *patchecko.PreparedImage, ref *disasm.Function, refIdx int) []int
+	}
+	rankers := []ranker{
+		{
+			name: "patchecko-detector",
+			rank: func(entry string, p *patchecko.PreparedImage, ref *disasm.Function, _ int) []int {
+				e, _ := s.DB.Get(entry)
+				query, err := refVec(e, p.Image.Arch, patchecko.QueryVulnerable)
+				if err != nil {
+					return nil
+				}
+				type sc struct {
+					idx int
+					s   float64
+				}
+				ss := make([]sc, len(p.Vecs))
+				for i, v := range p.Vecs {
+					ss[i] = sc{idx: i, s: s.Model.Similarity(query, v)}
+				}
+				// Selection-sort into index order by descending score.
+				out := make([]int, 0, len(ss))
+				used := make([]bool, len(ss))
+				for range ss {
+					best := -1
+					for i := range ss {
+						if used[i] {
+							continue
+						}
+						if best < 0 || ss[i].s > ss[best].s {
+							best = i
+						}
+					}
+					used[best] = true
+					out = append(out, ss[best].idx)
+				}
+				return out
+			},
+		},
+	}
+	for _, sc := range baseline.Scorers() {
+		sc := sc
+		rankers = append(rankers, ranker{
+			name: sc.Name,
+			rank: func(_ string, p *patchecko.PreparedImage, ref *disasm.Function, _ int) []int {
+				return baseline.RankByScore(sc.Score, ref, p.Dis.Funcs)
+			},
+		})
+	}
+
+	rows := make(map[string]*BaselineRow, len(rankers))
+	for _, r := range rankers {
+		rows[r.name] = &BaselineRow{Scorer: r.name}
+	}
+	for _, id := range s.DB.IDs() {
+		p, truth, err := s.hostImage(device, id)
+		if err != nil {
+			return BaselineResult{}, err
+		}
+		entry, _ := s.DB.Get(id)
+		vref, err := entry.VulnRef(p.Image.Arch)
+		if err != nil {
+			return BaselineResult{}, err
+		}
+		trueIdx := -1
+		for i, f := range p.Dis.Funcs {
+			if f.Addr == truth.Addr {
+				trueIdx = i
+			}
+		}
+		if trueIdx < 0 {
+			continue
+		}
+		for _, r := range rankers {
+			row := rows[r.name]
+			row.Total++
+			order := r.rank(id, p, vref.Fn, trueIdx)
+			for pos, idx := range order {
+				if idx != trueIdx {
+					continue
+				}
+				if pos == 0 {
+					row.Top1++
+				}
+				if pos < 3 {
+					row.Top3++
+				}
+				if pos < 10 {
+					row.Top10++
+				}
+				break
+			}
+		}
+	}
+	for _, r := range rankers {
+		res.Rows = append(res.Rows, *rows[r.name])
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r BaselineResult) Render(w io.Writer) {
+	fprintf(w, "Baseline comparison — static-stage retrieval of the true function (device %s)\n", r.Device)
+	fprintf(w, "%-22s %6s %6s %6s %6s\n", "scorer", "top1", "top3", "top10", "of")
+	for _, row := range r.Rows {
+		fprintf(w, "%-22s %6d %6d %6d %6d\n", row.Scorer, row.Top1, row.Top3, row.Top10, row.Total)
+	}
+}
+
+// ObfuscationResult compares static-stage retrieval on clean vs obfuscated
+// builds of the same device firmware.
+type ObfuscationResult struct {
+	Clean      BaselineResult
+	Obfuscated BaselineResult
+}
+
+// AblateObfuscation builds an obfuscated variant of the first device's
+// firmware (dead-code islands, live junk, stack churn — same patch states,
+// same seed) and re-runs the baseline comparison on it. The drop from the
+// clean column is each scorer's obfuscation fragility.
+func (s *Suite) AblateObfuscation() (ObfuscationResult, error) {
+	clean, err := s.Baselines(Devices()[0].Name)
+	if err != nil {
+		return ObfuscationResult{}, err
+	}
+	obfDev := Devices()[0].Obfuscated()
+	if _, ok := s.Firmware[obfDev.Name]; !ok {
+		fw, err := corpus.BuildFirmware(obfDev, s.Cfg.Scale)
+		if err != nil {
+			return ObfuscationResult{}, err
+		}
+		prep := make(map[string]*patchecko.PreparedImage, len(fw.Images))
+		for _, im := range fw.Images {
+			p, err := patchecko.Prepare(im)
+			if err != nil {
+				return ObfuscationResult{}, err
+			}
+			prep[im.LibName] = p
+		}
+		s.Firmware[obfDev.Name] = fw
+		s.prepared[obfDev.Name] = prep
+	}
+	obf, err := s.Baselines(obfDev.Name)
+	if err != nil {
+		return ObfuscationResult{}, err
+	}
+	return ObfuscationResult{Clean: clean, Obfuscated: obf}, nil
+}
+
+// Render prints the clean-vs-obfuscated comparison.
+func (r ObfuscationResult) Render(w io.Writer) {
+	fprintf(w, "Ablation — obfuscation robustness (clean vs obfuscated firmware)\n")
+	fprintf(w, "%-22s %12s %12s %12s %12s\n", "scorer", "clean_top3", "obf_top3", "clean_top10", "obf_top10")
+	for i, row := range r.Clean.Rows {
+		or := r.Obfuscated.Rows[i]
+		fprintf(w, "%-22s %12d %12d %12d %12d\n", row.Scorer, row.Top3, or.Top3, row.Top10, or.Top10)
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/patchecko"
+)
+
+// The paper's §II-A motivates the scale problem with a firmware census:
+// "For Android Things 1.0, we found 379 different libraries that included
+// 440,532 functions, while IOS 12.0.1 contained 198 different libraries
+// with 93,714 functions." Census reproduces that table over the generated
+// device firmware (including the iOS stand-in, which is not part of the
+// evaluation tables but is part of Dataset III).
+
+// CensusRow is one device's firmware inventory.
+type CensusRow struct {
+	Device    string
+	Arch      string
+	Libraries int
+	Functions int
+	TextBytes int
+}
+
+// CensusResult is the firmware inventory across devices.
+type CensusResult struct {
+	Rows []CensusRow
+}
+
+// Census counts libraries and recovered functions per device. The iOS
+// stand-in is built on demand at the suite's scale.
+func (s *Suite) Census() (CensusResult, error) {
+	devices := append(Devices(), corpus.FruitOS)
+	res := CensusResult{}
+	for _, dev := range devices {
+		fw, ok := s.Firmware[dev.Name]
+		if !ok {
+			var err error
+			fw, err = corpus.BuildFirmware(dev, s.Cfg.Scale)
+			if err != nil {
+				return CensusResult{}, err
+			}
+			prep := make(map[string]*patchecko.PreparedImage, len(fw.Images))
+			for _, im := range fw.Images {
+				p, err := patchecko.Prepare(im)
+				if err != nil {
+					return CensusResult{}, err
+				}
+				prep[im.LibName] = p
+			}
+			s.Firmware[dev.Name] = fw
+			s.prepared[dev.Name] = prep
+		}
+		row := CensusRow{Device: dev.Name, Arch: fw.Arch, Libraries: len(fw.Images)}
+		for _, p := range s.prepared[dev.Name] {
+			row.Functions += p.NumFuncs()
+			row.TextBytes += len(p.Image.Text)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the census.
+func (r CensusResult) Render(w io.Writer) {
+	fprintf(w, "Firmware census (§II-A motivation: libraries and functions per device)\n")
+	fprintf(w, "%-16s %-8s %10s %10s %12s\n", "device", "arch", "libraries", "functions", "text_bytes")
+	for _, row := range r.Rows {
+		fprintf(w, "%-16s %-8s %10d %10d %12d\n", row.Device, row.Arch, row.Libraries, row.Functions, row.TextBytes)
+	}
+}
+
+// --- ASCII chart helpers: figures render as figures ---
+
+// bar renders a horizontal bar of width proportional to v/max.
+func bar(v, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n)
+}
+
+// RenderChart draws Fig. 7 as grouped horizontal bars, one group per CVE,
+// like the paper's bar figure.
+func (r Fig7Result) RenderChart(w io.Writer) {
+	fprintf(w, "Fig. 7 — static-stage false positive rate (bars, %% of functions)\n")
+	maxRate := 0.0
+	for _, row := range r.Rows {
+		for _, d := range r.Devices {
+			for _, c := range row.Cells[d] {
+				if rate := c.Rate(); rate > maxRate {
+					maxRate = rate
+				}
+			}
+		}
+	}
+	const width = 40
+	for _, row := range r.Rows {
+		fprintf(w, "%s\n", row.CVE)
+		for _, d := range r.Devices {
+			v := row.Cells[d][patchecko.QueryVulnerable].Rate()
+			p := row.Cells[d][patchecko.QueryPatched].Rate()
+			fprintf(w, "  %-12s vuln  %6.2f%% |%-*s|\n", d, 100*v, width, bar(v, maxRate, width))
+			fprintf(w, "  %-12s patch %6.2f%% |%-*s|\n", d, 100*p, width, bar(p, maxRate, width))
+		}
+	}
+}
+
+// RenderChart draws the Fig. 8 accuracy/loss curves as aligned sparkline
+// columns.
+func (r Fig8Result) RenderChart(w io.Writer) {
+	fprintf(w, "Fig. 8 — training curves (bars: train_acc and train_loss per epoch)\n")
+	maxLoss := 0.0
+	for _, e := range r.Epochs {
+		if e.TrainLoss > maxLoss {
+			maxLoss = e.TrainLoss
+		}
+	}
+	const width = 40
+	for _, e := range r.Epochs {
+		fprintf(w, "epoch %2d  acc  %.4f |%-*s|\n", e.Epoch, e.TrainAcc, width, bar(e.TrainAcc, 1, width))
+		fprintf(w, "          loss %.4f |%-*s|\n", e.TrainLoss, width, bar(e.TrainLoss, maxLoss, width))
+	}
+}

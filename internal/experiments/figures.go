@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/nn"
+	"repro/patchecko"
+)
+
+// --- Fig. 8: training accuracy and loss curves ---
+
+// Fig8Result carries the training history plus held-out test metrics (the
+// paper reports 96% training accuracy and >93% detection accuracy).
+type Fig8Result struct {
+	Epochs   []nn.EpochStats
+	TestAcc  float64
+	TestLoss float64
+	TestAUC  float64
+}
+
+// Fig8 returns the training curves of the suite's model.
+func (s *Suite) Fig8() Fig8Result {
+	acc, loss, auc := s.Model.TestMetrics(s.Dataset.Test)
+	return Fig8Result{
+		Epochs:   s.History.Epochs,
+		TestAcc:  acc,
+		TestLoss: loss,
+		TestAUC:  auc,
+	}
+}
+
+// Render prints the curves as an epoch table.
+func (r Fig8Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 8 — deep learning training curves\n")
+	fprintf(w, "%-6s %12s %12s %12s %12s\n", "epoch", "train_loss", "train_acc", "val_loss", "val_acc")
+	for _, e := range r.Epochs {
+		fprintf(w, "%-6d %12.4f %12.4f %12.4f %12.4f\n",
+			e.Epoch, e.TrainLoss, e.TrainAcc, e.ValLoss, e.ValAcc)
+	}
+	fprintf(w, "held-out test: accuracy %.4f  loss %.4f  AUC %.4f\n", r.TestAcc, r.TestLoss, r.TestAUC)
+}
+
+// --- Fig. 7: per-CVE static-stage false-positive rates ---
+
+// Fig7Cell is the FP rate of one (CVE, device, query-version) combination.
+type Fig7Cell struct {
+	FalsePositives int
+	Total          int
+}
+
+// Rate returns the false-positive rate.
+func (c Fig7Cell) Rate() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.FalsePositives) / float64(c.Total)
+}
+
+// Fig7Row is one CVE's FP rates across devices and query versions.
+type Fig7Row struct {
+	CVE string
+	// By device name, then by query mode.
+	Cells map[string]map[patchecko.QueryMode]Fig7Cell
+}
+
+// Fig7Result is the full figure.
+type Fig7Result struct {
+	Rows    []Fig7Row
+	Devices []string
+}
+
+// Fig7 measures, for every CVE on both devices, the deep-learning stage's
+// false-positive rate when querying with the vulnerable and with the
+// patched reference vector. Only the static stage runs (the figure
+// characterizes the classifier before dynamic pruning).
+func (s *Suite) Fig7() (Fig7Result, error) {
+	res := Fig7Result{}
+	for _, dev := range Devices() {
+		res.Devices = append(res.Devices, dev.Name)
+	}
+	for _, id := range s.DB.IDs() {
+		row := Fig7Row{CVE: id, Cells: make(map[string]map[patchecko.QueryMode]Fig7Cell)}
+		for _, dev := range Devices() {
+			p, truth, err := s.hostImage(dev.Name, id)
+			if err != nil {
+				return Fig7Result{}, err
+			}
+			entry, _ := s.DB.Get(id)
+			row.Cells[dev.Name] = make(map[patchecko.QueryMode]Fig7Cell, 2)
+			for _, mode := range []patchecko.QueryMode{patchecko.QueryVulnerable, patchecko.QueryPatched} {
+				ref, err := refVec(entry, p.Image.Arch, mode)
+				if err != nil {
+					return Fig7Result{}, err
+				}
+				cands := s.Model.Candidates(ref, p.Vecs)
+				fp := 0
+				for _, c := range cands {
+					if p.Dis.Funcs[c.Index].Addr != truth.Addr {
+						fp++
+					}
+				}
+				row.Cells[dev.Name][mode] = Fig7Cell{FalsePositives: fp, Total: len(p.Vecs)}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the figure as a table of FP percentages.
+func (r Fig7Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 7 — static-stage false positive rate per CVE (percent)\n")
+	fprintf(w, "%-16s", "CVE")
+	for _, d := range r.Devices {
+		fprintf(w, " %14s %14s", d+"/vuln", d+"/patch")
+	}
+	fprintf(w, "\n")
+	for _, row := range r.Rows {
+		fprintf(w, "%-16s", row.CVE)
+		for _, d := range r.Devices {
+			fprintf(w, " %14.2f %14.2f",
+				100*row.Cells[d][patchecko.QueryVulnerable].Rate(),
+				100*row.Cells[d][patchecko.QueryPatched].Rate())
+		}
+		fprintf(w, "\n")
+	}
+}

@@ -1,0 +1,29 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+func BenchmarkExtract(b *testing.B) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 8, Name: "libbench", NumFuncs: 20})
+	im, err := compiler.Compile(mod, isa.AMD64, compiler.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range dis.Funcs {
+			_ = Extract(dis, f)
+		}
+	}
+	b.ReportMetric(float64(len(dis.Funcs))*float64(b.N)/b.Elapsed().Seconds(), "funcs/s")
+}

@@ -1,0 +1,308 @@
+// Package features extracts the 48 static function features of the paper's
+// Table I from a disassembled function: instruction and constant counts,
+// frame size, basic-block statistics, CFG shape (block/edge counts,
+// cyclomatic complexity, block-kind histogram), per-block call and
+// arithmetic statistics, and betweenness-centrality statistics over the CFG
+// (computed with Brandes' algorithm).
+//
+// Two Table I block kinds depend on IDA-specific notions that do not exist
+// in this ISA (indirect jumps, noreturn externs); those features are
+// structurally present but always zero, as documented in DESIGN.md.
+package features
+
+import (
+	"math"
+
+	"repro/internal/disasm"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// NumStatic is the length of the static feature vector.
+const NumStatic = 48
+
+// Names lists the Table I feature names in vector order.
+var Names = [NumStatic]string{
+	"num_constant", "num_string", "num_inst", "size_local", "fun_flag",
+	"num_import", "num_ox", "num_cx", "size_fun",
+	"min_i_b", "max_i_b", "avg_i_b", "std_i_b",
+	"min_s_b", "max_s_b", "avg_s_b", "std_s_b",
+	"num_bb", "num_edge", "cyclomatic_complexity",
+	"fcb_normal", "fcb_indjump", "fcb_ret", "fcb_cndret",
+	"fcb_noret", "fcb_enoret", "fcb_extern", "fcb_error",
+	"min_call_b", "max_call_b", "avg_call_b", "std_call_b", "sum_call_b",
+	"min_arith_b", "max_arith_b", "avg_arith_b", "std_arith_b", "sum_arith_b",
+	"min_arith_fp_b", "max_arith_fp_b", "avg_arith_fp_b", "std_arith_fp_b", "sum_arith_fp_b",
+	"min_betweeness_cent", "max_betweeness_cent", "avg_betweeness_cent",
+	"std_betweeness_cent", "betweeness_cent_zero",
+}
+
+// Vector is one function's static feature vector.
+type Vector [NumStatic]float64
+
+// Function flag bits (the fun_flag feature).
+const (
+	FlagReturns  = 1 << iota // function has at least one return block
+	FlagLeaf                 // function makes no calls
+	FlagUsesFP               // function contains FP arithmetic
+	FlagHasError             // a block passes execution past the function end
+)
+
+// Extract computes the static feature vector for fn within dis.
+func Extract(dis *disasm.Disassembly, fn *disasm.Function) Vector {
+	var v Vector
+
+	rodataLo := int64(minic.RodataBase)
+	rodataHi := rodataLo + int64(len(dis.Image.Rodata))
+
+	var (
+		numConst, numString, numCx int64
+		codeRefs                   = make(map[int64]struct{})
+		imports                    = make(map[int64]struct{})
+		usesFP                     bool
+	)
+	for _, in := range fn.Instrs {
+		switch {
+		case in.Op == isa.Call:
+			numCx++
+			codeRefs[in.Imm] = struct{}{}
+		case in.Op == isa.CallI:
+			numCx++
+			imports[in.Imm] = struct{}{}
+		case in.Op.IsBranch():
+			codeRefs[int64(fn.Addr)+in.Imm] = struct{}{}
+		case in.Op == isa.Ldi:
+			if in.Imm >= rodataLo && in.Imm < rodataHi {
+				numString++
+			} else {
+				numConst++
+			}
+		case in.Op == isa.CmpI || isALUImm(in.Op):
+			numConst++
+		}
+		if in.Op.IsArithFP() {
+			usesFP = true
+		}
+	}
+
+	// Per-block statistics.
+	nb := len(fn.Blocks)
+	instPerBlock := make([]float64, 0, nb)
+	sizePerBlock := make([]float64, 0, nb)
+	callPerBlock := make([]float64, 0, nb)
+	arithPerBlock := make([]float64, 0, nb)
+	fpPerBlock := make([]float64, 0, nb)
+	var kindNormal, kindRet, kindCndRet, kindError float64
+	retBlocks := make(map[int]bool)
+	for bi := range fn.Blocks {
+		if fn.Blocks[bi].Kind == disasm.BlockRet {
+			retBlocks[bi] = true
+		}
+	}
+	for bi := range fn.Blocks {
+		b := &fn.Blocks[bi]
+		instPerBlock = append(instPerBlock, float64(b.NumInstrs()))
+		sizePerBlock = append(sizePerBlock, float64(fn.ByteSize(b)))
+		var calls, arith, fp float64
+		for i := b.First; i <= b.Last; i++ {
+			op := fn.Instrs[i].Op
+			switch {
+			case op.IsCall():
+				calls++
+			case op.IsArith():
+				arith++
+			case op.IsArithFP():
+				arith++
+				fp++
+			}
+		}
+		callPerBlock = append(callPerBlock, calls)
+		arithPerBlock = append(arithPerBlock, arith)
+		fpPerBlock = append(fpPerBlock, fp)
+		switch b.Kind {
+		case disasm.BlockRet:
+			kindRet++
+		case disasm.BlockError:
+			kindError++
+		default:
+			// A conditional-branch block with a return-block successor is
+			// the conditional-return kind; everything else is normal.
+			if fn.Instrs[b.Last].Op.IsCondBranch() && anySucc(b, retBlocks) {
+				kindCndRet++
+			} else {
+				kindNormal++
+			}
+		}
+	}
+
+	cent := Betweenness(fn)
+	var centZero float64
+	for _, c := range cent {
+		if c == 0 {
+			centZero++
+		}
+	}
+
+	edges := float64(fn.NumEdges())
+	nodes := float64(nb)
+
+	flags := float64(0)
+	if kindRet > 0 {
+		flags += FlagReturns
+	}
+	if numCx == 0 {
+		flags += FlagLeaf
+	}
+	if usesFP {
+		flags += FlagUsesFP
+	}
+	if kindError > 0 {
+		flags += FlagHasError
+	}
+
+	i := 0
+	put := func(x float64) { v[i] = x; i++ }
+	put(float64(numConst))
+	put(float64(numString))
+	put(float64(len(fn.Instrs)))
+	put(float64(fn.LocalSize()))
+	put(flags)
+	put(float64(len(imports)))
+	put(float64(len(codeRefs)))
+	put(float64(numCx))
+	put(float64(fn.Size))
+	putStats4(put, instPerBlock)
+	putStats4(put, sizePerBlock)
+	put(nodes)
+	put(edges)
+	put(edges - nodes + 2) // cyclomatic complexity
+	put(kindNormal)
+	put(0) // fcb_indjump: ISA has no indirect jumps
+	put(kindRet)
+	put(kindCndRet)
+	put(0) // fcb_noret
+	put(0) // fcb_enoret
+	put(0) // fcb_extern
+	put(kindError)
+	putStats5(put, callPerBlock)
+	putStats5(put, arithPerBlock)
+	putStats5(put, fpPerBlock)
+	putStats4(put, cent)
+	put(centZero)
+	return v
+}
+
+func isALUImm(op isa.Op) bool {
+	switch op {
+	case isa.AddI, isa.SubI, isa.MulI, isa.AndI, isa.OrI, isa.XorI, isa.ShlI, isa.ShrI:
+		return true
+	}
+	return false
+}
+
+func anySucc(b *disasm.Block, set map[int]bool) bool {
+	for _, s := range b.Succs {
+		if set[s] {
+			return true
+		}
+	}
+	return false
+}
+
+func putStats4(put func(float64), xs []float64) {
+	mn, mx, mean, std := stats(xs)
+	put(mn)
+	put(mx)
+	put(mean)
+	put(std)
+}
+
+func putStats5(put func(float64), xs []float64) {
+	mn, mx, mean, std := stats(xs)
+	put(mn)
+	put(mx)
+	put(mean)
+	put(std)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	put(sum)
+}
+
+func stats(xs []float64) (mn, mx, mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0, 0
+	}
+	mn, mx = xs[0], xs[0]
+	var sum, sum2 float64
+	for _, x := range xs {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+		sum += x
+		sum2 += x * x
+	}
+	mean = sum / float64(len(xs))
+	variance := sum2/float64(len(xs)) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mn, mx, mean, math.Sqrt(variance)
+}
+
+// Betweenness computes betweenness centrality for every basic block of the
+// function's CFG using Brandes' algorithm on the directed, unweighted graph.
+func Betweenness(fn *disasm.Function) []float64 {
+	n := len(fn.Blocks)
+	cb := make([]float64, n)
+	if n == 0 {
+		return cb
+	}
+	adj := make([][]int, n)
+	for i := range fn.Blocks {
+		adj[i] = fn.Blocks[i].Succs
+	}
+	// Brandes: one BFS per source.
+	for s := 0; s < n; s++ {
+		var stack []int
+		preds := make([][]int, n)
+		sigma := make([]float64, n)
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		sigma[s] = 1
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		delta := make([]float64, n)
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	return cb
+}

@@ -1,0 +1,219 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+func featureIdx(name string) int {
+	for i, n := range Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func extractAll(t *testing.T, mod *minic.Module, arch *isa.Arch, lvl compiler.Level) map[string]Vector {
+	t.Helper()
+	im, err := compiler.Compile(mod, arch, lvl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]Vector, len(dis.Funcs))
+	for _, f := range dis.Funcs {
+		out[f.Name] = Extract(dis, f)
+	}
+	return out
+}
+
+func TestNamesComplete(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, n := range Names {
+		if n == "" {
+			t.Fatal("empty feature name")
+		}
+		if seen[n] {
+			t.Fatalf("duplicate feature name %s", n)
+		}
+		seen[n] = true
+	}
+	if len(Names) != 48 {
+		t.Fatalf("%d feature names, want 48 (Table I)", len(Names))
+	}
+}
+
+func TestExtractBasicSanity(t *testing.T) {
+	mod := &minic.Module{Name: "t", Funcs: []*minic.Func{
+		minic.NewFunc("f", []string{"p", "n"},
+			minic.Set("s", minic.Call("strlen", minic.S("tag-string"))),
+			minic.Loop(minic.Gt(minic.V("n"), minic.I(0)),
+				minic.Set("s", minic.Add(minic.V("s"), minic.Ld(minic.V("p"), minic.V("n")))),
+				minic.Set("n", minic.Sub(minic.V("n"), minic.I(1))),
+			),
+			minic.Ret(minic.V("s"))),
+	}}
+	for _, arch := range isa.All() {
+		vs := extractAll(t, mod, arch, compiler.O1)
+		v := vs["f"]
+		get := func(name string) float64 { return v[featureIdx(name)] }
+		if get("num_inst") <= 0 || get("size_fun") <= 0 {
+			t.Errorf("%s: empty function features", arch.Name)
+		}
+		if get("num_string") < 1 {
+			t.Errorf("%s: string literal not counted (num_string=%v)", arch.Name, get("num_string"))
+		}
+		if get("num_cx") < 1 || get("num_import") < 1 {
+			t.Errorf("%s: strlen call not counted", arch.Name)
+		}
+		if get("num_bb") < 3 {
+			t.Errorf("%s: loop should create >= 3 blocks, got %v", arch.Name, get("num_bb"))
+		}
+		// Cyclomatic complexity consistency: E - N + 2.
+		want := get("num_edge") - get("num_bb") + 2
+		if get("cyclomatic_complexity") != want {
+			t.Errorf("%s: cyclomatic mismatch", arch.Name)
+		}
+		if get("fcb_ret") < 1 {
+			t.Errorf("%s: no return blocks counted", arch.Name)
+		}
+		// Block-kind histogram sums to num_bb.
+		kinds := get("fcb_normal") + get("fcb_indjump") + get("fcb_ret") +
+			get("fcb_cndret") + get("fcb_noret") + get("fcb_enoret") +
+			get("fcb_extern") + get("fcb_error")
+		if kinds != get("num_bb") {
+			t.Errorf("%s: block kinds sum %v != num_bb %v", arch.Name, kinds, get("num_bb"))
+		}
+		if int64(get("fun_flag"))&FlagReturns == 0 {
+			t.Errorf("%s: FlagReturns not set", arch.Name)
+		}
+		if int64(get("fun_flag"))&FlagLeaf != 0 {
+			t.Errorf("%s: FlagLeaf set on a calling function", arch.Name)
+		}
+	}
+}
+
+func TestSameSourceDifferentArchFeaturesDiffer(t *testing.T) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 21, Name: "libfeat", NumFuncs: 5})
+	byArch := make(map[string]map[string]Vector)
+	for _, arch := range isa.All() {
+		byArch[arch.Name] = extractAll(t, mod, arch, compiler.O2)
+	}
+	// Features differ across architectures (else the learning task would be
+	// trivial) but stay far closer than across different functions.
+	diff := 0
+	for _, f := range mod.Funcs {
+		if byArch["amd64"][f.Name] != byArch["xarm32"][f.Name] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("features identical across architectures — no cross-platform signal")
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 3, Name: "libdet", NumFuncs: 8})
+	a := extractAll(t, mod, isa.X86, compiler.O3)
+	b := extractAll(t, mod, isa.X86, compiler.O3)
+	for name := range a {
+		if a[name] != b[name] {
+			t.Errorf("%s: nondeterministic features", name)
+		}
+	}
+}
+
+func TestBetweennessPathGraph(t *testing.T) {
+	// A straight-line function is a path graph: interior nodes have
+	// positive centrality, endpoints zero.
+	mod := &minic.Module{Name: "t", Funcs: []*minic.Func{
+		minic.NewFunc("f", []string{"a"},
+			minic.When(minic.Gt(minic.V("a"), minic.I(0)),
+				minic.Set("x", minic.I(1))),
+			minic.When(minic.Gt(minic.V("a"), minic.I(1)),
+				minic.Set("x", minic.I(2))),
+			minic.Ret(minic.V("x"))),
+	}}
+	im, err := compiler.Compile(mod, isa.AMD64, compiler.O0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := dis.Lookup("f")
+	cent := Betweenness(fn)
+	if len(cent) != len(fn.Blocks) {
+		t.Fatalf("centrality length %d, blocks %d", len(cent), len(fn.Blocks))
+	}
+	var pos int
+	for _, c := range cent {
+		if c < 0 {
+			t.Errorf("negative centrality %v", c)
+		}
+		if c > 0 {
+			pos++
+		}
+	}
+	if pos == 0 {
+		t.Error("no interior node has positive centrality")
+	}
+}
+
+func TestBetweennessKnownGraph(t *testing.T) {
+	// Hand-built 4-node path: 0->1->2->3. Betweenness (directed): node 1
+	// lies on paths 0->2, 0->3 (2 paths); node 2 on 0->3, 1->3 (2 paths).
+	fn := &disasm.Function{
+		Blocks: []disasm.Block{
+			{Index: 0, Succs: []int{1}},
+			{Index: 1, Succs: []int{2}},
+			{Index: 2, Succs: []int{3}},
+			{Index: 3},
+		},
+	}
+	cent := Betweenness(fn)
+	want := []float64{0, 2, 2, 0}
+	for i := range want {
+		if math.Abs(cent[i]-want[i]) > 1e-12 {
+			t.Errorf("cent[%d] = %v, want %v", i, cent[i], want[i])
+		}
+	}
+}
+
+func TestBetweennessDiamond(t *testing.T) {
+	// Diamond 0->{1,2}->3: shortest paths 0->3 split over 1 and 2, so each
+	// carries 0.5.
+	fn := &disasm.Function{
+		Blocks: []disasm.Block{
+			{Index: 0, Succs: []int{1, 2}},
+			{Index: 1, Succs: []int{3}},
+			{Index: 2, Succs: []int{3}},
+			{Index: 3},
+		},
+	}
+	cent := Betweenness(fn)
+	want := []float64{0, 0.5, 0.5, 0}
+	for i := range want {
+		if math.Abs(cent[i]-want[i]) > 1e-12 {
+			t.Errorf("cent[%d] = %v, want %v", i, cent[i], want[i])
+		}
+	}
+}
+
+func TestEmptyFunctionVector(t *testing.T) {
+	var fn disasm.Function
+	cent := Betweenness(&fn)
+	if len(cent) != 0 {
+		t.Error("empty function should have empty centrality")
+	}
+}

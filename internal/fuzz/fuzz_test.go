@@ -1,0 +1,129 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+func refFor(t *testing.T, fn *minic.Func) Ref {
+	t.Helper()
+	mod := &minic.Module{Name: "ref", Funcs: []*minic.Func{fn}}
+	im, err := compiler.Compile(mod, isa.AMD64, compiler.O1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, ok := dis.Lookup(fn.Name)
+	if !ok {
+		t.Fatal("function lost")
+	}
+	return Ref{Dis: dis, Fn: df}
+}
+
+func TestSeedEnvShape(t *testing.T) {
+	env := SeedEnv(64)
+	if len(env.Args) != 4 || env.Args[0] != minic.DataBase || env.Args[1] != 64 {
+		t.Errorf("seed args %v", env.Args)
+	}
+	if len(env.Data) != 64 || env.Data[0] != 4 || env.Data[63] != 1 {
+		t.Errorf("seed data malformed")
+	}
+	if got := SeedEnv(0); len(got.Data) != 64 {
+		t.Errorf("default data length %d", len(got.Data))
+	}
+}
+
+func TestEnvironmentsCleanOnAllRefs(t *testing.T) {
+	pair := minic.CVEByID("CVE-2018-9412")
+	vref := refFor(t, pair.Vulnerable)
+	pref := refFor(t, pair.Patched)
+	cfg := DefaultConfig(1)
+	cfg.NumEnvs = 4
+	envs := Environments([]Ref{vref, pref}, cfg)
+	if len(envs) == 0 {
+		t.Fatal("no environments found")
+	}
+	if len(envs) > cfg.NumEnvs {
+		t.Fatalf("got %d envs, cap is %d", len(envs), cfg.NumEnvs)
+	}
+	for i, env := range envs {
+		for _, ref := range []Ref{vref, pref} {
+			if _, err := emu.Execute(ref.Dis, ref.Fn, env.Clone(), cfg.StepLimit); err != nil {
+				t.Errorf("env %d traps on a reference: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestEnvironmentsDeterministic(t *testing.T) {
+	pair := minic.CVEByID("CVE-2018-9340")
+	ref := refFor(t, pair.Vulnerable)
+	cfg := DefaultConfig(7)
+	a := Environments([]Ref{ref}, cfg)
+	b := Environments([]Ref{ref}, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic env count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i].Data) != string(b[i].Data) {
+			t.Errorf("env %d data differs between runs", i)
+		}
+		for j := range a[i].Args {
+			if a[i].Args[j] != b[i].Args[j] {
+				t.Errorf("env %d args differ", i)
+			}
+		}
+	}
+}
+
+func TestEnvironmentsDiversity(t *testing.T) {
+	// Fuzzing a branchy function should produce more than one distinct env.
+	pair := minic.CVEByID("CVE-2018-9412")
+	ref := refFor(t, pair.Vulnerable)
+	cfg := DefaultConfig(3)
+	cfg.NumEnvs = 4
+	envs := Environments([]Ref{ref}, cfg)
+	if len(envs) < 2 {
+		t.Fatalf("only %d envs; coverage-guided search found no diversity", len(envs))
+	}
+	seen := make(map[string]bool)
+	for _, e := range envs {
+		seen[string(e.Data)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("all environments share identical data")
+	}
+}
+
+func TestEnvironmentsCrashOnlyTarget(t *testing.T) {
+	// A function that always traps yields no environments.
+	boom := minic.NewFunc("boom", []string{"a"},
+		minic.Ret(minic.Div(minic.I(1), minic.Sub(minic.V("a"), minic.V("a")))))
+	ref := refFor(t, boom)
+	if envs := Environments([]Ref{ref}, DefaultConfig(1)); envs != nil {
+		t.Errorf("got %d envs for an always-crashing target", len(envs))
+	}
+}
+
+func TestArgMutationsStayInValidRange(t *testing.T) {
+	pair := minic.CVEByID("CVE-2018-9470")
+	ref := refFor(t, pair.Vulnerable)
+	cfg := DefaultConfig(11)
+	cfg.NumEnvs = 8
+	cfg.MaxIters = 800
+	for _, env := range Environments([]Ref{ref}, cfg) {
+		for i := 1; i < len(env.Args); i++ {
+			if env.Args[i] > 2*argMutationBound || env.Args[i] < -argMutationBound {
+				t.Errorf("arg %d = %d escaped the valid-value range", i, env.Args[i])
+			}
+		}
+	}
+}

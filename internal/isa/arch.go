@@ -1,0 +1,327 @@
+package isa
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Family distinguishes the two instruction-set families.
+type Family int
+
+// Families.
+const (
+	RISC Family = iota + 1 // three-address load/store, fixed-width encoding
+	CISC                   // two-address + immediates, variable-width encoding
+)
+
+func (f Family) String() string {
+	if f == RISC {
+		return "RISC"
+	}
+	return "CISC"
+}
+
+// Arch describes one target architecture: its register file, instruction
+// family, word width and binary opcode assignment.
+type Arch struct {
+	Name     string
+	WordBits int
+	Family   Family
+	NumRegs  int
+
+	opToByte map[Op]byte
+	byteToOp map[byte]Op
+}
+
+// The four target architectures (the paper's x86 / amd64 / ARM32 / ARM64).
+var (
+	XARM32 = newArch("xarm32", 32, RISC, 16, 0xA3)
+	XARM64 = newArch("xarm64", 64, RISC, 16, 0x5C)
+	X86    = newArch("x86", 32, CISC, 8, 0x17)
+	AMD64  = newArch("amd64", 64, CISC, 16, 0xE9)
+)
+
+// All returns the four supported architectures.
+func All() []*Arch { return []*Arch{XARM32, XARM64, X86, AMD64} }
+
+// ByName resolves an architecture by name.
+func ByName(name string) (*Arch, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("isa: unknown architecture %q", name)
+}
+
+// newArch builds an architecture with a salt-derived opcode permutation, so
+// each architecture has a genuinely different binary opcode map.
+func newArch(name string, wordBits int, fam Family, numRegs int, salt int64) *Arch {
+	a := &Arch{
+		Name:     name,
+		WordBits: wordBits,
+		Family:   fam,
+		NumRegs:  numRegs,
+		opToByte: make(map[Op]byte, NumOps),
+		byteToOp: make(map[byte]Op, NumOps),
+	}
+	// Deterministically shuffle candidate opcode bytes 0x01..0xFF.
+	rng := rand.New(rand.NewSource(salt))
+	candidates := make([]byte, 0, 255)
+	for b := 1; b <= 255; b++ {
+		candidates = append(candidates, byte(b))
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	i := 0
+	for op := Op(1); op < opMax; op++ {
+		a.opToByte[op] = candidates[i]
+		a.byteToOp[candidates[i]] = op
+		i++
+	}
+	return a
+}
+
+// FP returns the frame-pointer register.
+func (a *Arch) FP() Reg { return Reg(a.NumRegs - 2) }
+
+// SP returns the stack-pointer register.
+func (a *Arch) SP() Reg { return Reg(a.NumRegs - 1) }
+
+// ArgRegs returns the argument-passing registers (also carry the return
+// value in slot 0).
+func (a *Arch) ArgRegs() []Reg { return []Reg{0, 1, 2, 3} }
+
+// ScratchRegs returns the registers the code generator may use for
+// expression evaluation.
+func (a *Arch) ScratchRegs() []Reg {
+	if a.NumRegs <= 8 {
+		return []Reg{4, 5} // register-starved x86
+	}
+	return []Reg{4, 5, 6, 7, 8, 9}
+}
+
+// VarRegs returns the registers available for register-allocating variables
+// at O1 and above. Register-starved architectures have none.
+func (a *Arch) VarRegs() []Reg {
+	if a.NumRegs <= 8 {
+		return nil
+	}
+	return []Reg{10, 11, 12, 13}
+}
+
+// riscSize is the fixed instruction width of the RISC encodings.
+func (a *Arch) riscSize() int {
+	if a.WordBits == 32 {
+		return 12 // [op][rd][rs1][rs2][imm64]
+	}
+	return 16 // [op][rd][rs1][rs2][pad4][imm64]
+}
+
+// ciscImmLen returns the encoded immediate width for a CISC instruction.
+// Branch offsets are fixed at 4 bytes and call/ldi at 8 so that instruction
+// sizes are independent of final layout; other immediates use the smallest
+// signed width that fits (the 32-bit variant has no 1-byte form).
+func (a *Arch) ciscImmLen(op Op, imm int64) int {
+	switch {
+	case op.IsBranch():
+		return 4
+	case op == Call || op == CallI || op == Ldi:
+		return 8
+	}
+	fits8 := imm >= -128 && imm <= 127
+	fits16 := imm >= -32768 && imm <= 32767
+	fits32 := imm >= -(1<<31) && imm <= (1<<31)-1
+	switch {
+	case fits8 && a.WordBits == 64:
+		return 1
+	case fits16:
+		return 2
+	case fits32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// ciscNeedsRs2 reports whether the CISC encoding carries a third register
+// byte for this op.
+func ciscNeedsRs2(op Op) bool {
+	return op == Cmp || op == Stb || op == Stw
+}
+
+// InstrSize returns the encoded size in bytes of in on this architecture.
+func (a *Arch) InstrSize(in Instr) int {
+	if a.Family == RISC {
+		return a.riscSize()
+	}
+	size := 2 // opcode + modrm
+	if ciscNeedsRs2(in.Op) {
+		size++
+	}
+	if in.Op.HasImm() {
+		size += 1 + a.ciscImmLen(in.Op, in.Imm)
+	}
+	return size
+}
+
+// Prologue returns the canonical function prologue instructions. Its
+// encoding is a constant byte pattern per architecture; the disassembler's
+// function-boundary heuristic scans for it in stripped images, standing in
+// for the "robust heuristic technique" the paper delegates to IDA Pro.
+func (a *Arch) Prologue() []Instr {
+	return []Instr{
+		{Op: Push, Rs1: a.FP()},
+		{Op: Mov, Rd: a.FP(), Rs1: a.SP()},
+	}
+}
+
+// PrologueBytes returns the encoded prologue byte pattern.
+func (a *Arch) PrologueBytes() []byte {
+	var out []byte
+	for _, in := range a.Prologue() {
+		out = a.appendInstr(out, in)
+	}
+	return out
+}
+
+// Encode lowers a function body to bytes. Branch instructions must carry
+// the *index* of their target instruction in Imm; Encode rewrites them to
+// intra-function byte offsets. It returns the encoded bytes and the byte
+// offset of each instruction.
+func (a *Arch) Encode(instrs []Instr) ([]byte, []int, error) {
+	offsets := make([]int, len(instrs)+1)
+	for i, in := range instrs {
+		offsets[i+1] = offsets[i] + a.InstrSize(in)
+	}
+	var out []byte
+	for i, in := range instrs {
+		if in.Op.IsBranch() {
+			t := int(in.Imm)
+			if t < 0 || t > len(instrs) {
+				return nil, nil, fmt.Errorf("isa: branch at %d targets instruction %d of %d", i, t, len(instrs))
+			}
+			in.Imm = int64(offsets[t])
+		}
+		out = a.appendInstr(out, in)
+	}
+	return out, offsets[:len(instrs)], nil
+}
+
+func (a *Arch) appendInstr(out []byte, in Instr) []byte {
+	ob, ok := a.opToByte[in.Op]
+	if !ok {
+		panic(fmt.Sprintf("isa: op %v not in %s opcode map", in.Op, a.Name))
+	}
+	if a.Family == RISC {
+		out = append(out, ob, byte(in.Rd), byte(in.Rs1), byte(in.Rs2))
+		if a.WordBits == 64 {
+			out = append(out, 0, 0, 0, 0)
+		}
+		u := uint64(in.Imm)
+		for i := 0; i < 8; i++ {
+			out = append(out, byte(u>>(8*uint(i))))
+		}
+		return out
+	}
+	// CISC: [op][modrm] [rs2?] [immlen imm...?]
+	out = append(out, ob, byte(in.Rd)<<4|byte(in.Rs1)&0x0f)
+	if ciscNeedsRs2(in.Op) {
+		out = append(out, byte(in.Rs2))
+	}
+	if in.Op.HasImm() {
+		n := a.ciscImmLen(in.Op, in.Imm)
+		out = append(out, byte(n))
+		u := uint64(in.Imm)
+		for i := 0; i < n; i++ {
+			out = append(out, byte(u>>(8*uint(i))))
+		}
+	}
+	return out
+}
+
+// Decode decodes a single instruction at the start of b, returning the
+// instruction and its encoded size. Branch immediates come back as
+// intra-function byte offsets, exactly as encoded.
+func (a *Arch) Decode(b []byte) (Instr, int, error) {
+	if len(b) == 0 {
+		return Instr{}, 0, fmt.Errorf("isa: empty input")
+	}
+	op, ok := a.byteToOp[b[0]]
+	if !ok {
+		return Instr{}, 0, fmt.Errorf("isa: %s: bad opcode byte %#x", a.Name, b[0])
+	}
+	if a.Family == RISC {
+		size := a.riscSize()
+		if len(b) < size {
+			return Instr{}, 0, fmt.Errorf("isa: %s: truncated instruction", a.Name)
+		}
+		in := Instr{Op: op, Rd: Reg(b[1]), Rs1: Reg(b[2]), Rs2: Reg(b[3])}
+		immOff := 4
+		if a.WordBits == 64 {
+			immOff = 8
+		}
+		var u uint64
+		for i := 0; i < 8; i++ {
+			u |= uint64(b[immOff+i]) << (8 * uint(i))
+		}
+		in.Imm = int64(u)
+		return in, size, nil
+	}
+	if len(b) < 2 {
+		return Instr{}, 0, fmt.Errorf("isa: %s: truncated instruction", a.Name)
+	}
+	in := Instr{Op: op, Rd: Reg(b[1] >> 4), Rs1: Reg(b[1] & 0x0f)}
+	pos := 2
+	if ciscNeedsRs2(op) {
+		if len(b) < pos+1 {
+			return Instr{}, 0, fmt.Errorf("isa: %s: truncated instruction", a.Name)
+		}
+		in.Rs2 = Reg(b[pos])
+		pos++
+	}
+	if op.HasImm() {
+		if len(b) < pos+1 {
+			return Instr{}, 0, fmt.Errorf("isa: %s: truncated instruction", a.Name)
+		}
+		n := int(b[pos])
+		pos++
+		switch n {
+		case 1, 2, 4, 8:
+		default:
+			return Instr{}, 0, fmt.Errorf("isa: %s: bad immediate length %d", a.Name, n)
+		}
+		if len(b) < pos+n {
+			return Instr{}, 0, fmt.Errorf("isa: %s: truncated immediate", a.Name)
+		}
+		var u uint64
+		for i := 0; i < n; i++ {
+			u |= uint64(b[pos+i]) << (8 * uint(i))
+		}
+		// Sign-extend.
+		shift := uint(64 - 8*n)
+		in.Imm = int64(u<<shift) >> shift
+		pos += n
+	}
+	return in, pos, nil
+}
+
+// DecodeAll decodes an entire function body.
+func (a *Arch) DecodeAll(b []byte) ([]Instr, []int, error) {
+	var (
+		instrs  []Instr
+		offsets []int
+	)
+	pos := 0
+	for pos < len(b) {
+		in, n, err := a.Decode(b[pos:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("at offset %d: %w", pos, err)
+		}
+		instrs = append(instrs, in)
+		offsets = append(offsets, pos)
+		pos += n
+	}
+	return instrs, offsets, nil
+}

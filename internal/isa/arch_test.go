@@ -1,0 +1,218 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randInstr generates a random but well-formed instruction for the arch.
+func randInstr(rng *rand.Rand, a *Arch) Instr {
+	for {
+		op := Op(1 + rng.Intn(NumOps-1))
+		if op == opMax {
+			continue
+		}
+		in := Instr{
+			Op:  op,
+			Rd:  Reg(rng.Intn(a.NumRegs)),
+			Rs1: Reg(rng.Intn(a.NumRegs)),
+			Rs2: Reg(rng.Intn(a.NumRegs)),
+		}
+		if op.HasImm() && !op.IsBranch() {
+			switch rng.Intn(4) {
+			case 0:
+				in.Imm = int64(int8(rng.Int()))
+			case 1:
+				in.Imm = int64(int16(rng.Int()))
+			case 2:
+				in.Imm = int64(int32(rng.Int()))
+			default:
+				in.Imm = rng.Int63() - rng.Int63()
+			}
+		}
+		// CISC encodings pack registers into nibbles and drop fields the
+		// format does not carry; normalize to what the format preserves.
+		if a.Family == CISC {
+			in.Rd &= 0x0f
+			in.Rs1 &= 0x0f
+			if !ciscNeedsRs2(op) {
+				in.Rs2 = 0
+			}
+		}
+		if !op.HasImm() {
+			in.Imm = 0
+		}
+		return in
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 2000; i++ {
+				in := randInstr(rng, a)
+				if in.Op.IsBranch() {
+					continue // branch immediates are rewritten by Encode; tested below
+				}
+				b := a.appendInstr(nil, in)
+				if len(b) != a.InstrSize(in) {
+					t.Fatalf("%v: encoded %d bytes, InstrSize says %d", in, len(b), a.InstrSize(in))
+				}
+				got, n, err := a.Decode(b)
+				if err != nil {
+					t.Fatalf("%v: decode: %v", in, err)
+				}
+				if n != len(b) {
+					t.Fatalf("%v: decode consumed %d of %d", in, n, len(b))
+				}
+				if got != in {
+					t.Fatalf("roundtrip mismatch: sent %+v, got %+v", in, got)
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeBranchTargets(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			// 0: ldi r0, 7; 1: jmp ->3; 2: nop; 3: ret
+			instrs := []Instr{
+				{Op: Ldi, Rd: 0, Imm: 7},
+				{Op: Jmp, Imm: 3}, // target = instruction index 3
+				{Op: Nop},
+				{Op: Ret},
+			}
+			b, offs, err := a.Encode(instrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, doffs, err := a.DecodeAll(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(decoded) != 4 {
+				t.Fatalf("decoded %d instrs, want 4", len(decoded))
+			}
+			for i := range offs {
+				if offs[i] != doffs[i] {
+					t.Fatalf("offset %d: encode %d vs decode %d", i, offs[i], doffs[i])
+				}
+			}
+			if decoded[1].Imm != int64(offs[3]) {
+				t.Errorf("jmp byte offset = %d, want %d", decoded[1].Imm, offs[3])
+			}
+		})
+	}
+}
+
+func TestEncodeBranchOutOfRange(t *testing.T) {
+	_, _, err := XARM64.Encode([]Instr{{Op: Jmp, Imm: 99}})
+	if err == nil {
+		t.Error("want error for out-of-range branch target")
+	}
+}
+
+func TestArchEncodingsDiffer(t *testing.T) {
+	in := []Instr{{Op: Ldi, Rd: 1, Imm: 42}, {Op: Ret}}
+	seen := make(map[string]string)
+	for _, a := range All() {
+		b, _, err := a.Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := seen[string(b)]; ok {
+			t.Errorf("%s and %s share an encoding", a.Name, prev)
+		}
+		seen[string(b)] = a.Name
+	}
+}
+
+func TestPrologueConstantAndDecodable(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			p1 := a.PrologueBytes()
+			p2 := a.PrologueBytes()
+			if !bytes.Equal(p1, p2) {
+				t.Fatal("prologue bytes not constant")
+			}
+			instrs, _, err := a.DecodeAll(p1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(instrs) != 2 || instrs[0].Op != Push || instrs[1].Op != Mov {
+				t.Errorf("prologue decodes to %v", instrs)
+			}
+			if instrs[0].Rs1 != a.FP() || instrs[1].Rd != a.FP() || instrs[1].Rs1 != a.SP() {
+				t.Errorf("prologue registers wrong: %v", instrs)
+			}
+		})
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	// Every op belongs to a well-defined, non-contradictory class set.
+	for op := Op(1); op < opMax; op++ {
+		if op.IsArith() && op.IsArithFP() {
+			t.Errorf("%v is both int and FP arithmetic", op)
+		}
+		if op.IsBranch() && op.IsCall() {
+			t.Errorf("%v is both branch and call", op)
+		}
+		if op.IsLoad() && op.IsStore() {
+			t.Errorf("%v is both load and store", op)
+		}
+	}
+	if !Jz.IsCondBranch() || Jmp.IsCondBranch() {
+		t.Error("cond-branch classification wrong")
+	}
+	if !Jmp.Terminates() || !Ret.Terminates() || Jz.Terminates() {
+		t.Error("terminator classification wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		got, err := ByName(a.Name)
+		if err != nil || got != a {
+			t.Errorf("ByName(%s) = %v, %v", a.Name, got, err)
+		}
+	}
+	if _, err := ByName("mips"); err == nil {
+		t.Error("want error for unknown arch")
+	}
+}
+
+func TestWordWidthsAndRegisterFiles(t *testing.T) {
+	if X86.NumRegs != 8 || len(X86.VarRegs()) != 0 || len(X86.ScratchRegs()) != 2 {
+		t.Error("x86 register file should be starved")
+	}
+	if AMD64.NumRegs != 16 || len(AMD64.VarRegs()) == 0 {
+		t.Error("amd64 register file wrong")
+	}
+	// Fixed RISC widths differ between 32- and 64-bit variants.
+	i := Instr{Op: Nop}
+	if XARM32.InstrSize(i) == XARM64.InstrSize(i) {
+		t.Error("RISC 32/64 encodings should differ in width")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := AMD64.Decode(nil); err == nil {
+		t.Error("want error for empty input")
+	}
+	// An opcode byte that is not assigned must fail. Find one.
+	for b := 1; b <= 255; b++ {
+		if _, ok := AMD64.byteToOp[byte(b)]; !ok {
+			if _, _, err := AMD64.Decode([]byte{byte(b), 0}); err == nil {
+				t.Error("want error for unassigned opcode byte")
+			}
+			return
+		}
+	}
+}

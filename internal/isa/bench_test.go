@@ -1,0 +1,54 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchInstrs(n int) []Instr {
+	rng := rand.New(rand.NewSource(9))
+	out := make([]Instr, 0, n)
+	for i := 0; i < n; i++ {
+		in := randInstr(rng, AMD64)
+		if in.Op.IsBranch() {
+			in = Instr{Op: Nop}
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, arch := range All() {
+		arch := arch
+		b.Run(arch.Name, func(b *testing.B) {
+			instrs := benchInstrs(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := arch.Encode(instrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for _, arch := range All() {
+		arch := arch
+		b.Run(arch.Name, func(b *testing.B) {
+			instrs := benchInstrs(256)
+			enc, _, err := arch.Encode(instrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(enc)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := arch.DecodeAll(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package isa
+
+import (
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to every architecture's decoder: it must
+// never panic, and whatever it accepts must re-encode to the same bytes
+// (decode/encode idempotence on the accepted prefix).
+func FuzzDecode(f *testing.F) {
+	for _, arch := range All() {
+		f.Add(arch.PrologueBytes())
+		enc, _, _ := arch.Encode([]Instr{{Op: Ldi, Rd: 1, Imm: -42}, {Op: Ret}})
+		f.Add(enc)
+	}
+	f.Add([]byte{0x00, 0x01, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, arch := range All() {
+			in, n, err := arch.Decode(data)
+			if err != nil {
+				continue
+			}
+			if n <= 0 || n > len(data) {
+				t.Fatalf("%s: decode consumed %d of %d bytes", arch.Name, n, len(data))
+			}
+			// Branch immediates are rewritten by Encode, so skip them.
+			if in.Op.IsBranch() {
+				continue
+			}
+			re := arch.appendInstr(nil, in)
+			// Re-encoding may legitimately pick a smaller immediate width
+			// for CISC, so compare via a second decode instead of bytes.
+			in2, _, err := arch.Decode(re)
+			if err != nil {
+				t.Fatalf("%s: re-encoded instruction undecodable: %v (%v)", arch.Name, err, in)
+			}
+			if in2 != in {
+				t.Fatalf("%s: decode/encode/decode drift: %+v vs %+v", arch.Name, in, in2)
+			}
+		}
+	})
+}
+
+// FuzzDecodeAllNoHang ensures DecodeAll terminates and either consumes the
+// whole input or errors.
+func FuzzDecodeAllNoHang(f *testing.F) {
+	enc, _, _ := AMD64.Encode([]Instr{{Op: Nop}, {Op: Ret}})
+	f.Add(enc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		instrs, offs, err := AMD64.DecodeAll(data)
+		if err != nil {
+			return
+		}
+		if len(instrs) != len(offs) {
+			t.Fatal("instrs/offsets length mismatch")
+		}
+		total := 0
+		for i := range instrs {
+			if offs[i] != total {
+				t.Fatalf("offset drift at %d", i)
+			}
+			total += AMD64.InstrSize(instrs[i])
+		}
+		if total != len(data) {
+			t.Fatalf("DecodeAll accepted %d of %d bytes without error", total, len(data))
+		}
+	})
+}

@@ -1,0 +1,284 @@
+// Package isa defines the instruction sets of the four synthetic target
+// architectures the corpus is compiled for, together with their binary
+// encodings.
+//
+// The paper evaluates PATCHECKO cross-platform on x86, amd64, ARM 32-bit and
+// ARM 64-bit. This package mirrors that heterogeneity with two instruction
+// families — a register-rich three-address load/store family ("RISC", the
+// ARM stand-ins) and a two-address family with immediate-operand ALU forms
+// and variable-length encodings ("CISC", the x86 stand-ins) — each in a
+// 32-bit and a 64-bit variant with its own opcode map. The same source
+// function therefore compiles to materially different instruction streams,
+// opcode mixes, block structures and byte encodings per architecture, which
+// is precisely the variation the paper's similarity model must see through.
+package isa
+
+import "fmt"
+
+// Reg names a general-purpose register. Register file layout is
+// per-architecture (see Arch); by convention the two highest registers are
+// the frame pointer and the stack pointer.
+type Reg uint8
+
+// Op is an architecture-independent operation code. Each architecture
+// encodes a subset of these with its own opcode byte assignment.
+type Op uint8
+
+// Operations. The "2" suffix marks two-address forms (rd op= rs1) used by
+// the CISC family; the "I" suffix marks immediate forms (rd op= imm).
+const (
+	Nop Op = iota + 1
+	Ldi    // rd <- imm
+	Mov    // rd <- rs1
+
+	// RISC three-address ALU: rd <- rs1 op rs2.
+	Add
+	Sub
+	Mul
+	Div
+	Mod
+	AndOp
+	OrOp
+	XorOp
+	Shl
+	Shr
+	Fadd
+	Fsub
+	Fmul
+	Fdiv
+	// RISC compare-to-register: rd <- (rs1 op rs2) ? 1 : 0.
+	Seq
+	Sne
+	Slt
+	Sle
+	Sgt
+	Sge
+	// RISC unary: rd <- op rs1.
+	NegOp
+	NotOp
+	Inv
+
+	// CISC two-address ALU: rd <- rd op rs1.
+	Add2
+	Sub2
+	Mul2
+	Div2
+	Mod2
+	And2
+	Or2
+	Xor2
+	Shl2
+	Shr2
+	Fadd2
+	Fsub2
+	Fmul2
+	Fdiv2
+	// CISC unary in place: rd <- op rd.
+	Neg2
+	Not2
+	Inv2
+	// CISC ALU immediate: rd <- rd op imm.
+	AddI
+	SubI
+	MulI
+	AndI
+	OrI
+	XorI
+	ShlI
+	ShrI
+
+	// CISC flag-setting compares and conditional branches.
+	Cmp  // flags <- compare(rs1, rs2)
+	CmpI // flags <- compare(rs1, imm)
+	Je   // branch if equal
+	Jne
+	Jl
+	Jle
+	Jg
+	Jge
+	// CISC flag materialization (x86 SETcc): rd <- predicate(flags).
+	Sete
+	Setne
+	Setl
+	Setle
+	Setg
+	Setge
+
+	// Memory. Byte loads zero-extend; words are 64-bit little-endian.
+	Ldb // rd <- mem8[rs1+imm]
+	Stb // mem8[rs1+imm] <- rs2 (low byte)
+	Ldw // rd <- mem64[rs1+imm]
+	Stw // mem64[rs1+imm] <- rs2
+
+	// Control flow. Branch/call immediates hold an intra-function byte
+	// offset (branches) or an absolute address / pre-link function index
+	// (Call) / import-table index (CallI).
+	Jmp
+	Jz  // branch if rs1 == 0 (RISC)
+	Jnz // branch if rs1 != 0 (RISC)
+	Call
+	CallI
+	Ret
+
+	// Stack.
+	Push  // sp -= 8; mem64[sp] <- rs1
+	Pop   // rd <- mem64[sp]; sp += 8
+	AddSp // sp += imm
+
+	opMax // sentinel
+)
+
+var opNames = map[Op]string{
+	Nop: "nop", Ldi: "ldi", Mov: "mov",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Mod: "mod",
+	AndOp: "and", OrOp: "or", XorOp: "xor", Shl: "shl", Shr: "shr",
+	Fadd: "fadd", Fsub: "fsub", Fmul: "fmul", Fdiv: "fdiv",
+	Seq: "seq", Sne: "sne", Slt: "slt", Sle: "sle", Sgt: "sgt", Sge: "sge",
+	NegOp: "neg", NotOp: "not", Inv: "inv",
+	Add2: "add2", Sub2: "sub2", Mul2: "mul2", Div2: "div2", Mod2: "mod2",
+	And2: "and2", Or2: "or2", Xor2: "xor2", Shl2: "shl2", Shr2: "shr2",
+	Fadd2: "fadd2", Fsub2: "fsub2", Fmul2: "fmul2", Fdiv2: "fdiv2",
+	Neg2: "neg2", Not2: "not2", Inv2: "inv2",
+	AddI: "addi", SubI: "subi", MulI: "muli", AndI: "andi", OrI: "ori",
+	XorI: "xori", ShlI: "shli", ShrI: "shri",
+	Cmp: "cmp", CmpI: "cmpi",
+	Je: "je", Jne: "jne", Jl: "jl", Jle: "jle", Jg: "jg", Jge: "jge",
+	Sete: "sete", Setne: "setne", Setl: "setl", Setle: "setle",
+	Setg: "setg", Setge: "setge",
+	Ldb: "ldb", Stb: "stb", Ldw: "ldw", Stw: "stw",
+	Jmp: "jmp", Jz: "jz", Jnz: "jnz", Call: "call", CallI: "calli", Ret: "ret",
+	Push: "push", Pop: "pop", AddSp: "addsp",
+}
+
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// NumOps is the size of the generic opcode space.
+const NumOps = int(opMax)
+
+// HasImm reports whether instructions with this op carry an immediate.
+func (op Op) HasImm() bool {
+	switch op {
+	case Ldi, AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, CmpI,
+		Ldb, Stb, Ldw, Stw,
+		Jmp, Jz, Jnz, Je, Jne, Jl, Jle, Jg, Jge,
+		Call, CallI, AddSp:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the op transfers control within the function.
+func (op Op) IsBranch() bool {
+	switch op {
+	case Jmp, Jz, Jnz, Je, Jne, Jl, Jle, Jg, Jge:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the op is a conditional branch.
+func (op Op) IsCondBranch() bool {
+	return op.IsBranch() && op != Jmp
+}
+
+// IsCall reports whether the op is a call (local or import).
+func (op Op) IsCall() bool { return op == Call || op == CallI }
+
+// IsArith reports whether the op is an integer arithmetic/logic instruction
+// (the paper's "arithmetic instruction" feature family).
+func (op Op) IsArith() bool {
+	switch op {
+	case Add, Sub, Mul, Div, Mod, AndOp, OrOp, XorOp, Shl, Shr,
+		Seq, Sne, Slt, Sle, Sgt, Sge, NegOp, NotOp, Inv,
+		Add2, Sub2, Mul2, Div2, Mod2, And2, Or2, Xor2, Shl2, Shr2,
+		Neg2, Not2, Inv2,
+		AddI, SubI, MulI, AndI, OrI, XorI, ShlI, ShrI, Cmp, CmpI,
+		Sete, Setne, Setl, Setle, Setg, Setge:
+		return true
+	}
+	return false
+}
+
+// IsArithFP reports whether the op is a floating-point arithmetic
+// instruction.
+func (op Op) IsArithFP() bool {
+	switch op {
+	case Fadd, Fsub, Fmul, Fdiv, Fadd2, Fsub2, Fmul2, Fdiv2:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the op reads data memory.
+func (op Op) IsLoad() bool {
+	switch op {
+	case Ldb, Ldw, Pop:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the op writes data memory.
+func (op Op) IsStore() bool {
+	switch op {
+	case Stb, Stw, Push:
+		return true
+	}
+	return false
+}
+
+// Terminates reports whether control never falls through this op to the
+// next instruction.
+func (op Op) Terminates() bool { return op == Jmp || op == Ret }
+
+// Instr is one decoded (or not-yet-encoded) instruction.
+//
+// Branch instructions interpret Imm as a byte offset from the start of the
+// function. Before linking, Call's Imm is the callee's function index within
+// the object; the linker rewrites it to the callee's absolute address.
+// CallI's Imm is an import-table index.
+type Instr struct {
+	Op       Op
+	Rd       Reg
+	Rs1, Rs2 Reg
+	Imm      int64
+}
+
+func (in Instr) String() string {
+	switch {
+	case in.Op == Ret || in.Op == Nop:
+		return in.Op.String()
+	case in.Op == Push:
+		return fmt.Sprintf("push r%d", in.Rs1)
+	case in.Op == Pop:
+		return fmt.Sprintf("pop r%d", in.Rd)
+	case in.Op.IsBranch() || in.Op.IsCall() || in.Op == AddSp:
+		if in.Op == Jz || in.Op == Jnz {
+			return fmt.Sprintf("%s r%d, %d", in.Op, in.Rs1, in.Imm)
+		}
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case in.Op == Ldb || in.Op == Ldw:
+		return fmt.Sprintf("%s r%d, [r%d%+d]", in.Op, in.Rd, in.Rs1, in.Imm)
+	case in.Op == Stb || in.Op == Stw:
+		return fmt.Sprintf("%s [r%d%+d], r%d", in.Op, in.Rs1, in.Imm, in.Rs2)
+	case in.Op >= Sete && in.Op <= Setge:
+		return fmt.Sprintf("%s r%d", in.Op, in.Rd)
+	case in.Op == Cmp:
+		return fmt.Sprintf("cmp r%d, r%d", in.Rs1, in.Rs2)
+	case in.Op == CmpI:
+		return fmt.Sprintf("cmpi r%d, %d", in.Rs1, in.Imm)
+	case in.Op.HasImm():
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case in.Op == Mov || (in.Op >= NegOp && in.Op <= Inv):
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs1)
+	case in.Op >= Add2 && in.Op <= Inv2:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs1)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}

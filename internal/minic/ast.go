@@ -1,0 +1,439 @@
+// Package minic defines the small procedural source language that every
+// binary in this repository is compiled from.
+//
+// The PATCHECKO paper (DSN 2020) evaluates on Android libraries compiled from
+// C++ sources with Clang across four architectures and six optimization
+// levels. This package is the stand-in for those sources: a deliberately
+// C-like language with functions, integer arithmetic, byte-addressed memory,
+// loops and calls. Keeping the language small lets the repository own the
+// entire toolchain — compiler, binary format, disassembler, emulator — while
+// preserving the property the paper's learning task depends on: the same
+// source function compiled for different targets and optimization levels
+// yields syntactically different but semantically equal machine code.
+//
+// Semantics are fixed by the reference interpreter in interp.go; the
+// compiler + emulator pipeline must agree with it (see the semantics
+// preservation property tests).
+package minic
+
+import "fmt"
+
+// Address-space layout shared by the interpreter and the emulator so that
+// pointer arithmetic is observationally identical in both.
+const (
+	// DataBase is the address of the input/data buffer. Addresses below it
+	// form the null guard page: any access traps.
+	DataBase = 0x1000
+	// DataSize is the size of the data region in bytes.
+	DataSize = 1 << 16
+	// HeapBase is the address of the first byte handed out by malloc.
+	HeapBase = 0x100000
+	// HeapSize bounds the bump allocator.
+	HeapSize = 1 << 20
+)
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators. Comparison operators evaluate to 0 or 1.
+const (
+	OpAdd BinOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv // traps on division by zero
+	OpMod // traps on division by zero
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift count taken mod 64
+	OpShr // logical shift; count taken mod 64
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// Floating-point operators reinterpret their operands' bits as float64
+	// and return the result's bits. They exist so that compiled code
+	// contains arithmetic-FP instructions (several Table I/II features
+	// count them).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpFAdd: "f+", OpFSub: "f-", OpFMul: "f*", OpFDiv: "f/",
+}
+
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// IsFloat reports whether the operator is one of the floating-point group.
+func (op BinOp) IsFloat() bool {
+	switch op {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		return true
+	}
+	return false
+}
+
+// IsCompare reports whether the operator yields a boolean (0/1) result.
+func (op BinOp) IsCompare() bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota + 1 // arithmetic negation
+	OpNot                 // logical not: 1 if operand is 0, else 0
+	OpInv                 // bitwise complement
+)
+
+// Expr is a source-level expression. All expressions evaluate to an int64.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	V int64
+}
+
+// StrLit is a string literal; it evaluates to the address where the string
+// (NUL-terminated) has been placed in the data region. The compiler places
+// string literals in .rodata; the interpreter lays them out at the top of
+// the data region.
+type StrLit struct {
+	S string
+}
+
+// VarRef reads a parameter or local variable.
+type VarRef struct {
+	Name string
+}
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Un applies a unary operator.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+// Load reads one byte from memory at address Base+Index and zero-extends it.
+type Load struct {
+	Base  Expr
+	Index Expr
+}
+
+// LoadW reads a little-endian 8-byte word from memory at Base+Index*8.
+type LoadW struct {
+	Base  Expr
+	Index Expr
+}
+
+// CallExpr calls a function by name. The callee is either another function
+// in the same module or a builtin library function (see builtins.go).
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (*IntLit) exprNode()   {}
+func (*StrLit) exprNode()   {}
+func (*VarRef) exprNode()   {}
+func (*Bin) exprNode()      {}
+func (*Un) exprNode()       {}
+func (*Load) exprNode()     {}
+func (*LoadW) exprNode()    {}
+func (*CallExpr) exprNode() {}
+
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.V) }
+func (e *StrLit) String() string { return fmt.Sprintf("%q", e.S) }
+func (e *VarRef) String() string { return e.Name }
+func (e *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+func (e *Un) String() string {
+	switch e.Op {
+	case OpNeg:
+		return fmt.Sprintf("(-%s)", e.X)
+	case OpNot:
+		return fmt.Sprintf("(!%s)", e.X)
+	default:
+		return fmt.Sprintf("(~%s)", e.X)
+	}
+}
+func (e *Load) String() string  { return fmt.Sprintf("%s[%s]", e.Base, e.Index) }
+func (e *LoadW) String() string { return fmt.Sprintf("%s.w[%s]", e.Base, e.Index) }
+func (e *CallExpr) String() string {
+	s := e.Name + "("
+	for i, a := range e.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+// Stmt is a source-level statement.
+type Stmt interface {
+	stmtNode()
+}
+
+// Assign stores the value of E into the named local/parameter.
+type Assign struct {
+	Name string
+	E    Expr
+}
+
+// Store writes the low byte of Val to memory at Base+Index.
+type Store struct {
+	Base  Expr
+	Index Expr
+	Val   Expr
+}
+
+// StoreW writes Val as a little-endian 8-byte word at Base+Index*8.
+type StoreW struct {
+	Base  Expr
+	Index Expr
+	Val   Expr
+}
+
+// If branches on Cond != 0.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops while Cond != 0.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// Return returns from the function. A nil E returns 0.
+type Return struct {
+	E Expr
+}
+
+// ExprStmt evaluates E for its side effects (typically a call).
+type ExprStmt struct {
+	E Expr
+}
+
+// Break exits the innermost loop.
+type Break struct{}
+
+// Continue jumps to the condition of the innermost loop.
+type Continue struct{}
+
+func (*Assign) stmtNode()   {}
+func (*Store) stmtNode()    {}
+func (*StoreW) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*Return) stmtNode()   {}
+func (*ExprStmt) stmtNode() {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+
+// Func is a single source-level function.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Module is a compilation unit — the analog of one Android library's source.
+type Module struct {
+	Name  string
+	Funcs []*Func
+}
+
+// Lookup returns the function with the given name, or nil.
+func (m *Module) Lookup(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Locals returns the set of variable names assigned in the function body
+// that are not parameters, in first-assignment order. The compiler uses this
+// to size stack frames; size_local is one of the 48 static features.
+func (f *Func) Locals() []string {
+	seen := make(map[string]bool, len(f.Params))
+	for _, p := range f.Params {
+		seen[p] = true
+	}
+	var out []string
+	var walk func(ss []Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *Assign:
+				if !seen[s.Name] {
+					seen[s.Name] = true
+					out = append(out, s.Name)
+				}
+			case *If:
+				walk(s.Then)
+				walk(s.Else)
+			case *While:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(f.Body)
+	return out
+}
+
+// Strings returns all string literals referenced by the function, in
+// source order. The compiler interns them into .rodata.
+func (f *Func) Strings() []string {
+	var out []string
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case *StrLit:
+			out = append(out, e.S)
+		case *Bin:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *Un:
+			walkExpr(e.X)
+		case *Load:
+			walkExpr(e.Base)
+			walkExpr(e.Index)
+		case *LoadW:
+			walkExpr(e.Base)
+			walkExpr(e.Index)
+		case *CallExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walk func(ss []Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *Assign:
+				walkExpr(s.E)
+			case *Store:
+				walkExpr(s.Base)
+				walkExpr(s.Index)
+				walkExpr(s.Val)
+			case *StoreW:
+				walkExpr(s.Base)
+				walkExpr(s.Index)
+				walkExpr(s.Val)
+			case *If:
+				walkExpr(s.Cond)
+				walk(s.Then)
+				walk(s.Else)
+			case *While:
+				walkExpr(s.Cond)
+				walk(s.Body)
+			case *Return:
+				if s.E != nil {
+					walkExpr(s.E)
+				}
+			case *ExprStmt:
+				walkExpr(s.E)
+			}
+		}
+	}
+	walk(f.Body)
+	return out
+}
+
+// Callees returns the distinct names of functions called by f, in first-call
+// order.
+func (f *Func) Callees() []string {
+	seen := make(map[string]bool)
+	var out []string
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case *Bin:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *Un:
+			walkExpr(e.X)
+		case *Load:
+			walkExpr(e.Base)
+			walkExpr(e.Index)
+		case *LoadW:
+			walkExpr(e.Base)
+			walkExpr(e.Index)
+		case *CallExpr:
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				out = append(out, e.Name)
+			}
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walk func(ss []Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *Assign:
+				walkExpr(s.E)
+			case *Store:
+				walkExpr(s.Base)
+				walkExpr(s.Index)
+				walkExpr(s.Val)
+			case *StoreW:
+				walkExpr(s.Base)
+				walkExpr(s.Index)
+				walkExpr(s.Val)
+			case *If:
+				walkExpr(s.Cond)
+				walk(s.Then)
+				walk(s.Else)
+			case *While:
+				walkExpr(s.Cond)
+				walk(s.Body)
+			case *Return:
+				if s.E != nil {
+					walkExpr(s.E)
+				}
+			case *ExprStmt:
+				walkExpr(s.E)
+			}
+		}
+	}
+	walk(f.Body)
+	return out
+}

@@ -1,0 +1,168 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprStrings(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want string
+	}{
+		{I(42), "42"},
+		{S("hi"), `"hi"`},
+		{V("x"), "x"},
+		{Add(V("a"), I(1)), "(a + 1)"},
+		{Sub(V("a"), V("b")), "(a - b)"},
+		{Mul(I(2), I(3)), "(2 * 3)"},
+		{Div(V("a"), V("b")), "(a / b)"},
+		{Mod(V("a"), V("b")), "(a % b)"},
+		{Eq(V("a"), I(0)), "(a == 0)"},
+		{Ne(V("a"), I(0)), "(a != 0)"},
+		{Lt(V("a"), I(0)), "(a < 0)"},
+		{Le(V("a"), I(0)), "(a <= 0)"},
+		{Gt(V("a"), I(0)), "(a > 0)"},
+		{Ge(V("a"), I(0)), "(a >= 0)"},
+		{And(V("a"), I(7)), "(a & 7)"},
+		{Or(V("a"), I(7)), "(a | 7)"},
+		{Xor(V("a"), I(7)), "(a ^ 7)"},
+		{Shl(V("a"), I(2)), "(a << 2)"},
+		{Shr(V("a"), I(2)), "(a >> 2)"},
+		{B(OpFAdd, V("a"), V("b")), "(a f+ b)"},
+		{B(OpFDiv, V("a"), V("b")), "(a f/ b)"},
+		{Neg(V("a")), "(-a)"},
+		{Not(V("a")), "(!a)"},
+		{&Un{Op: OpInv, X: V("a")}, "(~a)"},
+		{Ld(V("p"), V("i")), "p[i]"},
+		{LdW(V("p"), I(2)), "p.w[2]"},
+		{Call("min", V("a"), I(1)), "min(a, 1)"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpFAdd.IsFloat() || OpAdd.IsFloat() {
+		t.Error("IsFloat wrong")
+	}
+	if !OpLt.IsCompare() || OpAdd.IsCompare() {
+		t.Error("IsCompare wrong")
+	}
+	if BinOp(99).String() == "" || !strings.Contains(BinOp(99).String(), "99") {
+		t.Error("unknown op String should include the code")
+	}
+}
+
+func TestTrapKindStrings(t *testing.T) {
+	kinds := []TrapKind{TrapOOB, TrapDivZero, TrapBadCall, TrapStepLimit, TrapStack, TrapDecode}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("TrapKind %d: bad or duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(TrapKind(77).String(), "77") {
+		t.Error("unknown kind should render its code")
+	}
+	// TrapError messages.
+	if s := (&TrapError{Kind: TrapOOB, Addr: 0x20}).Error(); !strings.Contains(s, "0x20") {
+		t.Errorf("OOB error lacks address: %s", s)
+	}
+	if s := (&TrapError{Kind: TrapBadCall, Msg: "nope"}).Error(); !strings.Contains(s, "nope") {
+		t.Errorf("error lacks message: %s", s)
+	}
+	if s := (&TrapError{Kind: TrapDivZero}).Error(); !strings.Contains(s, "division") {
+		t.Errorf("plain error wrong: %s", s)
+	}
+	// IsTrap on non-traps.
+	if _, ok := IsTrap(nil); ok {
+		t.Error("IsTrap(nil) = true")
+	}
+}
+
+func TestBuiltinTable(t *testing.T) {
+	if NumBuiltins() == 0 {
+		t.Fatal("empty builtin table")
+	}
+	for i := 0; i < NumBuiltins(); i++ {
+		b, ok := BuiltinByIndex(i)
+		if !ok || b.Index != i {
+			t.Fatalf("BuiltinByIndex(%d) inconsistent", i)
+		}
+		if Builtins[b.Name] != b {
+			t.Errorf("name map and index table disagree for %s", b.Name)
+		}
+		if b.Kind != KindLib && b.Kind != KindSys {
+			t.Errorf("%s: bad kind", b.Name)
+		}
+	}
+	if _, ok := BuiltinByIndex(-1); ok {
+		t.Error("negative index accepted")
+	}
+	if _, ok := BuiltinByIndex(NumBuiltins()); ok {
+		t.Error("out-of-range index accepted")
+	}
+	// The import table must contain both kinds (Table II separates library
+	// calls from syscalls).
+	var lib, sys bool
+	for _, b := range Builtins {
+		if b.Kind == KindLib {
+			lib = true
+		} else {
+			sys = true
+		}
+	}
+	if !lib || !sys {
+		t.Error("builtin table missing a kind")
+	}
+}
+
+func TestModuleLookup(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{NewFunc("f", nil, Ret(I(0)))}}
+	if m.Lookup("f") == nil || m.Lookup("g") != nil {
+		t.Error("Lookup wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := NewFunc("f", []string{"a"},
+		When(Gt(V("a"), I(0)), Set("x", Add(V("a"), I(1)))),
+		Ret(V("x")))
+	g := CloneFunc(f)
+	// Mutate the clone deeply; the original must be untouched.
+	g.Body[0].(*If).Then[0].(*Assign).E = I(999)
+	orig := f.Body[0].(*If).Then[0].(*Assign).E
+	if lit, ok := orig.(*IntLit); ok && lit.V == 999 {
+		t.Error("CloneFunc shares expression nodes")
+	}
+	// All statement kinds round-trip through CloneStmt.
+	stmts := []Stmt{
+		Set("x", I(1)),
+		St(V("p"), I(0), I(1)),
+		StW(V("p"), I(0), I(1)),
+		When(I(1), Ret(I(0))),
+		Loop(I(0)),
+		&Return{},
+		Do(Call("read_time")),
+	}
+	for _, s := range stmts {
+		c := CloneStmt(s)
+		if c == s {
+			t.Errorf("%T not deep-cloned", s)
+		}
+	}
+	// Break/Continue are zero-size (identical addresses are fine); just
+	// check the clones have the right dynamic type.
+	if _, ok := CloneStmt(&Break{}).(*Break); !ok {
+		t.Error("Break clone has wrong type")
+	}
+	if _, ok := CloneStmt(&Continue{}).(*Continue); !ok {
+		t.Error("Continue clone has wrong type")
+	}
+}

@@ -1,0 +1,132 @@
+package minic
+
+// Builder helpers. The CVE corpus (cves.go) and the library generator
+// (gen.go) construct a lot of AST by hand; these shorthands keep that code
+// readable. They are also used pervasively by tests across the repository.
+
+// I builds an integer literal.
+func I(v int64) *IntLit { return &IntLit{V: v} }
+
+// S builds a string literal.
+func S(s string) *StrLit { return &StrLit{S: s} }
+
+// V builds a variable reference.
+func V(name string) *VarRef { return &VarRef{Name: name} }
+
+// B builds a binary expression.
+func B(op BinOp, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
+
+// Add, Sub, Mul, Div, Mod build the corresponding arithmetic expressions.
+func Add(l, r Expr) *Bin { return B(OpAdd, l, r) }
+
+// Sub builds l - r.
+func Sub(l, r Expr) *Bin { return B(OpSub, l, r) }
+
+// Mul builds l * r.
+func Mul(l, r Expr) *Bin { return B(OpMul, l, r) }
+
+// Div builds l / r (traps on zero divisor).
+func Div(l, r Expr) *Bin { return B(OpDiv, l, r) }
+
+// Mod builds l % r (traps on zero divisor).
+func Mod(l, r Expr) *Bin { return B(OpMod, l, r) }
+
+// Eq builds l == r.
+func Eq(l, r Expr) *Bin { return B(OpEq, l, r) }
+
+// Ne builds l != r.
+func Ne(l, r Expr) *Bin { return B(OpNe, l, r) }
+
+// Lt builds l < r.
+func Lt(l, r Expr) *Bin { return B(OpLt, l, r) }
+
+// Le builds l <= r.
+func Le(l, r Expr) *Bin { return B(OpLe, l, r) }
+
+// Gt builds l > r.
+func Gt(l, r Expr) *Bin { return B(OpGt, l, r) }
+
+// Ge builds l >= r.
+func Ge(l, r Expr) *Bin { return B(OpGe, l, r) }
+
+// And builds the bitwise and of l and r.
+func And(l, r Expr) *Bin { return B(OpAnd, l, r) }
+
+// Or builds the bitwise or of l and r.
+func Or(l, r Expr) *Bin { return B(OpOr, l, r) }
+
+// Xor builds the bitwise xor of l and r.
+func Xor(l, r Expr) *Bin { return B(OpXor, l, r) }
+
+// Shl builds l << r.
+func Shl(l, r Expr) *Bin { return B(OpShl, l, r) }
+
+// Shr builds the logical shift l >> r.
+func Shr(l, r Expr) *Bin { return B(OpShr, l, r) }
+
+// Not builds the logical negation of x.
+func Not(x Expr) *Un { return &Un{Op: OpNot, X: x} }
+
+// Neg builds -x.
+func Neg(x Expr) *Un { return &Un{Op: OpNeg, X: x} }
+
+// Ld builds a byte load base[idx].
+func Ld(base, idx Expr) *Load { return &Load{Base: base, Index: idx} }
+
+// LdW builds a word load base.w[idx].
+func LdW(base, idx Expr) *LoadW { return &LoadW{Base: base, Index: idx} }
+
+// Call builds a call expression.
+func Call(name string, args ...Expr) *CallExpr {
+	return &CallExpr{Name: name, Args: args}
+}
+
+// Set builds an assignment statement.
+func Set(name string, e Expr) *Assign { return &Assign{Name: name, E: e} }
+
+// St builds a byte store base[idx] = val.
+func St(base, idx, val Expr) *Store {
+	return &Store{Base: base, Index: idx, Val: val}
+}
+
+// StW builds a word store base.w[idx] = val.
+func StW(base, idx, val Expr) *StoreW {
+	return &StoreW{Base: base, Index: idx, Val: val}
+}
+
+// When builds an if statement with no else branch.
+func When(cond Expr, then ...Stmt) *If { return &If{Cond: cond, Then: then} }
+
+// IfElse builds an if/else statement.
+func IfElse(cond Expr, then, els []Stmt) *If {
+	return &If{Cond: cond, Then: then, Else: els}
+}
+
+// Loop builds a while statement.
+func Loop(cond Expr, body ...Stmt) *While {
+	return &While{Cond: cond, Body: body}
+}
+
+// For builds the canonical counted loop:
+//
+//	i = start; while (i < limit) { body...; i = i + 1 }
+func For(i string, start, limit Expr, body ...Stmt) []Stmt {
+	loopBody := make([]Stmt, 0, len(body)+1)
+	loopBody = append(loopBody, body...)
+	loopBody = append(loopBody, Set(i, Add(V(i), I(1))))
+	return []Stmt{
+		Set(i, start),
+		Loop(Lt(V(i), limit), loopBody...),
+	}
+}
+
+// Ret builds a return statement.
+func Ret(e Expr) *Return { return &Return{E: e} }
+
+// Do builds an expression statement.
+func Do(e Expr) *ExprStmt { return &ExprStmt{E: e} }
+
+// NewFunc builds a function.
+func NewFunc(name string, params []string, body ...Stmt) *Func {
+	return &Func{Name: name, Params: params, Body: body}
+}

@@ -1,0 +1,328 @@
+package minic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TrapKind classifies abnormal termination of a function execution. The
+// dynamic analysis engine uses traps to discard candidate functions that
+// crash under a given execution environment (the paper removes candidates
+// that "trigger a system exception").
+type TrapKind int
+
+// Trap kinds.
+const (
+	TrapOOB TrapKind = iota + 1 // memory access outside a mapped region
+	TrapDivZero
+	TrapBadCall   // call to an unknown function or with wrong arity
+	TrapStepLimit // execution exceeded its instruction budget ("infinite loop")
+	TrapStack     // machine stack overflow/underflow (emulator only)
+	TrapDecode    // undecodable instruction (emulator only)
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapOOB:
+		return "out-of-bounds access"
+	case TrapDivZero:
+		return "division by zero"
+	case TrapBadCall:
+		return "bad call"
+	case TrapStepLimit:
+		return "step limit exceeded"
+	case TrapStack:
+		return "stack fault"
+	case TrapDecode:
+		return "decode fault"
+	default:
+		return fmt.Sprintf("trap(%d)", int(k))
+	}
+}
+
+// TrapError is returned by the interpreter and emulator on abnormal
+// termination. Callers match it with errors.As.
+type TrapError struct {
+	Kind TrapKind
+	Addr int64 // faulting address for TrapOOB, otherwise 0
+	Msg  string
+}
+
+func (e *TrapError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("trap: %s: %s", e.Kind, e.Msg)
+	}
+	if e.Kind == TrapOOB {
+		return fmt.Sprintf("trap: %s at %#x", e.Kind, e.Addr)
+	}
+	return "trap: " + e.Kind.String()
+}
+
+// IsTrap reports whether err is a TrapError, returning it if so.
+func IsTrap(err error) (*TrapError, bool) {
+	var t *TrapError
+	if errors.As(err, &t) {
+		return t, true
+	}
+	return nil, false
+}
+
+// Memory is the byte-addressed memory abstraction shared by the interpreter,
+// the emulator and the builtin library implementations. Implementations
+// return a *TrapError with TrapOOB for unmapped addresses.
+type Memory interface {
+	LoadByte(addr int64) (byte, error)
+	StoreByte(addr int64, v byte) error
+}
+
+// LoadWord reads a little-endian 64-bit word through m.
+func LoadWord(m Memory, addr int64) (int64, error) {
+	var v uint64
+	for i := int64(0); i < 8; i++ {
+		b, err := m.LoadByte(addr + i)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b) << (8 * uint(i))
+	}
+	return int64(v), nil
+}
+
+// StoreWord writes v little-endian through m.
+func StoreWord(m Memory, addr int64, v int64) error {
+	u := uint64(v)
+	for i := int64(0); i < 8; i++ {
+		if err := m.StoreByte(addr+i, byte(u>>(8*uint(i)))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuiltinKind distinguishes ordinary library functions from system calls;
+// the dynamic feature extractor counts the two separately (Table II features
+// 20 and 21).
+type BuiltinKind int
+
+// Builtin kinds.
+const (
+	KindLib BuiltinKind = iota + 1
+	KindSys
+)
+
+// BuiltinState carries the mutable runtime state shared by builtins: the
+// heap bump pointer and the deterministic time counter. The interpreter and
+// the emulator each own one per execution, initialized identically, so that
+// malloc returns the same addresses in both.
+type BuiltinState struct {
+	HeapNext int64
+	Ticks    int64
+}
+
+// NewBuiltinState returns the canonical initial builtin state.
+func NewBuiltinState() *BuiltinState {
+	return &BuiltinState{HeapNext: HeapBase}
+}
+
+// Builtin describes one library/system function available to source code.
+type Builtin struct {
+	Name  string
+	NArgs int
+	Kind  BuiltinKind
+	// Index is the stable import-table slot used by the compiler and
+	// emulator. It doubles as the "which library function" identity used
+	// by the differential engine's semantic signature.
+	Index int
+	Fn    func(m Memory, st *BuiltinState, args []int64) (int64, error)
+}
+
+// builtinList fixes the stable ordering of the import table.
+var builtinList = []*Builtin{
+	{Name: "memmove", NArgs: 3, Kind: KindLib, Fn: bMemmove},
+	{Name: "memset", NArgs: 3, Kind: KindLib, Fn: bMemset},
+	{Name: "memcmp", NArgs: 3, Kind: KindLib, Fn: bMemcmp},
+	{Name: "strlen", NArgs: 1, Kind: KindLib, Fn: bStrlen},
+	{Name: "checksum", NArgs: 2, Kind: KindLib, Fn: bChecksum},
+	{Name: "abs", NArgs: 1, Kind: KindLib, Fn: bAbs},
+	{Name: "min", NArgs: 2, Kind: KindLib, Fn: bMin},
+	{Name: "max", NArgs: 2, Kind: KindLib, Fn: bMax},
+	{Name: "malloc", NArgs: 1, Kind: KindLib, Fn: bMalloc},
+	{Name: "free", NArgs: 1, Kind: KindLib, Fn: bFree},
+	{Name: "write_log", NArgs: 1, Kind: KindSys, Fn: bWriteLog},
+	{Name: "read_time", NArgs: 0, Kind: KindSys, Fn: bReadTime},
+	{Name: "sys_rand", NArgs: 1, Kind: KindSys, Fn: bSysRand},
+}
+
+// Builtins maps builtin name to its descriptor.
+var Builtins = buildBuiltins()
+
+func buildBuiltins() map[string]*Builtin {
+	m := make(map[string]*Builtin, len(builtinList))
+	for i, b := range builtinList {
+		b.Index = i
+		m[b.Name] = b
+	}
+	return m
+}
+
+// BuiltinByIndex returns the builtin occupying the given import-table slot.
+func BuiltinByIndex(i int) (*Builtin, bool) {
+	if i < 0 || i >= len(builtinList) {
+		return nil, false
+	}
+	return builtinList[i], true
+}
+
+// NumBuiltins is the size of the import table.
+func NumBuiltins() int { return len(builtinList) }
+
+func bMemmove(m Memory, _ *BuiltinState, args []int64) (int64, error) {
+	dst, src, n := args[0], args[1], args[2]
+	if n <= 0 {
+		return dst, nil
+	}
+	if dst < src {
+		for i := int64(0); i < n; i++ {
+			b, err := m.LoadByte(src + i)
+			if err != nil {
+				return 0, err
+			}
+			if err := m.StoreByte(dst+i, b); err != nil {
+				return 0, err
+			}
+		}
+		return dst, nil
+	}
+	for i := n - 1; i >= 0; i-- {
+		b, err := m.LoadByte(src + i)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.StoreByte(dst+i, b); err != nil {
+			return 0, err
+		}
+	}
+	return dst, nil
+}
+
+func bMemset(m Memory, _ *BuiltinState, args []int64) (int64, error) {
+	p, v, n := args[0], byte(args[1]), args[2]
+	for i := int64(0); i < n; i++ {
+		if err := m.StoreByte(p+i, v); err != nil {
+			return 0, err
+		}
+	}
+	return p, nil
+}
+
+func bMemcmp(m Memory, _ *BuiltinState, args []int64) (int64, error) {
+	a, b, n := args[0], args[1], args[2]
+	for i := int64(0); i < n; i++ {
+		x, err := m.LoadByte(a + i)
+		if err != nil {
+			return 0, err
+		}
+		y, err := m.LoadByte(b + i)
+		if err != nil {
+			return 0, err
+		}
+		if x != y {
+			if x < y {
+				return -1, nil
+			}
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// strlenMax bounds strlen scans so a missing terminator traps on the region
+// boundary rather than scanning forever.
+const strlenMax = DataSize
+
+func bStrlen(m Memory, _ *BuiltinState, args []int64) (int64, error) {
+	p := args[0]
+	for i := int64(0); i < strlenMax; i++ {
+		b, err := m.LoadByte(p + i)
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return i, nil
+		}
+	}
+	return strlenMax, nil
+}
+
+func bChecksum(m Memory, _ *BuiltinState, args []int64) (int64, error) {
+	p, n := args[0], args[1]
+	var sum uint64
+	for i := int64(0); i < n; i++ {
+		b, err := m.LoadByte(p + i)
+		if err != nil {
+			return 0, err
+		}
+		sum = sum*131 + uint64(b)
+	}
+	return int64(sum), nil
+}
+
+func bAbs(_ Memory, _ *BuiltinState, args []int64) (int64, error) {
+	if args[0] < 0 {
+		return -args[0], nil
+	}
+	return args[0], nil
+}
+
+func bMin(_ Memory, _ *BuiltinState, args []int64) (int64, error) {
+	if args[0] < args[1] {
+		return args[0], nil
+	}
+	return args[1], nil
+}
+
+func bMax(_ Memory, _ *BuiltinState, args []int64) (int64, error) {
+	if args[0] > args[1] {
+		return args[0], nil
+	}
+	return args[1], nil
+}
+
+func bMalloc(_ Memory, st *BuiltinState, args []int64) (int64, error) {
+	n := args[0]
+	if n <= 0 {
+		n = 1
+	}
+	// Round to 16 bytes, like a typical allocator.
+	n = (n + 15) &^ 15
+	if st.HeapNext+n > HeapBase+HeapSize {
+		return 0, nil // OOM reported as NULL, as in C
+	}
+	p := st.HeapNext
+	st.HeapNext += n
+	return p, nil
+}
+
+func bFree(_ Memory, _ *BuiltinState, _ []int64) (int64, error) {
+	return 0, nil // bump allocator: free is a no-op
+}
+
+func bWriteLog(_ Memory, _ *BuiltinState, args []int64) (int64, error) {
+	return args[0], nil
+}
+
+func bReadTime(_ Memory, st *BuiltinState, _ []int64) (int64, error) {
+	st.Ticks++
+	return st.Ticks, nil
+}
+
+func bSysRand(_ Memory, st *BuiltinState, args []int64) (int64, error) {
+	// Deterministic xorshift seeded by the tick counter and the argument,
+	// so executions are reproducible across interpreter and emulator.
+	st.Ticks++
+	x := uint64(st.Ticks)*0x9e3779b97f4a7c15 ^ uint64(args[0])
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int64(x), nil
+}

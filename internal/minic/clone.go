@@ -1,0 +1,80 @@
+package minic
+
+// Deep-copy helpers for the AST. The compiler clones functions before
+// transforming them; the corpus's sibling-function mutator clones before
+// mutating.
+
+// CloneFunc returns a deep copy of the function.
+func CloneFunc(f *Func) *Func {
+	return &Func{
+		Name:   f.Name,
+		Params: append([]string(nil), f.Params...),
+		Body:   CloneStmts(f.Body),
+	}
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(ss []Stmt) []Stmt {
+	out := make([]Stmt, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, CloneStmt(s))
+	}
+	return out
+}
+
+// CloneStmt deep-copies one statement.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Assign:
+		return &Assign{Name: s.Name, E: CloneExpr(s.E)}
+	case *Store:
+		return &Store{Base: CloneExpr(s.Base), Index: CloneExpr(s.Index), Val: CloneExpr(s.Val)}
+	case *StoreW:
+		return &StoreW{Base: CloneExpr(s.Base), Index: CloneExpr(s.Index), Val: CloneExpr(s.Val)}
+	case *If:
+		return &If{Cond: CloneExpr(s.Cond), Then: CloneStmts(s.Then), Else: CloneStmts(s.Else)}
+	case *While:
+		return &While{Cond: CloneExpr(s.Cond), Body: CloneStmts(s.Body)}
+	case *Return:
+		if s.E == nil {
+			return &Return{}
+		}
+		return &Return{E: CloneExpr(s.E)}
+	case *ExprStmt:
+		return &ExprStmt{E: CloneExpr(s.E)}
+	case *Break:
+		return &Break{}
+	case *Continue:
+		return &Continue{}
+	default:
+		return s
+	}
+}
+
+// CloneExpr deep-copies one expression.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *IntLit:
+		return &IntLit{V: e.V}
+	case *StrLit:
+		return &StrLit{S: e.S}
+	case *VarRef:
+		return &VarRef{Name: e.Name}
+	case *Bin:
+		return &Bin{Op: e.Op, L: CloneExpr(e.L), R: CloneExpr(e.R)}
+	case *Un:
+		return &Un{Op: e.Op, X: CloneExpr(e.X)}
+	case *Load:
+		return &Load{Base: CloneExpr(e.Base), Index: CloneExpr(e.Index)}
+	case *LoadW:
+		return &LoadW{Base: CloneExpr(e.Base), Index: CloneExpr(e.Index)}
+	case *CallExpr:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &CallExpr{Name: e.Name, Args: args}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,764 @@
+package minic
+
+// The CVE corpus: 25 vulnerable/patched function pairs, one per CVE the
+// paper evaluates (Tables VI-VIII use exactly these 25 IDs from the Android
+// Security Bulletins). Each pair is a hand-written minic function modelled
+// on the real vulnerability's class:
+//
+//   - CVE-2018-9412 is a faithful port of the paper's case study,
+//     ID3::removeUnsynchronization in libstagefright (Fig. 6): the
+//     vulnerable version shifts the buffer with memmove inside the scan
+//     loop; the patch rewrites it as a read/write-offset compaction loop
+//     and drops the memmove library call entirely.
+//   - CVE-2018-9470 is the paper's known-hard case: the patch changes a
+//     single integer constant, which the differential engine misclassifies
+//     (Table VIII's one error). Minute=true marks it.
+//
+// All functions use the corpus-wide signature convention (≤4 params drawn
+// from p, n, a, b; p is a pointer into the data region) so a single set of
+// execution environments can drive any candidate function, exactly as the
+// paper reuses the CVE function's inputs to validate candidates.
+
+// CVEPair is one entry of the vulnerability database source.
+type CVEPair struct {
+	ID       string // e.g. "CVE-2018-9412"
+	Library  string // which synthetic library hosts the function
+	FuncName string
+	Class    string // vulnerability class, for documentation/reports
+	// Minute marks patches so small (single constant) that the paper's
+	// differential engine cannot distinguish them (Table VIII, CVE-2018-9470).
+	Minute     bool
+	Vulnerable *Func
+	Patched    *Func
+}
+
+// CVEs returns the full 25-entry corpus. The result is freshly built on
+// every call so callers may mutate the ASTs.
+func CVEs() []*CVEPair {
+	return []*CVEPair{
+		cveRemoveUnsync(),     // CVE-2018-9412
+		cveClampDimension(),   // CVE-2018-9470 (minute patch)
+		cveParseChunkHeader(), // CVE-2018-9451
+		cveDecodeFrameLen(),   // CVE-2018-9340
+		cveScaleSampleRate(),  // CVE-2017-13232
+		cveUnpackEntries(),    // CVE-2018-9345
+		cveReadTagValue(),     // CVE-2018-9420
+		cveCopyTrackName(),    // CVE-2017-13210
+		cveSeekToCluster(),    // CVE-2017-13209
+		cveValidateRange(),    // CVE-2018-9411
+		cveMergeCuePoints(),   // CVE-2017-13252
+		cveParseSynchsafe(),   // CVE-2017-13253
+		cveUpdateHistogram(),  // CVE-2018-9499
+		cveDecodeVarint(),     // CVE-2018-9424
+		cveFillPadding(),      // CVE-2018-9491
+		cveStripTrailing(),    // CVE-2017-13278
+		cveSumTable(),         // CVE-2018-9410
+		cveResampleCount(),    // CVE-2017-13208
+		cveParseAtomDepth(),   // CVE-2018-9498
+		cveCheckMagic(),       // CVE-2017-13279
+		cveExpandRLE(),        // CVE-2018-9440
+		cveMixKeyDigest(),     // CVE-2018-9427
+		cveAlignOffset(),      // CVE-2017-13178
+		cveTruncateList(),     // CVE-2017-13180
+		cveSwapEndian(),       // CVE-2017-13182
+	}
+}
+
+// CVEByID returns the pair with the given CVE id, or nil.
+func CVEByID(id string) *CVEPair {
+	for _, c := range CVEs() {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// Real CVE functions are substantial (the paper's case-study candidates
+// execute 89-238 instructions, Table III); a ten-instruction helper has
+// trace-identical lookalikes everywhere and cannot be ranked reliably. The
+// preamble builders below add realistic surrounding logic — header
+// checksumming, diagnostics, small scans — IDENTICALLY to the vulnerable
+// and patched versions of the smaller CVE functions, so the patch diff
+// itself is untouched.
+
+// preambleP is shared prologue logic for functions with a valid pointer
+// parameter p: checksum a header window, log it, and fold a few bytes.
+func preambleP(span int64) []Stmt {
+	out := []Stmt{
+		Set("hdr", Call("checksum", V("p"), I(span))),
+		Do(Call("write_log", V("hdr"))),
+		Set("hacc", I(0)),
+	}
+	out = append(out, For("ci", I(0), I(span/2),
+		Set("hacc", Xor(Shl(V("hacc"), I(1)), Ld(V("p"), V("ci")))))...)
+	return out
+}
+
+// preambleS is shared prologue logic for scalar-only functions: mix the
+// first scalar, log the result, and run a small bounded loop.
+func preambleS(v string) []Stmt {
+	out := []Stmt{
+		Set("mix", Xor(Mul(V(v), I(0x9e37)), Shr(V(v), I(3)))),
+		Do(Call("write_log", V("mix"))),
+	}
+	out = append(out, For("ci", I(0), Add(And(V(v), I(15)), I(4)),
+		Set("mix", Add(Mul(V("mix"), I(31)), V("ci"))))...)
+	return out
+}
+
+// withPreamble prepends shared statements to a function body.
+func withPreamble(pre []Stmt, f *Func) *Func {
+	f.Body = append(append([]Stmt{}, pre...), f.Body...)
+	return f
+}
+
+// cveRemoveUnsync ports Fig. 6 of the paper. p points at the ID3 data, n is
+// mSize. Returns the new size.
+func cveRemoveUnsync() *CVEPair {
+	vuln := NewFunc("removeUnsynchronization", []string{"p", "n"},
+		// for (i = 0; i + 1 < n; ++i)
+		Set("i", I(0)),
+		Loop(Lt(Add(V("i"), I(1)), V("n")),
+			When(And(Eq(Ld(V("p"), V("i")), I(0xff)), Eq(Ld(V("p"), Add(V("i"), I(1))), I(0))),
+				// memmove(&p[i+1], &p[i+2], n - i - 2); --n;
+				Do(Call("memmove",
+					Add(V("p"), Add(V("i"), I(1))),
+					Add(V("p"), Add(V("i"), I(2))),
+					Sub(Sub(V("n"), V("i")), I(2)))),
+				Set("n", Sub(V("n"), I(1))),
+			),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("n")),
+	)
+	patched := NewFunc("removeUnsynchronization", []string{"p", "n"},
+		Set("w", I(1)),
+		Set("r", I(1)),
+		Loop(Lt(V("r"), V("n")),
+			IfElse(And(Eq(Ld(V("p"), Sub(V("r"), I(1))), I(0xff)), Eq(Ld(V("p"), V("r")), I(0))),
+				nil, // continue
+				[]Stmt{
+					St(V("p"), V("w"), Ld(V("p"), V("r"))),
+					Set("w", Add(V("w"), I(1))),
+				}),
+			Set("r", Add(V("r"), I(1))),
+		),
+		When(Lt(V("w"), V("n")), Set("n", V("w"))),
+		Ret(V("n")),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9412", Library: "libstagefright", FuncName: "removeUnsynchronization",
+		Class:      "DoS via quadratic memmove / unsynchronization rewrite",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+// cveClampDimension is the CVE-2018-9470 analog: the patch changes one
+// integer constant (the clamp bound), nothing else.
+func cveClampDimension() *CVEPair {
+	mk := func(bound int64) *Func {
+		return NewFunc("clampBitmapDimension", []string{"n", "a"},
+			Set("v", Mul(V("n"), V("a"))),
+			When(Lt(V("v"), I(0)), Set("v", I(0))),
+			When(Gt(V("v"), I(bound)), Set("v", I(bound))),
+			Set("pad", And(V("v"), I(7))),
+			When(Ne(V("pad"), I(0)), Set("v", Add(V("v"), Sub(I(8), V("pad"))))),
+			Ret(V("v")),
+		)
+	}
+	// The two bounds are chosen so that the window between them contains no
+	// value the profiling environments can produce (both are multiples of 8
+	// and the window is narrower than the argument granularity), keeping the
+	// pair observationally identical under dynamic analysis — this is what
+	// makes the one-integer patch the differential engine's blind spot, as
+	// in the paper.
+	return &CVEPair{
+		ID: "CVE-2018-9470", Library: "libhwui", FuncName: "clampBitmapDimension",
+		Class: "insufficient clamp bound (single-integer patch)", Minute: true,
+		Vulnerable: mk(65000), Patched: mk(62000),
+	}
+}
+
+func cveParseChunkHeader() *CVEPair {
+	vuln := NewFunc("parseChunkHeader", []string{"p", "n"},
+		When(Lt(V("n"), I(8)), Ret(I(-1))),
+		// length field from header bytes 0..3 (little endian)
+		Set("len", Or(Or(Ld(V("p"), I(0)), Shl(Ld(V("p"), I(1)), I(8))),
+			Or(Shl(Ld(V("p"), I(2)), I(16)), Shl(Ld(V("p"), I(3)), I(24))))),
+		// copies payload without validating len against n
+		Do(Call("memmove", Add(V("p"), I(4096)), Add(V("p"), I(8)), V("len"))),
+		Ret(V("len")),
+	)
+	patched := NewFunc("parseChunkHeader", []string{"p", "n"},
+		When(Lt(V("n"), I(8)), Ret(I(-1))),
+		Set("len", Or(Or(Ld(V("p"), I(0)), Shl(Ld(V("p"), I(1)), I(8))),
+			Or(Shl(Ld(V("p"), I(2)), I(16)), Shl(Ld(V("p"), I(3)), I(24))))),
+		When(Gt(V("len"), Sub(V("n"), I(8))), Ret(I(-2))),
+		Do(Call("memmove", Add(V("p"), I(4096)), Add(V("p"), I(8)), V("len"))),
+		Ret(V("len")),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9451", Library: "libmkvextractor", FuncName: "parseChunkHeader",
+		Class:      "unchecked length field drives memmove",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveDecodeFrameLen() *CVEPair {
+	vuln := NewFunc("decodeFrameLen", []string{"p", "n"},
+		Set("acc", I(0)),
+		Set("i", I(0)),
+		// off-by-one: i <= n reads one past the frame
+		Loop(Le(V("i"), V("n")),
+			Set("acc", Add(Shl(V("acc"), I(7)), And(Ld(V("p"), V("i")), I(0x7f)))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("acc")),
+	)
+	patched := NewFunc("decodeFrameLen", []string{"p", "n"},
+		Set("acc", I(0)),
+		Set("i", I(0)),
+		Loop(Lt(V("i"), V("n")),
+			Set("acc", Add(Shl(V("acc"), I(7)), And(Ld(V("p"), V("i")), I(0x7f)))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("acc")),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9340", Library: "libaudioflinger", FuncName: "decodeFrameLen",
+		Class:      "off-by-one read past frame end",
+		Vulnerable: withPreamble(preambleP(8), vuln),
+		Patched:    withPreamble(preambleP(8), patched),
+	}
+}
+
+func cveScaleSampleRate() *CVEPair {
+	vuln := NewFunc("scaleSampleRate", []string{"n", "a", "b"},
+		Set("num", Mul(V("n"), V("a"))),
+		// divides by caller-controlled b without a zero check
+		Set("q", Div(V("num"), V("b"))),
+		When(Gt(V("q"), I(192000)), Set("q", I(192000))),
+		Ret(V("q")),
+	)
+	patched := NewFunc("scaleSampleRate", []string{"n", "a", "b"},
+		When(Eq(V("b"), I(0)), Ret(I(0))),
+		Set("num", Mul(V("n"), V("a"))),
+		Set("q", Div(V("num"), V("b"))),
+		When(Gt(V("q"), I(192000)), Set("q", I(192000))),
+		Ret(V("q")),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13232", Library: "libaudioflinger", FuncName: "scaleSampleRate",
+		Class:      "division by zero",
+		Vulnerable: withPreamble(preambleS("a"), vuln),
+		Patched:    withPreamble(preambleS("a"), patched),
+	}
+}
+
+func cveUnpackEntries() *CVEPair {
+	vuln := NewFunc("unpackEntries", []string{"p", "n", "a"},
+		// 32-bit overflow in total size computation bypasses the check
+		Set("total", And(Mul(V("a"), I(12)), I(0xffffffff))),
+		When(Gt(V("total"), V("n")), Ret(I(-1))),
+		Set("i", I(0)),
+		Set("sum", I(0)),
+		Loop(Lt(V("i"), V("a")),
+			Set("sum", Add(V("sum"), Ld(V("p"), Mul(V("i"), I(12))))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("sum")),
+	)
+	patched := NewFunc("unpackEntries", []string{"p", "n", "a"},
+		When(Lt(V("a"), I(0)), Ret(I(-1))),
+		When(Gt(V("a"), Div(V("n"), I(12))), Ret(I(-1))),
+		Set("i", I(0)),
+		Set("sum", I(0)),
+		Loop(Lt(V("i"), V("a")),
+			Set("sum", Add(V("sum"), Ld(V("p"), Mul(V("i"), I(12))))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("sum")),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9345", Library: "libdrmframework", FuncName: "unpackEntries",
+		Class:      "integer overflow bypasses size check",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveReadTagValue() *CVEPair {
+	vuln := NewFunc("readTagValue", []string{"p", "a"},
+		// missing null check: dereferences p unconditionally
+		Set("t", Ld(V("p"), I(0))),
+		When(Eq(V("t"), V("a")), Ret(Ld(V("p"), I(1)))),
+		Ret(I(0)),
+	)
+	patched := NewFunc("readTagValue", []string{"p", "a"},
+		When(Eq(V("p"), I(0)), Ret(I(-1))),
+		Set("t", Ld(V("p"), I(0))),
+		When(Eq(V("t"), V("a")), Ret(Ld(V("p"), I(1)))),
+		Ret(I(0)),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9420", Library: "libexifparser", FuncName: "readTagValue",
+		Class:      "missing NULL-pointer check",
+		Vulnerable: withPreamble(preambleS("a"), vuln),
+		Patched:    withPreamble(preambleS("a"), patched),
+	}
+}
+
+func cveCopyTrackName() *CVEPair {
+	vuln := NewFunc("copyTrackName", []string{"p", "n"},
+		Set("len", Call("strlen", V("p"))),
+		// copies into a 256-byte field without clamping
+		Do(Call("memmove", Add(V("p"), I(8192)), V("p"), V("len"))),
+		Ret(V("len")),
+	)
+	patched := NewFunc("copyTrackName", []string{"p", "n"},
+		Set("len", Call("strlen", V("p"))),
+		When(Gt(V("len"), I(255)), Set("len", I(255))),
+		Do(Call("memmove", Add(V("p"), I(8192)), V("p"), V("len"))),
+		St(V("p"), Add(I(8192), V("len")), I(0)),
+		Ret(V("len")),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13210", Library: "libmkvextractor", FuncName: "copyTrackName",
+		Class:      "unbounded string copy into fixed field",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveSeekToCluster() *CVEPair {
+	vuln := NewFunc("seekToCluster", []string{"p", "n", "a"},
+		Set("i", I(0)),
+		Set("hops", I(0)),
+		Loop(Lt(V("i"), V("n")),
+			Set("step", Ld(V("p"), V("i"))),
+			// zero step makes no progress: infinite loop (DoS)
+			Set("i", Add(V("i"), V("step"))),
+			Set("hops", Add(V("hops"), I(1))),
+			When(Ge(V("hops"), V("a")), Ret(V("i"))),
+		),
+		Ret(V("hops")),
+	)
+	patched := NewFunc("seekToCluster", []string{"p", "n", "a"},
+		Set("i", I(0)),
+		Set("hops", I(0)),
+		Loop(Lt(V("i"), V("n")),
+			Set("step", Ld(V("p"), V("i"))),
+			When(Eq(V("step"), I(0)), Ret(I(-1))),
+			Set("i", Add(V("i"), V("step"))),
+			Set("hops", Add(V("hops"), I(1))),
+			When(Ge(V("hops"), V("a")), Ret(V("i"))),
+		),
+		Ret(V("hops")),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13209", Library: "libmkvextractor", FuncName: "seekToCluster",
+		Class:      "infinite loop on zero-progress step",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveValidateRange() *CVEPair {
+	vuln := NewFunc("validateRange", []string{"p", "n", "a"},
+		// signed confusion: negative a passes the upper-bound-only check
+		When(Ge(V("a"), V("n")), Ret(I(-1))),
+		Ret(Ld(V("p"), V("a"))),
+	)
+	patched := NewFunc("validateRange", []string{"p", "n", "a"},
+		When(Lt(V("a"), I(0)), Ret(I(-1))),
+		When(Ge(V("a"), V("n")), Ret(I(-1))),
+		Ret(Ld(V("p"), V("a"))),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9411", Library: "libmediaplayer", FuncName: "validateRange",
+		Class:      "signed/unsigned confusion in bounds check",
+		Vulnerable: withPreamble(preambleP(12), vuln),
+		Patched:    withPreamble(preambleP(12), patched),
+	}
+}
+
+func cveMergeCuePoints() *CVEPair {
+	vuln := NewFunc("mergeCuePoints", []string{"p", "n", "a", "b"},
+		Set("idx", Add(V("a"), V("b"))),
+		// unchecked combined index
+		St(V("p"), V("idx"), I(0x7e)),
+		Set("s", Add(Ld(V("p"), V("a")), Ld(V("p"), V("b")))),
+		Ret(V("s")),
+	)
+	patched := NewFunc("mergeCuePoints", []string{"p", "n", "a", "b"},
+		Set("idx", Add(V("a"), V("b"))),
+		When(Or(Lt(V("idx"), I(0)), Ge(V("idx"), V("n"))), Ret(I(-1))),
+		When(Or(Lt(V("a"), I(0)), Ge(V("a"), V("n"))), Ret(I(-1))),
+		When(Or(Lt(V("b"), I(0)), Ge(V("b"), V("n"))), Ret(I(-1))),
+		St(V("p"), V("idx"), I(0x7e)),
+		Set("s", Add(Ld(V("p"), V("a")), Ld(V("p"), V("b")))),
+		Ret(V("s")),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13252", Library: "libmkvextractor", FuncName: "mergeCuePoints",
+		Class:      "unchecked combined index",
+		Vulnerable: withPreamble(preambleP(12), vuln),
+		Patched:    withPreamble(preambleP(12), patched),
+	}
+}
+
+func cveParseSynchsafe() *CVEPair {
+	vuln := NewFunc("parseSynchsafe", []string{"p", "n"},
+		When(Lt(V("n"), I(4)), Ret(I(-1))),
+		// accepts bytes with the high bit set, yielding oversized values
+		Set("v", Or(Or(Shl(Ld(V("p"), I(0)), I(21)), Shl(Ld(V("p"), I(1)), I(14))),
+			Or(Shl(Ld(V("p"), I(2)), I(7)), Ld(V("p"), I(3))))),
+		Ret(V("v")),
+	)
+	patched := NewFunc("parseSynchsafe", []string{"p", "n"},
+		When(Lt(V("n"), I(4)), Ret(I(-1))),
+		Set("i", I(0)),
+		Loop(Lt(V("i"), I(4)),
+			When(Ge(Ld(V("p"), V("i")), I(0x80)), Ret(I(-2))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Set("v", Or(Or(Shl(Ld(V("p"), I(0)), I(21)), Shl(Ld(V("p"), I(1)), I(14))),
+			Or(Shl(Ld(V("p"), I(2)), I(7)), Ld(V("p"), I(3))))),
+		Ret(V("v")),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13253", Library: "libstagefright", FuncName: "parseSynchsafe",
+		Class:      "missing synchsafe-byte validation",
+		Vulnerable: withPreamble(preambleP(8), vuln),
+		Patched:    withPreamble(preambleP(8), patched),
+	}
+}
+
+func cveUpdateHistogram() *CVEPair {
+	vuln := NewFunc("updateHistogram", []string{"p", "n", "a"},
+		// bucket index taken from input without masking
+		Set("i", I(0)),
+		Loop(Lt(V("i"), Call("min", V("n"), I(64))),
+			Set("bkt", Add(Ld(V("p"), V("i")), V("a"))),
+			St(V("p"), Add(I(16384), V("bkt")), Add(Ld(V("p"), Add(I(16384), V("bkt"))), I(1))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("i")),
+	)
+	patched := NewFunc("updateHistogram", []string{"p", "n", "a"},
+		Set("i", I(0)),
+		Loop(Lt(V("i"), Call("min", V("n"), I(64))),
+			Set("bkt", And(Add(Ld(V("p"), V("i")), V("a")), I(255))),
+			St(V("p"), Add(I(16384), V("bkt")), Add(Ld(V("p"), Add(I(16384), V("bkt"))), I(1))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("i")),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9499", Library: "libhwui", FuncName: "updateHistogram",
+		Class:      "attacker-controlled array index",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveDecodeVarint() *CVEPair {
+	vuln := NewFunc("decodeVarint", []string{"p", "n"},
+		Set("v", I(0)),
+		Set("i", I(0)),
+		// reads continuation bytes without honoring n
+		Loop(Lt(V("i"), I(10)),
+			Set("byte", Ld(V("p"), V("i"))),
+			Set("v", Or(V("v"), Shl(And(V("byte"), I(0x7f)), Mul(V("i"), I(7))))),
+			When(Lt(V("byte"), I(0x80)), Ret(V("v"))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(I(-1)),
+	)
+	patched := NewFunc("decodeVarint", []string{"p", "n"},
+		Set("v", I(0)),
+		Set("i", I(0)),
+		Loop(And(Lt(V("i"), I(10)), Lt(V("i"), V("n"))),
+			Set("byte", Ld(V("p"), V("i"))),
+			Set("v", Or(V("v"), Shl(And(V("byte"), I(0x7f)), Mul(V("i"), I(7))))),
+			When(Lt(V("byte"), I(0x80)), Ret(V("v"))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(I(-1)),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9424", Library: "libdrmframework", FuncName: "decodeVarint",
+		Class:      "varint decode ignores buffer length",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveFillPadding() *CVEPair {
+	vuln := NewFunc("fillPadding", []string{"p", "n", "a"},
+		// memset length is attacker-controlled
+		Do(Call("memset", Add(V("p"), V("n")), I(0), V("a"))),
+		Ret(V("a")),
+	)
+	patched := NewFunc("fillPadding", []string{"p", "n", "a"},
+		When(Lt(V("a"), I(0)), Ret(I(-1))),
+		Set("len", Call("min", V("a"), I(512))),
+		Do(Call("memset", Add(V("p"), V("n")), I(0), V("len"))),
+		Ret(V("len")),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9491", Library: "libaudioflinger", FuncName: "fillPadding",
+		Class:      "unbounded memset length",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveStripTrailing() *CVEPair {
+	vuln := NewFunc("stripTrailing", []string{"p", "n"},
+		// n can underflow past zero into negative offsets
+		Loop(Eq(Ld(V("p"), Sub(V("n"), I(1))), I(0)),
+			Set("n", Sub(V("n"), I(1))),
+		),
+		Ret(V("n")),
+	)
+	patched := NewFunc("stripTrailing", []string{"p", "n"},
+		Loop(Gt(V("n"), I(0)),
+			When(Ne(Ld(V("p"), Sub(V("n"), I(1))), I(0)), &Break{}),
+			Set("n", Sub(V("n"), I(1))),
+		),
+		Ret(V("n")),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13278", Library: "libutils", FuncName: "stripTrailing",
+		Class:      "length underflow while trimming",
+		Vulnerable: withPreamble(preambleP(8), vuln),
+		Patched:    withPreamble(preambleP(8), patched),
+	}
+}
+
+func cveSumTable() *CVEPair {
+	vuln := NewFunc("sumTable", []string{"p", "n", "a"},
+		Set("s", I(0)),
+		Set("i", I(0)),
+		Loop(Lt(V("i"), V("a")),
+			// scaled index is never validated against n
+			Set("s", Add(V("s"), LdW(V("p"), V("i")))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("s")),
+	)
+	patched := NewFunc("sumTable", []string{"p", "n", "a"},
+		Set("s", I(0)),
+		Set("lim", Call("min", V("a"), Div(V("n"), I(8)))),
+		Set("i", I(0)),
+		Loop(Lt(V("i"), V("lim")),
+			Set("s", Add(V("s"), LdW(V("p"), V("i")))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("s")),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9410", Library: "libutils", FuncName: "sumTable",
+		Class:      "unchecked scaled table index",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveResampleCount() *CVEPair {
+	vuln := NewFunc("resampleCount", []string{"p", "n", "a"},
+		Set("cnt", Shr(Mul(V("n"), V("a")), I(8))),
+		Set("i", I(0)),
+		Set("s", I(0)),
+		Loop(Lt(V("i"), V("cnt")),
+			Set("s", Add(V("s"), Ld(V("p"), V("i")))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("s")),
+	)
+	patched := NewFunc("resampleCount", []string{"p", "n", "a"},
+		Set("cnt", Shr(Mul(V("n"), V("a")), I(8))),
+		Set("cnt", Call("min", V("cnt"), V("n"))),
+		When(Lt(V("cnt"), I(0)), Ret(I(-1))),
+		Set("i", I(0)),
+		Set("s", I(0)),
+		Loop(Lt(V("i"), V("cnt")),
+			Set("s", Add(V("s"), Ld(V("p"), V("i")))),
+			Set("i", Add(V("i"), I(1))),
+		),
+		Ret(V("s")),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13208", Library: "libaudioflinger", FuncName: "resampleCount",
+		Class:      "unclamped resample count",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveParseAtomDepth() *CVEPair {
+	vuln := NewFunc("parseAtomDepth", []string{"p", "n"},
+		When(Le(V("n"), I(0)), Ret(I(0))),
+		Set("kind", Ld(V("p"), I(0))),
+		// recursion depth driven entirely by input bytes: stack exhaustion
+		When(Eq(And(V("kind"), I(3)), I(1)),
+			Ret(Add(I(1), Call("parseAtomDepth", Add(V("p"), I(1)), Sub(V("n"), I(1)))))),
+		Ret(I(1)),
+	)
+	patched := NewFunc("parseAtomDepth", []string{"p", "n"},
+		When(Le(V("n"), I(0)), Ret(I(0))),
+		When(Gt(V("n"), I(32)), Set("n", I(32))), // depth cap
+		Set("kind", Ld(V("p"), I(0))),
+		When(Eq(And(V("kind"), I(3)), I(1)),
+			Ret(Add(I(1), Call("parseAtomDepth", Add(V("p"), I(1)), Sub(V("n"), I(1)))))),
+		Ret(I(1)),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9498", Library: "libmediaplayer", FuncName: "parseAtomDepth",
+		Class:      "unbounded recursion depth",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveCheckMagic() *CVEPair {
+	vuln := NewFunc("checkMagic", []string{"p", "n"},
+		// compares 8 bytes even when fewer are available (info leak)
+		Set("r", Call("memcmp", V("p"), S("MKVSEG01"), I(8))),
+		Ret(Eq(V("r"), I(0))),
+	)
+	patched := NewFunc("checkMagic", []string{"p", "n"},
+		When(Lt(V("n"), I(8)), Ret(I(0))),
+		Set("r", Call("memcmp", V("p"), S("MKVSEG01"), I(8))),
+		Ret(Eq(V("r"), I(0))),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13279", Library: "libmkvextractor", FuncName: "checkMagic",
+		Class:      "read past declared length (info leak)",
+		Vulnerable: withPreamble(preambleP(8), vuln),
+		Patched:    withPreamble(preambleP(8), patched),
+	}
+}
+
+func cveExpandRLE() *CVEPair {
+	vuln := NewFunc("expandRLE", []string{"p", "n"},
+		Set("out", I(0)),
+		Set("i", I(0)),
+		Loop(Lt(Add(V("i"), I(1)), V("n")),
+			Set("run", Ld(V("p"), V("i"))),
+			Set("val", Ld(V("p"), Add(V("i"), I(1)))),
+			Set("j", I(0)),
+			// output offset grows without any cap
+			Loop(Lt(V("j"), V("run")),
+				St(V("p"), Add(I(32768), Add(V("out"), V("j"))), V("val")),
+				Set("j", Add(V("j"), I(1))),
+			),
+			Set("out", Add(V("out"), V("run"))),
+			Set("i", Add(V("i"), I(2))),
+		),
+		Ret(V("out")),
+	)
+	patched := NewFunc("expandRLE", []string{"p", "n"},
+		Set("out", I(0)),
+		Set("i", I(0)),
+		Loop(Lt(Add(V("i"), I(1)), V("n")),
+			Set("run", Ld(V("p"), V("i"))),
+			Set("val", Ld(V("p"), Add(V("i"), I(1)))),
+			When(Gt(Add(V("out"), V("run")), I(4096)), Ret(I(-1))),
+			Set("j", I(0)),
+			Loop(Lt(V("j"), V("run")),
+				St(V("p"), Add(I(32768), Add(V("out"), V("j"))), V("val")),
+				Set("j", Add(V("j"), I(1))),
+			),
+			Set("out", Add(V("out"), V("run"))),
+			Set("i", Add(V("i"), I(2))),
+		),
+		Ret(V("out")),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9440", Library: "libhwui", FuncName: "expandRLE",
+		Class:      "RLE expansion without output bound",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveMixKeyDigest() *CVEPair {
+	vuln := NewFunc("mixKeyDigest", []string{"p", "n"},
+		// digests only the first 4 bytes regardless of n (weak digest)
+		Set("h", Call("checksum", V("p"), Call("min", V("n"), I(4)))),
+		Set("h", Xor(V("h"), Shr(V("h"), I(17)))),
+		Ret(V("h")),
+	)
+	patched := NewFunc("mixKeyDigest", []string{"p", "n"},
+		Set("h", Call("checksum", V("p"), V("n"))),
+		Set("h", Xor(V("h"), Shr(V("h"), I(17)))),
+		Set("h", Mul(V("h"), I(0x5bd1e995))),
+		Set("h", Xor(V("h"), Shr(V("h"), I(13)))),
+		Ret(V("h")),
+	)
+	return &CVEPair{
+		ID: "CVE-2018-9427", Library: "libkeystore", FuncName: "mixKeyDigest",
+		Class:      "key digest covers only a prefix",
+		Vulnerable: vuln, Patched: patched,
+	}
+}
+
+func cveAlignOffset() *CVEPair {
+	vuln := NewFunc("alignOffset", []string{"a", "b"},
+		// alignment divisor from input, no zero check
+		Set("q", Div(Sub(Add(V("a"), V("b")), I(1)), V("b"))),
+		Ret(Mul(V("q"), V("b"))),
+	)
+	patched := NewFunc("alignOffset", []string{"a", "b"},
+		When(Le(V("b"), I(0)), Ret(V("a"))),
+		Set("q", Div(Sub(Add(V("a"), V("b")), I(1)), V("b"))),
+		Ret(Mul(V("q"), V("b"))),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13178", Library: "libutils", FuncName: "alignOffset",
+		Class:      "division by zero in alignment helper",
+		Vulnerable: withPreamble(preambleS("a"), vuln),
+		Patched:    withPreamble(preambleS("a"), patched),
+	}
+}
+
+func cveTruncateList() *CVEPair {
+	vuln := NewFunc("truncateList", []string{"p", "n", "a"},
+		// writes the terminator at an unchecked index
+		St(V("p"), V("a"), I(0)),
+		Ret(V("a")),
+	)
+	patched := NewFunc("truncateList", []string{"p", "n", "a"},
+		When(Or(Lt(V("a"), I(0)), Ge(V("a"), V("n"))), Ret(I(-1))),
+		St(V("p"), V("a"), I(0)),
+		Ret(V("a")),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13180", Library: "libmediaplayer", FuncName: "truncateList",
+		Class:      "unchecked terminator index",
+		Vulnerable: withPreamble(preambleP(12), vuln),
+		Patched:    withPreamble(preambleP(12), patched),
+	}
+}
+
+func cveSwapEndian() *CVEPair {
+	vuln := NewFunc("swapEndian", []string{"p", "n"},
+		Set("i", I(0)),
+		// odd n reads/writes one byte past the logical end
+		Loop(Lt(V("i"), V("n")),
+			Set("x", Ld(V("p"), V("i"))),
+			St(V("p"), V("i"), Ld(V("p"), Add(V("i"), I(1)))),
+			St(V("p"), Add(V("i"), I(1)), V("x")),
+			Set("i", Add(V("i"), I(2))),
+		),
+		Ret(V("i")),
+	)
+	patched := NewFunc("swapEndian", []string{"p", "n"},
+		Set("i", I(0)),
+		Loop(Lt(Add(V("i"), I(1)), V("n")),
+			Set("x", Ld(V("p"), V("i"))),
+			St(V("p"), V("i"), Ld(V("p"), Add(V("i"), I(1)))),
+			St(V("p"), Add(V("i"), I(1)), V("x")),
+			Set("i", Add(V("i"), I(2))),
+		),
+		Ret(V("i")),
+	)
+	return &CVEPair{
+		ID: "CVE-2017-13182", Library: "libhwui", FuncName: "swapEndian",
+		Class:      "odd-length endian swap past end",
+		Vulnerable: vuln, Patched: patched,
+	}
+}

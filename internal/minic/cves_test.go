@@ -1,0 +1,204 @@
+package minic
+
+import (
+	"errors"
+	"testing"
+)
+
+// benignEnv is an execution environment under which every CVE function —
+// vulnerable and patched alike — must terminate cleanly. It is the seed the
+// fuzzer starts from when deriving validation environments.
+func benignEnv() *Env {
+	data := make([]byte, 64)
+	data[0] = 4
+	for i := 4; i < 64; i++ {
+		data[i] = 1
+	}
+	return &Env{Args: []int64{DataBase, 64, 3, 2}, Data: data}
+}
+
+// BenignCVEEnv is exported for other packages' tests via the _test trick:
+// keep it unexported here; corpus has its own canonical seed builder.
+
+func cveModule(f *Func) *Module {
+	return &Module{Name: "cve", Funcs: []*Func{f}}
+}
+
+func TestCVEsWellFormed(t *testing.T) {
+	pairs := CVEs()
+	if len(pairs) != 25 {
+		t.Fatalf("got %d CVE pairs, want 25", len(pairs))
+	}
+	ids := make(map[string]bool)
+	names := make(map[string]bool)
+	for _, c := range pairs {
+		if ids[c.ID] {
+			t.Errorf("duplicate CVE id %s", c.ID)
+		}
+		ids[c.ID] = true
+		if names[c.FuncName] {
+			t.Errorf("duplicate function name %s", c.FuncName)
+		}
+		names[c.FuncName] = true
+		if c.Vulnerable == nil || c.Patched == nil {
+			t.Fatalf("%s: missing function", c.ID)
+		}
+		if c.Vulnerable.Name != c.FuncName || c.Patched.Name != c.FuncName {
+			t.Errorf("%s: function name mismatch", c.ID)
+		}
+		if len(c.Vulnerable.Params) != len(c.Patched.Params) {
+			t.Errorf("%s: arity differs between vulnerable and patched", c.ID)
+		}
+		if len(c.Vulnerable.Params) > 4 {
+			t.Errorf("%s: more than 4 params breaks the corpus convention", c.ID)
+		}
+	}
+	minute := 0
+	for _, c := range pairs {
+		if c.Minute {
+			minute++
+			if c.ID != "CVE-2018-9470" {
+				t.Errorf("unexpected minute patch %s", c.ID)
+			}
+		}
+	}
+	if minute != 1 {
+		t.Errorf("got %d minute patches, want exactly 1 (CVE-2018-9470)", minute)
+	}
+}
+
+func TestCVEsRunCleanOnBenignEnv(t *testing.T) {
+	for _, c := range CVEs() {
+		c := c
+		t.Run(c.ID, func(t *testing.T) {
+			env := benignEnv()
+			env.Args = env.Args[:len(c.Vulnerable.Params)]
+			if _, err := Run(cveModule(c.Vulnerable), c.FuncName, env.Clone(), 0); err != nil {
+				t.Errorf("vulnerable traps on benign env: %v", err)
+			}
+			if _, err := Run(cveModule(c.Patched), c.FuncName, env.Clone(), 0); err != nil {
+				t.Errorf("patched traps on benign env: %v", err)
+			}
+		})
+	}
+}
+
+func TestCVEExploitBehaviour(t *testing.T) {
+	// For a selection of CVEs, a crafted environment makes the vulnerable
+	// version trap or diverge while the patched version stays well-behaved.
+	tests := []struct {
+		id       string
+		env      func() *Env
+		wantTrap TrapKind // 0 means "no trap but divergent return"
+	}{
+		{
+			id: "CVE-2017-13232", // division by zero
+			env: func() *Env {
+				return &Env{Args: []int64{8, 3, 0}}
+			},
+			wantTrap: TrapDivZero,
+		},
+		{
+			id: "CVE-2017-13178", // alignment div by zero
+			env: func() *Env {
+				return &Env{Args: []int64{8, 0}}
+			},
+			wantTrap: TrapDivZero,
+		},
+		{
+			id: "CVE-2018-9411", // negative index passes check
+			env: func() *Env {
+				return &Env{Args: []int64{DataBase, 8, -DataBase - 1}, Data: []byte{1, 2, 3}}
+			},
+			wantTrap: TrapOOB,
+		},
+		{
+			id: "CVE-2017-13180", // unchecked store index
+			env: func() *Env {
+				return &Env{Args: []int64{DataBase, 8, DataSize + 10}, Data: []byte{1}}
+			},
+			wantTrap: TrapOOB,
+		},
+		{
+			id: "CVE-2017-13209", // zero-progress loop
+			env: func() *Env {
+				return &Env{Args: []int64{DataBase, 8, 1 << 40}, Data: []byte{0, 0, 0}}
+			},
+			wantTrap: TrapStepLimit,
+		},
+		{
+			id: "CVE-2018-9498", // unbounded recursion
+			env: func() *Env {
+				data := make([]byte, 256)
+				for i := range data {
+					data[i] = 1 // kind&3 == 1 recurses
+				}
+				return &Env{Args: []int64{DataBase, 200}, Data: data}
+			},
+			wantTrap: TrapStack,
+		},
+		{
+			id: "CVE-2017-13278", // underflow off the front of the region
+			env: func() *Env {
+				return &Env{Args: []int64{DataBase, 8}, Data: make([]byte, 8)}
+			},
+			wantTrap: TrapOOB,
+		},
+		{
+			id: "CVE-2018-9340", // off-by-one: divergent return, no trap
+			env: func() *Env {
+				data := []byte{1, 1, 1, 1, 9}
+				return &Env{Args: []int64{DataBase, 4}, Data: data}
+			},
+		},
+		{
+			id: "CVE-2018-9427", // weak digest: divergent return
+			env: func() *Env {
+				return &Env{Args: []int64{DataBase, 16}, Data: []byte("0123456789abcdef")}
+			},
+		},
+		{
+			id: "CVE-2018-9470", // minute patch still diverges on big dims
+			env: func() *Env {
+				return &Env{Args: []int64{400, 200}}
+			},
+		},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.id, func(t *testing.T) {
+			c := CVEByID(tt.id)
+			if c == nil {
+				t.Fatalf("no such CVE %s", tt.id)
+			}
+			env := tt.env()
+			env.Args = env.Args[:min(len(env.Args), len(c.Vulnerable.Params))]
+			vres, verr := Run(cveModule(c.Vulnerable), c.FuncName, env.Clone(), 1<<16)
+			pres, perr := Run(cveModule(c.Patched), c.FuncName, env.Clone(), 1<<16)
+			if perr != nil {
+				t.Fatalf("patched version traps on exploit env: %v", perr)
+			}
+			if tt.wantTrap != 0 {
+				var tr *TrapError
+				if !errors.As(verr, &tr) || tr.Kind != tt.wantTrap {
+					t.Fatalf("vulnerable: want trap %v, got %v", tt.wantTrap, verr)
+				}
+				return
+			}
+			if verr != nil {
+				t.Fatalf("vulnerable traps unexpectedly: %v", verr)
+			}
+			if vres.Ret == pres.Ret {
+				t.Errorf("vulnerable and patched agree (%d) on exploit env; want divergence", vres.Ret)
+			}
+		})
+	}
+}
+
+func TestCVEPairsFreshCopies(t *testing.T) {
+	a := CVEByID("CVE-2018-9412")
+	b := CVEByID("CVE-2018-9412")
+	if a == b || a.Vulnerable == b.Vulnerable {
+		t.Error("CVEs() should rebuild ASTs on every call")
+	}
+}

@@ -1,0 +1,387 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The library generator synthesizes the source corpus that stands in for the
+// paper's 100 Android libraries. Functions are generated deterministically
+// from a seed, terminate on every input (all loops are bounded), and are
+// defensive by default (memory offsets are masked into the data region) so
+// that the dynamic stage's candidate-validation step keeps a realistic
+// fraction of them alive. A configurable fraction is generated fragile
+// (unmasked indexing) to give the validator crashes to prune, as in the
+// paper's case study where most candidates are removed by input validation.
+
+// GenConfig configures library generation.
+type GenConfig struct {
+	Seed     int64
+	Name     string
+	NumFuncs int
+	// FragileFrac is the fraction of functions generated without defensive
+	// index masking (they may trap under fuzzed inputs). Default 0.3.
+	FragileFrac float64
+}
+
+// libgen carries generator state.
+type libgen struct {
+	rng     *rand.Rand
+	mod     *Module
+	fragile bool
+	// vars available in the function under construction.
+	scalars []string
+	ptrs    []string
+	tmpN    int
+}
+
+var (
+	genVerbs = []string{
+		"parse", "decode", "update", "sync", "flush", "scale", "convert",
+		"read", "write", "init", "reset", "pack", "unpack", "hash",
+		"filter", "merge", "split", "encode", "clamp", "seek",
+	}
+	genNouns = []string{
+		"Header", "Frame", "Chunk", "Block", "Index", "Packet", "Sample",
+		"Buffer", "Stream", "Table", "Entry", "Segment", "Track", "Atom",
+		"Tag", "Record", "Page", "Row", "Cue", "Cluster",
+	}
+	genTags = []string{
+		"ok", "fail", "warn: short read", "eof", "bad magic", "v2",
+		"retry", "sync lost", "crc mismatch", "range",
+	}
+)
+
+// GenLibrary deterministically generates a module with cfg.NumFuncs
+// functions named after cfg.Name.
+func GenLibrary(cfg GenConfig) *Module {
+	if cfg.NumFuncs <= 0 {
+		cfg.NumFuncs = 20
+	}
+	if cfg.FragileFrac == 0 {
+		cfg.FragileFrac = 0.3
+	}
+	g := &libgen{
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		mod: &Module{Name: cfg.Name},
+	}
+	names := make(map[string]bool)
+	for i := 0; i < cfg.NumFuncs; i++ {
+		name := g.funcName(names)
+		g.fragile = g.rng.Float64() < cfg.FragileFrac
+		g.mod.Funcs = append(g.mod.Funcs, g.genFunc(name))
+	}
+	return g.mod
+}
+
+func (g *libgen) funcName(taken map[string]bool) string {
+	for {
+		name := genVerbs[g.rng.Intn(len(genVerbs))] + genNouns[g.rng.Intn(len(genNouns))]
+		if !taken[name] {
+			taken[name] = true
+			return name
+		}
+		// Collision: qualify with a short suffix.
+		name = fmt.Sprintf("%s%d", name, g.rng.Intn(100))
+		if !taken[name] {
+			taken[name] = true
+			return name
+		}
+	}
+}
+
+// genFunc builds one function. The parameter convention across the corpus is
+// at most four parameters; by convention "p" is a pointer into the data
+// region and "n" a length.
+func (g *libgen) genFunc(name string) *Func {
+	nParams := 1 + g.rng.Intn(4)
+	params := []string{"p", "n", "a", "b"}[:nParams]
+	g.scalars = []string{}
+	g.ptrs = []string{}
+	for _, p := range params {
+		if p == "p" {
+			g.ptrs = append(g.ptrs, p)
+		} else {
+			g.scalars = append(g.scalars, p)
+		}
+	}
+	g.tmpN = 0
+
+	var body []Stmt
+	// Most functions begin with a guard, like real parsers do.
+	if g.rng.Float64() < 0.7 && len(g.scalars) > 0 {
+		body = append(body, When(
+			Le(V(g.scalars[0]), I(0)),
+			Ret(I(-int64(1+g.rng.Intn(8)))),
+		))
+	}
+	nFrags := 2 + g.rng.Intn(4)
+	for i := 0; i < nFrags; i++ {
+		body = append(body, g.genFragment()...)
+	}
+	body = append(body, Ret(g.resultExpr()))
+	return NewFunc(name, params, body...)
+}
+
+// newTmp introduces a fresh scalar local.
+func (g *libgen) newTmp() string {
+	g.tmpN++
+	name := fmt.Sprintf("t%d", g.tmpN)
+	g.scalars = append(g.scalars, name)
+	return name
+}
+
+// scalar returns a random scalar operand: a variable or a small constant.
+func (g *libgen) scalar() Expr {
+	if len(g.scalars) > 0 && g.rng.Float64() < 0.65 {
+		return V(g.scalars[g.rng.Intn(len(g.scalars))])
+	}
+	return I(int64(g.rng.Intn(256) - 32))
+}
+
+// ptrBase returns a pointer expression into the data region.
+func (g *libgen) ptrBase() Expr {
+	if len(g.ptrs) > 0 && g.rng.Float64() < 0.8 {
+		return V(g.ptrs[g.rng.Intn(len(g.ptrs))])
+	}
+	return I(DataBase + int64(g.rng.Intn(1024)))
+}
+
+// index returns an index expression; defensive functions mask it into a
+// small window so every access stays in bounds for any base within the data
+// region's first half. Fragile functions not only skip the mask but often
+// scale the offset, so hostile-enough inputs push the access outside the
+// data region — these are the candidates the dynamic stage's input
+// validation prunes, as in the paper's case study (252 candidates -> 38).
+func (g *libgen) index(e Expr) Expr {
+	if g.fragile {
+		if g.rng.Float64() < 0.6 {
+			return Mul(e, I(int64(64+g.rng.Intn(2048))))
+		}
+		return e
+	}
+	return And(e, I(int64(255+(g.rng.Intn(4)<<8))))
+}
+
+// boundedCounter returns (loopVar, limitExpr) guaranteeing termination.
+func (g *libgen) boundedLimit() Expr {
+	switch g.rng.Intn(3) {
+	case 0:
+		return I(int64(4 + g.rng.Intn(60)))
+	case 1:
+		if len(g.scalars) > 0 {
+			return Add(And(V(g.scalars[g.rng.Intn(len(g.scalars))]), I(63)), I(1))
+		}
+		return I(16)
+	default:
+		return Call("min", g.scalar(), I(int64(8+g.rng.Intn(56))))
+	}
+}
+
+// arith returns a random pure arithmetic expression over existing scalars.
+func (g *libgen) arith(depth int) Expr {
+	if depth <= 0 || g.rng.Float64() < 0.35 {
+		return g.scalar()
+	}
+	ops := []BinOp{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpLt, OpGe}
+	op := ops[g.rng.Intn(len(ops))]
+	l := g.arith(depth - 1)
+	r := g.arith(depth - 1)
+	if op == OpShl || op == OpShr {
+		r = And(r, I(7)) // keep shifts small so values stay interesting
+	}
+	return B(op, l, r)
+}
+
+// genFragment emits one statement pattern.
+func (g *libgen) genFragment() []Stmt {
+	switch g.rng.Intn(10) {
+	case 0:
+		return g.fragSumLoop()
+	case 1:
+		return g.fragCondLadder()
+	case 2:
+		return g.fragNestedLoop()
+	case 3:
+		return g.fragBuiltinCall()
+	case 4:
+		return g.fragIntraCall()
+	case 5:
+		return g.fragXorFold()
+	case 6:
+		return g.fragFloat()
+	case 7:
+		return g.fragWordScan()
+	case 8:
+		return g.fragTagLog()
+	default:
+		return g.fragStoreLoop()
+	}
+}
+
+// fragSumLoop: acc = 0; for i < bound { acc += mem[p + f(i)] }.
+func (g *libgen) fragSumLoop() []Stmt {
+	acc := g.newTmp()
+	i := g.newTmp()
+	base := g.ptrBase()
+	mulK := I(int64(1 + g.rng.Intn(3)))
+	body := Set(acc, Add(V(acc), Mul(Ld(base, g.index(V(i))), mulK)))
+	out := []Stmt{Set(acc, I(0))}
+	out = append(out, For(i, I(0), g.boundedLimit(), body)...)
+	return out
+}
+
+// fragCondLadder: a chain of comparisons updating a local.
+func (g *libgen) fragCondLadder() []Stmt {
+	t := g.newTmp()
+	out := []Stmt{Set(t, g.arith(1))}
+	n := 2 + g.rng.Intn(3)
+	for k := 0; k < n; k++ {
+		cmpOps := []BinOp{OpLt, OpGt, OpEq, OpLe, OpNe}
+		cond := B(cmpOps[g.rng.Intn(len(cmpOps))], g.scalar(), I(int64(g.rng.Intn(64))))
+		if g.rng.Float64() < 0.5 {
+			out = append(out, When(cond, Set(t, g.arith(2))))
+		} else {
+			out = append(out, IfElse(cond,
+				[]Stmt{Set(t, Add(V(t), g.scalar()))},
+				[]Stmt{Set(t, Xor(V(t), I(int64(g.rng.Intn(255)))))}))
+		}
+	}
+	return out
+}
+
+// fragNestedLoop: small doubly-nested loop over a 2D window.
+func (g *libgen) fragNestedLoop() []Stmt {
+	acc := g.newTmp()
+	i := g.newTmp()
+	j := g.newTmp()
+	base := g.ptrBase()
+	inner := For(j, I(0), I(int64(2+g.rng.Intn(6))),
+		Set(acc, Add(V(acc), Ld(base, g.index(Add(Mul(V(i), I(8)), V(j)))))),
+	)
+	out := []Stmt{Set(acc, I(0))}
+	out = append(out, For(i, I(0), I(int64(2+g.rng.Intn(8))), inner...)...)
+	return out
+}
+
+// fragBuiltinCall: call a library builtin with safe arguments.
+func (g *libgen) fragBuiltinCall() []Stmt {
+	t := g.newTmp()
+	base := g.ptrBase()
+	switch g.rng.Intn(5) {
+	case 0:
+		return []Stmt{Set(t, Call("checksum", base, I(int64(8+g.rng.Intn(56)))))}
+	case 1:
+		return []Stmt{Set(t, Call("abs", Sub(g.scalar(), g.scalar())))}
+	case 2:
+		return []Stmt{Set(t, Call("max", g.scalar(), Call("min", g.scalar(), I(64))))}
+	case 3:
+		n := I(int64(4 + g.rng.Intn(28)))
+		return []Stmt{
+			Do(Call("memset", Add(base, I(512)), And(g.scalar(), I(255)), n)),
+			Set(t, Call("memcmp", base, Add(base, I(512)), n)),
+		}
+	default:
+		return []Stmt{Set(t, Call("memmove", Add(base, I(256)), base, I(int64(4+g.rng.Intn(28)))))}
+	}
+}
+
+// fragIntraCall: call an earlier function in the module (keeps the call
+// graph acyclic so termination is preserved).
+func (g *libgen) fragIntraCall() []Stmt {
+	if len(g.mod.Funcs) == 0 {
+		return g.fragCondLadder()
+	}
+	callee := g.mod.Funcs[g.rng.Intn(len(g.mod.Funcs))]
+	args := make([]Expr, len(callee.Params))
+	for i, p := range callee.Params {
+		if p == "p" {
+			args[i] = g.ptrBase()
+		} else {
+			args[i] = And(g.scalar(), I(63))
+		}
+	}
+	t := g.newTmp()
+	return []Stmt{Set(t, Call(callee.Name, args...))}
+}
+
+// fragXorFold: fold bytes with xor/rotate-like mixing.
+func (g *libgen) fragXorFold() []Stmt {
+	h := g.newTmp()
+	i := g.newTmp()
+	base := g.ptrBase()
+	body := Set(h, Xor(Shl(V(h), I(3)), Add(Shr(V(h), I(5)), Ld(base, g.index(V(i))))))
+	out := []Stmt{Set(h, I(int64(g.rng.Intn(1024))))}
+	out = append(out, For(i, I(0), g.boundedLimit(), body)...)
+	return out
+}
+
+// fragFloat: a short float computation, giving the corpus arithmetic-FP
+// instructions (features 36-40 of Table I and 14 of Table II).
+func (g *libgen) fragFloat() []Stmt {
+	f := g.newTmp()
+	fops := []BinOp{OpFAdd, OpFSub, OpFMul, OpFDiv}
+	// 4607182418800017408 is the bit pattern of float64(1.0).
+	const one = 4607182418800017408
+	e := Expr(I(one))
+	n := 1 + g.rng.Intn(3)
+	for k := 0; k < n; k++ {
+		e = B(fops[g.rng.Intn(len(fops))], e, I(one+int64(g.rng.Intn(1<<20))))
+	}
+	return []Stmt{Set(f, e)}
+}
+
+// fragWordScan: scan 64-bit words.
+func (g *libgen) fragWordScan() []Stmt {
+	acc := g.newTmp()
+	i := g.newTmp()
+	base := g.ptrBase()
+	idx := Expr(V(i))
+	if !g.fragile {
+		idx = And(V(i), I(31))
+	}
+	body := Set(acc, Add(V(acc), LdW(base, idx)))
+	out := []Stmt{Set(acc, I(0))}
+	out = append(out, For(i, I(0), I(int64(2+g.rng.Intn(14))), body)...)
+	return out
+}
+
+// fragTagLog: reference a string literal and log its checksum — gives the
+// function a string constant (num_string feature) and a syscall.
+func (g *libgen) fragTagLog() []Stmt {
+	t := g.newTmp()
+	tag := genTags[g.rng.Intn(len(genTags))]
+	return []Stmt{
+		Set(t, Call("strlen", S(tag))),
+		Do(Call("write_log", V(t))),
+	}
+}
+
+// fragStoreLoop: write a computed pattern back to the buffer.
+func (g *libgen) fragStoreLoop() []Stmt {
+	i := g.newTmp()
+	base := g.ptrBase()
+	val := Expr(And(Add(Mul(V(i), I(int64(1+g.rng.Intn(7)))), g.scalar()), I(255)))
+	body := St(base, g.index(Add(V(i), I(int64(g.rng.Intn(64))))), val)
+	return For(i, I(0), g.boundedLimit(), body)
+}
+
+// resultExpr combines live scalars into the return value.
+func (g *libgen) resultExpr() Expr {
+	if len(g.scalars) == 0 {
+		return I(0)
+	}
+	e := Expr(V(g.scalars[len(g.scalars)-1]))
+	n := min(3, len(g.scalars))
+	for k := 0; k < n; k++ {
+		e = Xor(e, V(g.scalars[g.rng.Intn(len(g.scalars))]))
+	}
+	return e
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package minic
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestGenLibraryDeterministic(t *testing.T) {
+	a := GenLibrary(GenConfig{Seed: 42, Name: "libfoo", NumFuncs: 12})
+	b := GenLibrary(GenConfig{Seed: 42, Name: "libfoo", NumFuncs: 12})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must generate identical modules")
+	}
+	c := GenLibrary(GenConfig{Seed: 43, Name: "libfoo", NumFuncs: 12})
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should generate different modules")
+	}
+}
+
+func TestGenLibraryShape(t *testing.T) {
+	m := GenLibrary(GenConfig{Seed: 7, Name: "libbar", NumFuncs: 30})
+	if len(m.Funcs) != 30 {
+		t.Fatalf("got %d funcs, want 30", len(m.Funcs))
+	}
+	names := make(map[string]bool)
+	for _, f := range m.Funcs {
+		if names[f.Name] {
+			t.Errorf("duplicate function name %s", f.Name)
+		}
+		names[f.Name] = true
+		if len(f.Params) == 0 || len(f.Params) > 4 {
+			t.Errorf("%s: %d params outside [1,4]", f.Name, len(f.Params))
+		}
+	}
+}
+
+// TestGeneratedFunctionsTerminate runs every generated function under
+// several environments: no generated function may hit the step limit
+// (all loops are bounded by construction), though fragile ones may trap OOB.
+func TestGeneratedFunctionsTerminate(t *testing.T) {
+	m := GenLibrary(GenConfig{Seed: 99, Name: "libterm", NumFuncs: 40})
+	envs := []*Env{
+		{Args: []int64{DataBase, 16, 3, 2}, Data: make([]byte, 256)},
+		{Args: []int64{DataBase + 100, 255, -7, 1000}, Data: []byte("some input data here")},
+		{Args: []int64{DataBase, 0, 0, 0}},
+	}
+	for _, f := range m.Funcs {
+		for i, env := range envs {
+			e := env.Clone()
+			e.Args = e.Args[:len(f.Params)]
+			_, err := Run(m, f.Name, e, 1<<18)
+			if err == nil {
+				continue
+			}
+			var tr *TrapError
+			if errors.As(err, &tr) {
+				if tr.Kind == TrapStepLimit {
+					t.Errorf("%s env %d: hit step limit — generator emitted an unbounded loop", f.Name, i)
+				}
+				continue // OOB traps are expected for fragile functions
+			}
+			t.Errorf("%s env %d: unexpected error %v", f.Name, i, err)
+		}
+	}
+}
+
+// TestGeneratedDefensiveFunctionsMostlyClean checks the defensive fraction
+// survives arbitrary-ish inputs, which the dynamic validation stage relies on.
+func TestGeneratedDefensiveFunctionsMostlyClean(t *testing.T) {
+	m := GenLibrary(GenConfig{Seed: 5, Name: "libdef", NumFuncs: 60, FragileFrac: 0.0001})
+	env := &Env{Args: []int64{DataBase, 200, 77, 13}, Data: make([]byte, 1024)}
+	for i := range env.Data {
+		env.Data[i] = byte(i * 37)
+	}
+	clean := 0
+	for _, f := range m.Funcs {
+		e := env.Clone()
+		e.Args = e.Args[:len(f.Params)]
+		if _, err := Run(m, f.Name, e, 1<<18); err == nil {
+			clean++
+		}
+	}
+	if clean < len(m.Funcs)*9/10 {
+		t.Errorf("only %d/%d defensive functions ran cleanly", clean, len(m.Funcs))
+	}
+}
+
+func TestGeneratedFunctionsDeterministicResults(t *testing.T) {
+	m := GenLibrary(GenConfig{Seed: 31, Name: "libdet", NumFuncs: 10})
+	env := &Env{Args: []int64{DataBase, 32, 5, 9}, Data: []byte("deterministic-input-bytes")}
+	for _, f := range m.Funcs {
+		e1 := env.Clone()
+		e1.Args = e1.Args[:len(f.Params)]
+		e2 := e1.Clone()
+		r1, err1 := Run(m, f.Name, e1, 1<<18)
+		r2, err2 := Run(m, f.Name, e2, 1<<18)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: nondeterministic trap behaviour", f.Name)
+		}
+		if err1 == nil && (r1.Ret != r2.Ret || r1.Steps != r2.Steps) {
+			t.Errorf("%s: nondeterministic result", f.Name)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package minic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Env is an execution environment for a single function invocation: the
+// scalar arguments plus the initial contents of the data region. It is the
+// source-level analog of the paper's "fixed execution environment"
+// (function arguments and global memory state).
+type Env struct {
+	// Args are the scalar arguments. By convention pointer-typed arguments
+	// hold addresses inside the data region (DataBase..DataBase+DataSize).
+	Args []int64
+	// Data is copied to the start of the data region before execution.
+	Data []byte
+}
+
+// Clone returns a deep copy of the environment.
+func (e *Env) Clone() *Env {
+	out := &Env{Args: make([]int64, len(e.Args)), Data: make([]byte, len(e.Data))}
+	copy(out.Args, e.Args)
+	copy(out.Data, e.Data)
+	return out
+}
+
+// Result is the outcome of a successful source-level execution.
+type Result struct {
+	Ret   int64
+	Steps int64
+	// Mem exposes the final data-region contents so callers (and the
+	// semantics-preservation property tests) can compare memory effects.
+	Mem []byte
+}
+
+// DefaultStepLimit bounds interpreter executions.
+const DefaultStepLimit = 1 << 20
+
+// maxCallDepth bounds source-level recursion.
+const maxCallDepth = 64
+
+// flatMem is the interpreter's address space: a data region, a rodata
+// region holding interned strings, and a heap.
+type flatMem struct {
+	data   []byte
+	rodata []byte
+	heap   []byte
+}
+
+var _ Memory = (*flatMem)(nil)
+
+func newFlatMem(env *Env, rodata []byte) *flatMem {
+	m := &flatMem{
+		data:   make([]byte, DataSize),
+		rodata: rodata,
+		heap:   make([]byte, HeapSize),
+	}
+	copy(m.data, env.Data)
+	return m
+}
+
+func (m *flatMem) LoadByte(addr int64) (byte, error) {
+	switch {
+	case addr >= DataBase && addr < DataBase+DataSize:
+		return m.data[addr-DataBase], nil
+	case addr >= RodataBase && addr < RodataBase+int64(len(m.rodata)):
+		return m.rodata[addr-RodataBase], nil
+	case addr >= HeapBase && addr < HeapBase+HeapSize:
+		return m.heap[addr-HeapBase], nil
+	}
+	return 0, &TrapError{Kind: TrapOOB, Addr: addr}
+}
+
+func (m *flatMem) StoreByte(addr int64, v byte) error {
+	switch {
+	case addr >= DataBase && addr < DataBase+DataSize:
+		m.data[addr-DataBase] = v
+		return nil
+	case addr >= HeapBase && addr < HeapBase+HeapSize:
+		m.heap[addr-HeapBase] = v
+		return nil
+	}
+	// rodata is not writable.
+	return &TrapError{Kind: TrapOOB, Addr: addr}
+}
+
+// Interp executes source functions directly. It defines the reference
+// semantics that the compiler/emulator pipeline is tested against.
+type Interp struct {
+	mod       *Module
+	strAddrs  map[string]int64
+	mem       *flatMem
+	bst       *BuiltinState
+	steps     int64
+	stepLimit int64
+}
+
+// control models non-local statement outcomes.
+type control int
+
+const (
+	ctlNone control = iota
+	ctlBreak
+	ctlContinue
+	ctlReturn
+)
+
+// Run interprets m.Lookup(fname) under env with the given step limit
+// (DefaultStepLimit if limit <= 0).
+func Run(m *Module, fname string, env *Env, limit int64) (*Result, error) {
+	fn := m.Lookup(fname)
+	if fn == nil {
+		return nil, fmt.Errorf("minic: no function %q in module %q", fname, m.Name)
+	}
+	if limit <= 0 {
+		limit = DefaultStepLimit
+	}
+	rodata, addrs := InternStrings(m)
+	in := &Interp{
+		mod:       m,
+		strAddrs:  addrs,
+		mem:       newFlatMem(env, rodata),
+		bst:       NewBuiltinState(),
+		stepLimit: limit,
+	}
+	ret, err := in.call(fn, env.Args, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Ret: ret, Steps: in.steps, Mem: in.mem.data}, nil
+}
+
+func (in *Interp) tick() error {
+	in.steps++
+	if in.steps > in.stepLimit {
+		return &TrapError{Kind: TrapStepLimit}
+	}
+	return nil
+}
+
+func (in *Interp) call(fn *Func, args []int64, depth int) (int64, error) {
+	if depth > maxCallDepth {
+		return 0, &TrapError{Kind: TrapStack, Msg: "recursion too deep"}
+	}
+	if len(args) != len(fn.Params) {
+		return 0, &TrapError{Kind: TrapBadCall,
+			Msg: fmt.Sprintf("%s expects %d args, got %d", fn.Name, len(fn.Params), len(args))}
+	}
+	vars := make(map[string]int64, len(fn.Params)+8)
+	for i, p := range fn.Params {
+		vars[p] = args[i]
+	}
+	ctl, ret, err := in.execBlock(fn.Body, vars, depth)
+	if err != nil {
+		return 0, err
+	}
+	if ctl == ctlReturn {
+		return ret, nil
+	}
+	return 0, nil // falling off the end returns 0
+}
+
+func (in *Interp) execBlock(ss []Stmt, vars map[string]int64, depth int) (control, int64, error) {
+	for _, s := range ss {
+		ctl, ret, err := in.execStmt(s, vars, depth)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		if ctl != ctlNone {
+			return ctl, ret, nil
+		}
+	}
+	return ctlNone, 0, nil
+}
+
+func (in *Interp) execStmt(s Stmt, vars map[string]int64, depth int) (control, int64, error) {
+	if err := in.tick(); err != nil {
+		return ctlNone, 0, err
+	}
+	switch s := s.(type) {
+	case *Assign:
+		v, err := in.eval(s.E, vars, depth)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		vars[s.Name] = v
+	case *Store:
+		base, err := in.eval(s.Base, vars, depth)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		idx, err := in.eval(s.Index, vars, depth)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		val, err := in.eval(s.Val, vars, depth)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		if err := in.mem.StoreByte(base+idx, byte(val)); err != nil {
+			return ctlNone, 0, err
+		}
+	case *StoreW:
+		base, err := in.eval(s.Base, vars, depth)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		idx, err := in.eval(s.Index, vars, depth)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		val, err := in.eval(s.Val, vars, depth)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		if err := StoreWord(in.mem, base+idx*8, val); err != nil {
+			return ctlNone, 0, err
+		}
+	case *If:
+		c, err := in.eval(s.Cond, vars, depth)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		if c != 0 {
+			return in.execBlock(s.Then, vars, depth)
+		}
+		return in.execBlock(s.Else, vars, depth)
+	case *While:
+		for {
+			c, err := in.eval(s.Cond, vars, depth)
+			if err != nil {
+				return ctlNone, 0, err
+			}
+			if c == 0 {
+				return ctlNone, 0, nil
+			}
+			ctl, ret, err := in.execBlock(s.Body, vars, depth)
+			if err != nil {
+				return ctlNone, 0, err
+			}
+			switch ctl {
+			case ctlBreak:
+				return ctlNone, 0, nil
+			case ctlReturn:
+				return ctlReturn, ret, nil
+			}
+			if err := in.tick(); err != nil {
+				return ctlNone, 0, err
+			}
+		}
+	case *Return:
+		if s.E == nil {
+			return ctlReturn, 0, nil
+		}
+		v, err := in.eval(s.E, vars, depth)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		return ctlReturn, v, nil
+	case *ExprStmt:
+		if _, err := in.eval(s.E, vars, depth); err != nil {
+			return ctlNone, 0, err
+		}
+	case *Break:
+		return ctlBreak, 0, nil
+	case *Continue:
+		return ctlContinue, 0, nil
+	default:
+		return ctlNone, 0, fmt.Errorf("minic: unknown statement %T", s)
+	}
+	return ctlNone, 0, nil
+}
+
+func (in *Interp) eval(e Expr, vars map[string]int64, depth int) (int64, error) {
+	if err := in.tick(); err != nil {
+		return 0, err
+	}
+	switch e := e.(type) {
+	case *IntLit:
+		return e.V, nil
+	case *StrLit:
+		return in.strAddrs[e.S], nil
+	case *VarRef:
+		return vars[e.Name], nil // unassigned locals read as 0
+	case *Bin:
+		l, err := in.eval(e.L, vars, depth)
+		if err != nil {
+			return 0, err
+		}
+		r, err := in.eval(e.R, vars, depth)
+		if err != nil {
+			return 0, err
+		}
+		return EvalBinOp(e.Op, l, r)
+	case *Un:
+		x, err := in.eval(e.X, vars, depth)
+		if err != nil {
+			return 0, err
+		}
+		return EvalUnOp(e.Op, x), nil
+	case *Load:
+		base, err := in.eval(e.Base, vars, depth)
+		if err != nil {
+			return 0, err
+		}
+		idx, err := in.eval(e.Index, vars, depth)
+		if err != nil {
+			return 0, err
+		}
+		b, err := in.mem.LoadByte(base + idx)
+		if err != nil {
+			return 0, err
+		}
+		return int64(b), nil
+	case *LoadW:
+		base, err := in.eval(e.Base, vars, depth)
+		if err != nil {
+			return 0, err
+		}
+		idx, err := in.eval(e.Index, vars, depth)
+		if err != nil {
+			return 0, err
+		}
+		return LoadWord(in.mem, base+idx*8)
+	case *CallExpr:
+		args := make([]int64, len(e.Args))
+		for i, a := range e.Args {
+			v, err := in.eval(a, vars, depth)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		if b, ok := Builtins[e.Name]; ok {
+			if len(args) != b.NArgs {
+				return 0, &TrapError{Kind: TrapBadCall,
+					Msg: fmt.Sprintf("%s expects %d args, got %d", b.Name, b.NArgs, len(args))}
+			}
+			return b.Fn(in.mem, in.bst, args)
+		}
+		if fn := in.mod.Lookup(e.Name); fn != nil {
+			return in.call(fn, args, depth+1)
+		}
+		return 0, &TrapError{Kind: TrapBadCall, Msg: "unknown function " + e.Name}
+	default:
+		return 0, fmt.Errorf("minic: unknown expression %T", e)
+	}
+}
+
+// EvalBinOp applies a binary operator to two values, with the trap
+// semantics shared by the interpreter and the emulator.
+func EvalBinOp(op BinOp, l, r int64) (int64, error) {
+	switch op {
+	case OpAdd:
+		return l + r, nil
+	case OpSub:
+		return l - r, nil
+	case OpMul:
+		return l * r, nil
+	case OpDiv:
+		if r == 0 {
+			return 0, &TrapError{Kind: TrapDivZero}
+		}
+		if l == math.MinInt64 && r == -1 {
+			return math.MinInt64, nil // wraparound, not a trap
+		}
+		return l / r, nil
+	case OpMod:
+		if r == 0 {
+			return 0, &TrapError{Kind: TrapDivZero}
+		}
+		if l == math.MinInt64 && r == -1 {
+			return 0, nil
+		}
+		return l % r, nil
+	case OpAnd:
+		return l & r, nil
+	case OpOr:
+		return l | r, nil
+	case OpXor:
+		return l ^ r, nil
+	case OpShl:
+		return l << (uint64(r) & 63), nil
+	case OpShr:
+		return int64(uint64(l) >> (uint64(r) & 63)), nil
+	case OpEq:
+		return b2i(l == r), nil
+	case OpNe:
+		return b2i(l != r), nil
+	case OpLt:
+		return b2i(l < r), nil
+	case OpLe:
+		return b2i(l <= r), nil
+	case OpGt:
+		return b2i(l > r), nil
+	case OpGe:
+		return b2i(l >= r), nil
+	case OpFAdd:
+		return fbin(l, r, func(a, b float64) float64 { return a + b }), nil
+	case OpFSub:
+		return fbin(l, r, func(a, b float64) float64 { return a - b }), nil
+	case OpFMul:
+		return fbin(l, r, func(a, b float64) float64 { return a * b }), nil
+	case OpFDiv:
+		return fbin(l, r, func(a, b float64) float64 { return a / b }), nil
+	default:
+		return 0, fmt.Errorf("minic: unknown binary op %v", op)
+	}
+}
+
+// EvalUnOp applies a unary operator.
+func EvalUnOp(op UnOp, x int64) int64 {
+	switch op {
+	case OpNeg:
+		return -x
+	case OpNot:
+		return b2i(x == 0)
+	case OpInv:
+		return ^x
+	default:
+		return 0
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fbin(l, r int64, f func(a, b float64) float64) int64 {
+	a := math.Float64frombits(uint64(l))
+	b := math.Float64frombits(uint64(r))
+	return int64(math.Float64bits(f(a, b)))
+}

@@ -1,0 +1,339 @@
+package minic
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// run is a test helper executing fname from m under env.
+func run(t *testing.T, m *Module, fname string, env *Env) *Result {
+	t.Helper()
+	res, err := Run(m, fname, env, 0)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", fname, err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		expr Expr
+		want int64
+	}{
+		{"add", Add(I(2), I(3)), 5},
+		{"sub", Sub(I(2), I(3)), -1},
+		{"mul", Mul(I(-4), I(3)), -12},
+		{"div", Div(I(7), I(2)), 3},
+		{"div-neg", Div(I(-7), I(2)), -3},
+		{"mod", Mod(I(7), I(3)), 1},
+		{"and", And(I(0b1100), I(0b1010)), 0b1000},
+		{"or", Or(I(0b1100), I(0b1010)), 0b1110},
+		{"xor", Xor(I(0b1100), I(0b1010)), 0b0110},
+		{"shl", Shl(I(1), I(10)), 1024},
+		{"shr-logical", Shr(I(-1), I(60)), 15},
+		{"eq-true", Eq(I(4), I(4)), 1},
+		{"eq-false", Eq(I(4), I(5)), 0},
+		{"lt", Lt(I(-1), I(0)), 1},
+		{"ge", Ge(I(3), I(3)), 1},
+		{"not-zero", Not(I(0)), 1},
+		{"not-nonzero", Not(I(7)), 0},
+		{"neg", Neg(I(5)), -5},
+		{"shl-mod64", Shl(I(1), I(64)), 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := &Module{Name: "t", Funcs: []*Func{NewFunc("f", nil, Ret(tt.expr))}}
+			res := run(t, m, "f", &Env{})
+			if res.Ret != tt.want {
+				t.Errorf("got %d, want %d", res.Ret, tt.want)
+			}
+		})
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	bits := func(f float64) int64 { return int64(math.Float64bits(f)) }
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", []string{"a", "b"}, Ret(B(OpFMul, B(OpFAdd, V("a"), V("b")), V("a")))),
+	}}
+	res := run(t, m, "f", &Env{Args: []int64{bits(2.0), bits(3.0)}})
+	if got := math.Float64frombits(uint64(res.Ret)); got != 10.0 {
+		t.Errorf("(2+3)*2 = %v, want 10", got)
+	}
+}
+
+func TestDivByZeroTraps(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", []string{"a"}, Ret(Div(I(1), V("a")))),
+	}}
+	_, err := Run(m, "f", &Env{Args: []int64{0}}, 0)
+	tr, ok := IsTrap(err)
+	if !ok || tr.Kind != TrapDivZero {
+		t.Fatalf("want TrapDivZero, got %v", err)
+	}
+}
+
+func TestOOBTraps(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", []string{"a"}, Ret(Ld(V("a"), I(0)))),
+	}}
+	for _, addr := range []int64{0, DataBase - 1, DataBase + DataSize + RodataSize, -5} {
+		_, err := Run(m, "f", &Env{Args: []int64{addr}}, 0)
+		tr, ok := IsTrap(err)
+		if !ok || tr.Kind != TrapOOB {
+			t.Fatalf("addr %#x: want TrapOOB, got %v", addr, err)
+		}
+	}
+}
+
+func TestRodataReadOnly(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", nil, St(S("hi"), I(0), I(1)), Ret(I(0))),
+	}}
+	_, err := Run(m, "f", &Env{}, 0)
+	if tr, ok := IsTrap(err); !ok || tr.Kind != TrapOOB {
+		t.Fatalf("want TrapOOB on rodata write, got %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", nil, Loop(I(1), Set("x", Add(V("x"), I(1)))), Ret(V("x"))),
+	}}
+	_, err := Run(m, "f", &Env{}, 1000)
+	if tr, ok := IsTrap(err); !ok || tr.Kind != TrapStepLimit {
+		t.Fatalf("want TrapStepLimit, got %v", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", []string{"a"}, Ret(Call("f", Add(V("a"), I(1))))),
+	}}
+	_, err := Run(m, "f", &Env{Args: []int64{0}}, 0)
+	if tr, ok := IsTrap(err); !ok || tr.Kind != TrapStack {
+		t.Fatalf("want TrapStack, got %v", err)
+	}
+}
+
+func TestLoopBreakContinue(t *testing.T) {
+	// Sum odd numbers below 10, stop at 7: 1+3+5+7 = 16.
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", nil,
+			Set("s", I(0)),
+			Set("i", I(0)),
+			Loop(Lt(V("i"), I(100)),
+				Set("i", Add(V("i"), I(1))),
+				When(Eq(Mod(V("i"), I(2)), I(0)), &Continue{}),
+				Set("s", Add(V("s"), V("i"))),
+				When(Ge(V("i"), I(7)), &Break{}),
+			),
+			Ret(V("s")),
+		),
+	}}
+	if res := run(t, m, "f", &Env{}); res.Ret != 16 {
+		t.Errorf("got %d, want 16", res.Ret)
+	}
+}
+
+func TestMemoryRoundtrip(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", []string{"p"},
+			StW(V("p"), I(2), I(0x1122334455667788)),
+			Ret(LdW(V("p"), I(2))),
+		),
+	}}
+	res := run(t, m, "f", &Env{Args: []int64{DataBase}})
+	if res.Ret != 0x1122334455667788 {
+		t.Errorf("word roundtrip: got %#x", res.Ret)
+	}
+	// Little-endian byte order observable through byte loads.
+	m2 := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", []string{"p"},
+			StW(V("p"), I(0), I(0x0102)),
+			Ret(Ld(V("p"), I(0))),
+		),
+	}}
+	if res := run(t, m2, "f", &Env{Args: []int64{DataBase}}); res.Ret != 0x02 {
+		t.Errorf("little-endian low byte: got %#x", res.Ret)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	env := &Env{Args: []int64{DataBase}, Data: []byte("hello\x00world")}
+	tests := []struct {
+		name string
+		body Expr
+		want int64
+	}{
+		{"strlen", Call("strlen", V("p")), 5},
+		{"abs-neg", Call("abs", I(-9)), 9},
+		{"min", Call("min", I(3), I(-2)), -2},
+		{"max", Call("max", I(3), I(-2)), 3},
+		{"memcmp-eq", Call("memcmp", V("p"), V("p"), I(5)), 0},
+		{"checksum-empty", Call("checksum", V("p"), I(0)), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := &Module{Name: "t", Funcs: []*Func{NewFunc("f", []string{"p"}, Ret(tt.body))}}
+			if res := run(t, m, "f", env.Clone()); res.Ret != tt.want {
+				t.Errorf("got %d, want %d", res.Ret, tt.want)
+			}
+		})
+	}
+}
+
+func TestMemmoveOverlap(t *testing.T) {
+	// Shift "abcd" right by one within the buffer: overlap must be handled.
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", []string{"p"},
+			Do(Call("memmove", Add(V("p"), I(1)), V("p"), I(4))),
+			Ret(Ld(V("p"), I(4))),
+		),
+	}}
+	res := run(t, m, "f", &Env{Args: []int64{DataBase}, Data: []byte("abcdX")})
+	if res.Ret != 'd' {
+		t.Errorf("overlapping memmove: got %c, want d", byte(res.Ret))
+	}
+	if string(res.Mem[:5]) != "aabcd" {
+		t.Errorf("memory after shift = %q, want aabcd", res.Mem[:5])
+	}
+}
+
+func TestMallocDeterministic(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", nil,
+			Set("a", Call("malloc", I(10))),
+			Set("b", Call("malloc", I(10))),
+			St(V("a"), I(0), I(42)),
+			Ret(Add(Sub(V("b"), V("a")), Ld(V("a"), I(0)))),
+		),
+	}}
+	res := run(t, m, "f", &Env{})
+	if res.Ret != 16+42 {
+		t.Errorf("malloc spacing+store: got %d, want 58", res.Ret)
+	}
+	// First allocation is at HeapBase in every execution.
+	m2 := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", nil, Ret(Call("malloc", I(1)))),
+	}}
+	if res := run(t, m2, "f", &Env{}); res.Ret != HeapBase {
+		t.Errorf("first malloc at %#x, want %#x", res.Ret, HeapBase)
+	}
+}
+
+func TestStringLiteralAddressesStable(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", nil, Ret(Call("strlen", S("four")))),
+		NewFunc("g", nil, Ret(Sub(Call("strlen", S("longer-string")), Call("strlen", S("four"))))),
+	}}
+	if res := run(t, m, "f", &Env{}); res.Ret != 4 {
+		t.Errorf("strlen(lit) = %d", res.Ret)
+	}
+	if res := run(t, m, "g", &Env{}); res.Ret != 9 {
+		t.Errorf("strlen diff = %d, want 9", res.Ret)
+	}
+	_, addrs := InternStrings(m)
+	if len(addrs) != 2 {
+		t.Fatalf("interned %d strings, want 2", len(addrs))
+	}
+	for s, a := range addrs {
+		if a < RodataBase || a >= RodataBase+RodataSize {
+			t.Errorf("string %q at %#x outside rodata", s, a)
+		}
+	}
+}
+
+func TestIntraModuleCall(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("double", []string{"a"}, Ret(Mul(V("a"), I(2)))),
+		NewFunc("f", []string{"a"}, Ret(Add(Call("double", V("a")), I(1)))),
+	}}
+	if res := run(t, m, "f", &Env{Args: []int64{20}}); res.Ret != 41 {
+		t.Errorf("got %d, want 41", res.Ret)
+	}
+}
+
+func TestBadCallTraps(t *testing.T) {
+	m := &Module{Name: "t", Funcs: []*Func{
+		NewFunc("f", nil, Ret(Call("nosuch", I(1)))),
+		NewFunc("g", nil, Ret(Call("min", I(1)))), // wrong arity
+	}}
+	for _, fn := range []string{"f", "g"} {
+		_, err := Run(m, fn, &Env{}, 0)
+		if tr, ok := IsTrap(err); !ok || tr.Kind != TrapBadCall {
+			t.Errorf("%s: want TrapBadCall, got %v", fn, err)
+		}
+	}
+}
+
+func TestEvalBinOpProperties(t *testing.T) {
+	// Comparison operators always yield 0 or 1.
+	cmpBool := func(l, r int64) bool {
+		for _, op := range []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+			v, err := EvalBinOp(op, l, r)
+			if err != nil || (v != 0 && v != 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(cmpBool, nil); err != nil {
+		t.Error(err)
+	}
+	// x-y+y == x, x^y^y == x.
+	inv := func(x, y int64) bool {
+		d, _ := EvalBinOp(OpSub, x, y)
+		s, _ := EvalBinOp(OpAdd, d, y)
+		a, _ := EvalBinOp(OpXor, x, y)
+		b, _ := EvalBinOp(OpXor, a, y)
+		return s == x && b == x
+	}
+	if err := quick.Check(inv, nil); err != nil {
+		t.Error(err)
+	}
+	// Division traps only on zero divisor.
+	divOK := func(x, y int64) bool {
+		_, err := EvalBinOp(OpDiv, x, y)
+		var tr *TrapError
+		isTrap := errors.As(err, &tr)
+		return isTrap == (y == 0)
+	}
+	if err := quick.Check(divOK, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnvCloneIsDeep(t *testing.T) {
+	e := &Env{Args: []int64{1, 2}, Data: []byte{3, 4}}
+	c := e.Clone()
+	c.Args[0] = 99
+	c.Data[0] = 99
+	if e.Args[0] != 1 || e.Data[0] != 3 {
+		t.Error("Clone shares backing arrays")
+	}
+}
+
+func TestLocalsAndStringsAndCallees(t *testing.T) {
+	f := NewFunc("f", []string{"p", "n"},
+		Set("x", I(1)),
+		When(Gt(V("n"), I(0)),
+			Set("y", Call("strlen", S("tag"))),
+			Set("x", Call("helper", V("x"))),
+		),
+		Ret(V("x")),
+	)
+	if got := f.Locals(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("Locals = %v", got)
+	}
+	if got := f.Strings(); len(got) != 1 || got[0] != "tag" {
+		t.Errorf("Strings = %v", got)
+	}
+	callees := f.Callees()
+	if len(callees) != 2 || callees[0] != "strlen" || callees[1] != "helper" {
+		t.Errorf("Callees = %v", callees)
+	}
+}

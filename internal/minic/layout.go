@@ -1,0 +1,34 @@
+package minic
+
+// Read-only data layout shared by the interpreter and the compiled-image
+// loader, so that string-literal addresses are observationally identical in
+// both executions.
+const (
+	// RodataBase is where a module's interned string table is mapped.
+	RodataBase = DataBase + DataSize
+	// RodataSize bounds the string table region.
+	RodataSize = 1 << 16
+)
+
+// InternStrings lays out the module's string literals: it walks every
+// function in order, appending each distinct literal (NUL-terminated) to a
+// table, and returns the table bytes plus a map from literal to its address
+// (RodataBase-relative addresses are returned as absolute).
+//
+// The compiler and the interpreter both use this exact function, which is
+// what guarantees identical pointer values for string literals.
+func InternStrings(m *Module) ([]byte, map[string]int64) {
+	addrs := make(map[string]int64)
+	var table []byte
+	for _, f := range m.Funcs {
+		for _, s := range f.Strings() {
+			if _, ok := addrs[s]; ok {
+				continue
+			}
+			addrs[s] = RodataBase + int64(len(table))
+			table = append(table, s...)
+			table = append(table, 0)
+		}
+	}
+	return table, addrs
+}

@@ -1,0 +1,203 @@
+package minic
+
+import (
+	"math/rand"
+)
+
+// SiblingFunc derives a "lookalike" function from f: structurally similar
+// (same skeleton, similar feature vector) but not semantically equal.
+//
+// Real libraries are full of such lookalikes — libstagefright alone has
+// thousands of parser routines that resemble one another — and they are
+// what inflates the paper's static-stage candidate sets (252 candidates for
+// removeUnsynchronization). A `crashy` sibling additionally contains a
+// latent memory fault, so it cannot survive the dynamic stage's input
+// validation; the paper prunes exactly this way (252 candidates -> 38 that
+// tolerate the CVE function's inputs).
+func SiblingFunc(f *Func, name string, seed int64, crashy bool) *Func {
+	rng := rand.New(rand.NewSource(seed))
+	g := CloneFunc(f)
+	g.Name = name
+
+	// Benign divergence: jitter integer literals so the sibling computes
+	// something related but different.
+	jitterConstants(g.Body, rng)
+
+	// Prepend a small extra computation, like a neighbouring overload would
+	// have; benign siblings always get one so their traces diverge from
+	// the original's even when constant jitter lands on dead values.
+	if (!crashy || rng.Intn(2) == 0) && len(g.Params) > 0 {
+		extra := Set("sib", Xor(V(g.Params[len(g.Params)-1]), I(int64(rng.Intn(255)))))
+		g.Body = append([]Stmt{extra}, g.Body...)
+	}
+	// Occasionally add a short trailing scan, another common overload shape.
+	if rng.Intn(3) == 0 {
+		i := "sibi"
+		acc := "sibacc"
+		tail := []Stmt{Set(acc, I(0))}
+		tail = append(tail, For(i, I(0), I(int64(2+rng.Intn(9))),
+			Set(acc, Add(V(acc), Ld(I(DataBase), And(V(i), I(63))))))...)
+		// Splice before the final return so the scan executes.
+		if len(g.Body) > 0 {
+			last := g.Body[len(g.Body)-1]
+			g.Body = append(g.Body[:len(g.Body)-1], append(tail, last)...)
+		}
+	}
+
+	if crashy {
+		injectFault(g, rng)
+	}
+	return g
+}
+
+// jitterConstants perturbs literals (excluding 0/1, which are usually
+// loop/guard scaffolding) with small deltas.
+func jitterConstants(ss []Stmt, rng *rand.Rand) {
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case *IntLit:
+			if e.V > 1 && rng.Intn(3) == 0 {
+				e.V += int64(rng.Intn(7)) - 3
+				if e.V < 2 {
+					e.V = 2
+				}
+			}
+		case *Bin:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *Un:
+			walkExpr(e.X)
+		case *Load:
+			walkExpr(e.Index)
+		case *LoadW:
+			walkExpr(e.Index)
+		case *CallExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walk func(ss []Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *Assign:
+				walkExpr(s.E)
+			case *Store:
+				walkExpr(s.Index)
+				walkExpr(s.Val)
+			case *StoreW:
+				walkExpr(s.Index)
+				walkExpr(s.Val)
+			case *If:
+				walkExpr(s.Cond)
+				walk(s.Then)
+				walk(s.Else)
+			case *While:
+				// Jittering loop-bound constants changes iteration counts,
+				// which is what makes a sibling's dynamic trace diverge
+				// from the original's.
+				walkExpr(s.Cond)
+				walk(s.Body)
+			case *Return:
+				if s.E != nil {
+					walkExpr(s.E)
+				}
+			case *ExprStmt:
+				walkExpr(s.E)
+			}
+		}
+	}
+	walk(ss)
+}
+
+// injectFault plants a latent memory error. The fault variants mirror real
+// bug classes: a wildly-scaled index, a near-null dereference, and an
+// unchecked read far past the data region.
+func injectFault(g *Func, rng *rand.Rand) {
+	switch rng.Intn(3) {
+	case 0:
+		// Scale the first memory index so moderate inputs walk out of the
+		// data region.
+		if scaleFirstIndex(g.Body, int64(3000+rng.Intn(4000))) {
+			return
+		}
+		fallthrough
+	case 1:
+		// Dereference a near-null pointer guarded by a condition that holds
+		// for essentially every input.
+		guardVar := "n"
+		if len(g.Params) > 0 {
+			guardVar = g.Params[len(g.Params)-1]
+		}
+		fault := When(Ne(V(guardVar), I(int64(-7777))),
+			Set("flt", Ld(I(int64(8+rng.Intn(64))), I(0))))
+		g.Body = append([]Stmt{fault}, g.Body...)
+	default:
+		// Read far beyond the data region.
+		fault := Set("flt", Ld(I(DataBase), I(DataSize+int64(rng.Intn(1024)))))
+		g.Body = append([]Stmt{fault}, g.Body...)
+	}
+}
+
+// scaleFirstIndex multiplies the first Load/Store index it finds.
+func scaleFirstIndex(ss []Stmt, factor int64) bool {
+	done := false
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		if done {
+			return
+		}
+		switch e := e.(type) {
+		case *Bin:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *Un:
+			walkExpr(e.X)
+		case *Load:
+			e.Index = Mul(e.Index, I(factor))
+			done = true
+		case *LoadW:
+			e.Index = Mul(e.Index, I(factor))
+			done = true
+		case *CallExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walk func(ss []Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			if done {
+				return
+			}
+			switch s := s.(type) {
+			case *Assign:
+				walkExpr(s.E)
+			case *Store:
+				s.Index = Mul(s.Index, I(factor))
+				done = true
+			case *StoreW:
+				s.Index = Mul(s.Index, I(factor))
+				done = true
+			case *If:
+				walkExpr(s.Cond)
+				walk(s.Then)
+				walk(s.Else)
+			case *While:
+				walkExpr(s.Cond)
+				walk(s.Body)
+			case *Return:
+				if s.E != nil {
+					walkExpr(s.E)
+				}
+			case *ExprStmt:
+				walkExpr(s.E)
+			}
+		}
+	}
+	walk(ss)
+	return done
+}

@@ -1,0 +1,523 @@
+package minic
+
+// A textual frontend for the source language, completing the toolchain:
+// source files (conventionally *.mc) parse to the same AST the generator
+// and the CVE corpus build programmatically, and everything downstream
+// (interpreter, compilers, pipeline) is shared.
+//
+// Grammar (C-like, expressions over int64):
+//
+//	module  := func*
+//	func    := "func" IDENT "(" [IDENT ("," IDENT)*] ")" block
+//	block   := "{" stmt* "}"
+//	stmt    := lvalue "=" expr ";"         // variable, byte or word store
+//	         | "if" "(" expr ")" block ["else" block]
+//	         | "while" "(" expr ")" block
+//	         | "return" [expr] ";"
+//	         | "break" ";" | "continue" ";"
+//	         | expr ";"                     // call for effect
+//	lvalue  := IDENT | primary "[" expr "]" | primary ".w[" expr "]"
+//
+// Binary operators follow C precedence (tightest first): * / % ; + - and
+// the float forms +. -. *. /. ; << >> ; < <= > >= ; == != ; & ; ^ ; |.
+// Unary: - ! ~. Postfix: call "(...)", byte index "[e]", word index ".w[e]".
+// Literals: decimal and 0x hex integers, Go-quoted strings. Comments: //
+// to end of line.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseError reports a syntax error with position information.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("minic: parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses module source text.
+func Parse(name, src string) (*Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	mod := &Module{Name: name}
+	for !p.at(tokEOF) {
+		f, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		mod.Funcs = append(mod.Funcs, f)
+	}
+	if len(mod.Funcs) == 0 {
+		return nil, fmt.Errorf("minic: %s: no functions", name)
+	}
+	return mod, nil
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokStr
+	tokPunct // operators and delimiters, stored verbatim in text
+)
+
+type token struct {
+	kind      tokKind
+	text      string
+	ival      int64
+	sval      string
+	line, col int
+}
+
+// punctuation, longest first so the lexer is maximal-munch.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "+.", "-.", "*.", "/.", ".w[",
+	"(", ")", "{", "}", "[", "]", ",", ";", "=",
+	"+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "!", "~",
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+outer:
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '"':
+			start, sl, sc := i, line, col
+			advance(1)
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' && i+1 < len(src) {
+					advance(1)
+				}
+				advance(1)
+			}
+			if i >= len(src) {
+				return nil, &ParseError{Line: sl, Col: sc, Msg: "unterminated string"}
+			}
+			advance(1)
+			s, err := strconv.Unquote(src[start:i])
+			if err != nil {
+				return nil, &ParseError{Line: sl, Col: sc, Msg: "bad string literal"}
+			}
+			toks = append(toks, token{kind: tokStr, sval: s, line: sl, col: sc})
+		case unicode.IsDigit(rune(c)):
+			start, sl, sc := i, line, col
+			for i < len(src) && (isIdentChar(src[i]) || src[i] == 'x' || src[i] == 'X') {
+				advance(1)
+			}
+			text := src[start:i]
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				// 9223372036854775808 appears as the magnitude of MinInt64
+				// under a unary minus; wrap it like C literals do.
+				u, uerr := strconv.ParseUint(text, 0, 64)
+				if uerr != nil {
+					return nil, &ParseError{Line: sl, Col: sc, Msg: "bad integer literal " + text}
+				}
+				v = int64(u)
+			}
+			toks = append(toks, token{kind: tokInt, ival: v, line: sl, col: sc})
+		case isIdentStart(c):
+			start, sl, sc := i, line, col
+			for i < len(src) && isIdentChar(src[i]) {
+				advance(1)
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[start:i], line: sl, col: sc})
+		default:
+			for _, pct := range puncts {
+				if strings.HasPrefix(src[i:], pct) {
+					toks = append(toks, token{kind: tokPunct, text: pct, line: line, col: col})
+					advance(len(pct))
+					continue outer
+				}
+			}
+			return nil, &ParseError{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind) bool { return p.cur().kind == kind }
+
+func (p *parser) atPunct(text string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == text
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokIdent && p.cur().text == kw
+}
+
+func (p *parser) eat(text string) bool {
+	if p.atPunct(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(text string) error {
+	if !p.eat(text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parseFunc() (*Func, error) {
+	if !p.atKeyword("func") {
+		return nil, p.errf("expected 'func'")
+	}
+	p.next()
+	if !p.at(tokIdent) {
+		return nil, p.errf("expected function name")
+	}
+	name := p.next().text
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.atPunct(")") {
+		if len(params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		if !p.at(tokIdent) {
+			return nil, p.errf("expected parameter name")
+		}
+		params = append(params, p.next().text)
+	}
+	p.next() // ')'
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Func{Name: name, Params: params, Body: body}, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.atPunct("}") {
+		if p.at(tokEOF) {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.next() // '}'
+	return out, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atKeyword("if"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.atKeyword("else") {
+			p.next()
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els}, nil
+	case p.atKeyword("while"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body}, nil
+	case p.atKeyword("return"):
+		p.next()
+		if p.eat(";") {
+			return &Return{}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Return{E: e}, nil
+	case p.atKeyword("break"):
+		p.next()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Break{}, nil
+	case p.atKeyword("continue"):
+		p.next()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Continue{}, nil
+	}
+	// Expression-led statement: assignment, store or call-for-effect.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.eat("=") {
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		switch lv := e.(type) {
+		case *VarRef:
+			return &Assign{Name: lv.Name, E: val}, nil
+		case *Load:
+			return &Store{Base: lv.Base, Index: lv.Index, Val: val}, nil
+		case *LoadW:
+			return &StoreW{Base: lv.Base, Index: lv.Index, Val: val}, nil
+		default:
+			return nil, p.errf("cannot assign to this expression")
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{E: e}, nil
+}
+
+// precedence levels, loosest first. Operators at the same level are
+// left-associative.
+var precLevels = [][]string{
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-", "+.", "-."},
+	{"*", "/", "%", "*.", "/."},
+}
+
+var punctBinOp = map[string]BinOp{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod,
+	"&": OpAnd, "|": OpOr, "^": OpXor, "<<": OpShl, ">>": OpShr,
+	"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	"+.": OpFAdd, "-.": OpFSub, "*.": OpFMul, "/.": OpFDiv,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, opText := range precLevels[level] {
+			if p.atPunct(opText) {
+				p.next()
+				right, err := p.parseBin(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &Bin{Op: punctBinOp[opText], L: left, R: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.eat("-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negated literals so "-5" is the literal -5 (keeps Print and
+		// Parse exact inverses).
+		if lit, ok := x.(*IntLit); ok {
+			return &IntLit{V: -lit.V}, nil
+		}
+		return &Un{Op: OpNeg, X: x}, nil
+	case p.eat("!"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: OpNot, X: x}, nil
+	case p.eat("~"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: OpInv, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eat("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Load{Base: e, Index: idx}
+		case p.eat(".w["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &LoadW{Base: e, Index: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		return &IntLit{V: t.ival}, nil
+	case t.kind == tokStr:
+		p.next()
+		return &StrLit{S: t.sval}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.eat("(") {
+			var args []Expr
+			for !p.atPunct(")") {
+				if len(args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			p.next() // ')'
+			return &CallExpr{Name: t.text, Args: args}, nil
+		}
+		return &VarRef{Name: t.text}, nil
+	case p.eat("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("unexpected token %q", t.text)
+	}
+}

@@ -1,0 +1,221 @@
+package minic
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBasicProgram(t *testing.T) {
+	src := `
+// Sum the first n bytes of p.
+func sum(p, n) {
+    s = 0;
+    i = 0;
+    while (i < n) {
+        s = s + p[i];
+        i = i + 1;
+    }
+    return s;
+}
+`
+	mod, err := Parse("demo", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(mod, "sum", &Env{Args: []int64{DataBase, 4}, Data: []byte{1, 2, 3, 4}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 10 {
+		t.Errorf("sum = %d, want 10", res.Ret)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{"return 2 + 3 * 4;", 14},
+		{"return (2 + 3) * 4;", 20},
+		{"return 10 - 4 - 3;", 3}, // left associative
+		{"return 1 << 2 + 1;", 1 << 3},
+		{"return 7 & 3 == 3;", 7 & 1},
+		{"return 1 | 2 ^ 2;", 1},
+		{"return -3 * -4;", 12},
+		{"return !0 + !5;", 1},
+		{"return ~0;", -1},
+		{"return 0x10 + 0xf;", 31},
+		{"return 100 / 10 % 4;", 2},
+		{"return 1 < 2 == 3 < 4;", 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			mod, err := Parse("t", "func f() { "+tt.src+" }")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(mod, "f", &Env{}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ret != tt.want {
+				t.Errorf("got %d, want %d", res.Ret, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseMemoryAndCalls(t *testing.T) {
+	src := `
+func f(p) {
+    p[0] = 65;
+    p.w[1] = 513;
+    h = malloc(16);
+    h[0] = p[0] + p.w[1];
+    write_log(h[0]);
+    return h[0] + strlen("abc");
+}
+`
+	mod, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(mod, "f", &Env{Args: []int64{DataBase}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h[0] stores the low byte of 65+513 = 578 -> 66; plus strlen("abc").
+	const want = 66 + 3
+	if res.Ret != want {
+		t.Errorf("got %d, want %d", res.Ret, want)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+func f(n) {
+    acc = 0;
+    i = 0;
+    while (1) {
+        i = i + 1;
+        if (i > n) { break; }
+        if (i % 2 == 0) { continue; } else { acc = acc + i; }
+    }
+    if (acc > 100) { return 100; }
+    return acc;
+}
+`
+	mod, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(mod, "f", &Env{Args: []int64{7}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 1+3+5+7 {
+		t.Errorf("got %d, want 16", res.Ret)
+	}
+}
+
+func TestParseFloatOps(t *testing.T) {
+	// 2.0 and 3.0 as raw bit patterns; +. is float addition on the bits.
+	src := `
+func f(a, b) {
+    return a +. b *. b;
+}
+`
+	mod, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := int64(4611686018427387904)  // bits of 2.0
+	nine := int64(4621256167635550208) // bits of 9.0 = 3*3
+	three := int64(4613937818241073152)
+	res, err := Run(mod, "f", &Env{Args: []int64{two, three}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eleven := int64(4622382067542392832) // bits of 11.0
+	_ = nine
+	if res.Ret != eleven {
+		t.Errorf("float expr bits = %d, want %d", res.Ret, eleven)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"fn f() {}",
+		"func f( {}",
+		"func f() { x = ; }",
+		"func f() { return 1 }",
+		"func f() { 5 = x; }",
+		"func f() { if 1 { } }",
+		"func f() { x = \"unterminated; }",
+		"func f() { x = 99999999999999999999999999; }",
+		"func f() { @ }",
+		"func f() { while (1) { ",
+	}
+	for _, src := range bad {
+		if _, err := Parse("t", src); err == nil {
+			t.Errorf("accepted bad program %q", src)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("t", "func f() {\n    x = ;\n}")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %T", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line %d, want 2", pe.Line)
+	}
+}
+
+// TestPrintParseRoundtrip is the frontend's core property: Parse(Print(m))
+// rebuilds m exactly, for the whole CVE corpus and generated libraries.
+func TestPrintParseRoundtrip(t *testing.T) {
+	var mods []*Module
+	for _, pair := range CVEs() {
+		mods = append(mods,
+			&Module{Name: pair.ID + ".vuln", Funcs: []*Func{pair.Vulnerable}},
+			&Module{Name: pair.ID + ".patched", Funcs: []*Func{pair.Patched}},
+		)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		mods = append(mods, GenLibrary(GenConfig{Seed: 100 + seed, Name: "libroundtrip", NumFuncs: 10}))
+	}
+	for _, m := range mods {
+		src := Print(m)
+		back, err := Parse(m.Name, src)
+		if err != nil {
+			t.Fatalf("%s: re-parse failed: %v\nsource:\n%s", m.Name, err, src)
+		}
+		if !reflect.DeepEqual(m.Funcs, back.Funcs) {
+			// Pinpoint the first differing function for the report.
+			for i := range m.Funcs {
+				if i < len(back.Funcs) && !reflect.DeepEqual(m.Funcs[i], back.Funcs[i]) {
+					t.Fatalf("%s: function %s does not round-trip:\n%s\nvs\n%s",
+						m.Name, m.Funcs[i].Name, PrintFunc(m.Funcs[i]), PrintFunc(back.Funcs[i]))
+				}
+			}
+			t.Fatalf("%s: module does not round-trip", m.Name)
+		}
+	}
+}
+
+func TestPrintIsParseable(t *testing.T) {
+	// And the printed CVE corpus is human-plausible source.
+	pair := CVEByID("CVE-2018-9412")
+	src := PrintFunc(pair.Vulnerable)
+	for _, want := range []string{"func removeUnsynchronization(p, n)", "while", "memmove(", "return"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("printed source missing %q:\n%s", want, src)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a module as parseable source text. Print and Parse are
+// exact inverses on canonical output: Parse(Print(m)) rebuilds m
+// structurally (the printer_test property).
+func Print(m *Module) string {
+	var b strings.Builder
+	for i, f := range m.Funcs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printFunc(&b, f)
+	}
+	return b.String()
+}
+
+// PrintFunc renders one function as source text.
+func PrintFunc(f *Func) string {
+	var b strings.Builder
+	printFunc(&b, f)
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, f *Func) {
+	fmt.Fprintf(b, "func %s(%s) {\n", f.Name, strings.Join(f.Params, ", "))
+	printStmts(b, f.Body, 1)
+	b.WriteString("}\n")
+}
+
+func printStmts(b *strings.Builder, ss []Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s;\n", ind, s.Name, exprText(s.E))
+		case *Store:
+			fmt.Fprintf(b, "%s%s[%s] = %s;\n", ind, primaryText(s.Base), exprText(s.Index), exprText(s.Val))
+		case *StoreW:
+			fmt.Fprintf(b, "%s%s.w[%s] = %s;\n", ind, primaryText(s.Base), exprText(s.Index), exprText(s.Val))
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, exprText(s.Cond))
+			printStmts(b, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				printStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *While:
+			fmt.Fprintf(b, "%swhile (%s) {\n", ind, exprText(s.Cond))
+			printStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *Return:
+			if s.E == nil {
+				fmt.Fprintf(b, "%sreturn;\n", ind)
+			} else {
+				fmt.Fprintf(b, "%sreturn %s;\n", ind, exprText(s.E))
+			}
+		case *ExprStmt:
+			fmt.Fprintf(b, "%s%s;\n", ind, exprText(s.E))
+		case *Break:
+			fmt.Fprintf(b, "%sbreak;\n", ind)
+		case *Continue:
+			fmt.Fprintf(b, "%scontinue;\n", ind)
+		}
+	}
+}
+
+// binOpText maps operators to source spellings. Float operators use the
+// OCaml-style dotted forms.
+var binOpText = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpFAdd: "+.", OpFSub: "-.", OpFMul: "*.", OpFDiv: "/.",
+}
+
+// exprText renders an expression fully parenthesized (canonical form).
+func exprText(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.V)
+	case *StrLit:
+		return fmt.Sprintf("%q", e.S)
+	case *VarRef:
+		return e.Name
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", exprText(e.L), binOpText[e.Op], exprText(e.R))
+	case *Un:
+		switch e.Op {
+		case OpNeg:
+			return fmt.Sprintf("(-%s)", exprText(e.X))
+		case OpNot:
+			return fmt.Sprintf("(!%s)", exprText(e.X))
+		default:
+			return fmt.Sprintf("(~%s)", exprText(e.X))
+		}
+	case *Load:
+		return fmt.Sprintf("%s[%s]", primaryText(e.Base), exprText(e.Index))
+	case *LoadW:
+		return fmt.Sprintf("%s.w[%s]", primaryText(e.Base), exprText(e.Index))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprText(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	default:
+		return "?"
+	}
+}
+
+// primaryText renders an expression used as an indexing base: anything
+// non-primary gets parenthesized so indexing binds correctly.
+func primaryText(e Expr) string {
+	switch e.(type) {
+	case *IntLit, *StrLit, *VarRef, *CallExpr, *Load, *LoadW:
+		return exprText(e)
+	default:
+		return "(" + exprText(e) + ")"
+	}
+}

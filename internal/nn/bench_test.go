@@ -1,0 +1,39 @@
+package nn
+
+import "testing"
+
+func BenchmarkForward(b *testing.B) {
+	n := NewPaperNetwork(1)
+	x := make([]float64, 96)
+	for i := range x {
+		x[i] = float64(i) / 96
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.Logit(x)
+	}
+}
+
+func BenchmarkTrainStep(b *testing.B) {
+	n := NewPaperNetwork(1)
+	samples := make([]Sample, 64)
+	for i := range samples {
+		x := make([]float64, 96)
+		for j := range x {
+			x[j] = float64((i*j)%7) / 7
+		}
+		samples[i] = Sample{X: x, Y: float64(i % 2)}
+	}
+	opt := NewAdam(1e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.zeroGrads()
+		for _, s := range samples {
+			logit := n.Logit(s.X)
+			_, grad := BCEWithLogit(logit, s.Y)
+			n.backward(grad)
+		}
+		opt.Step(n, float64(len(samples)))
+	}
+	b.ReportMetric(float64(len(samples))*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}

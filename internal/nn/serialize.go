@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// serialized is the on-disk JSON shape of a network.
+type serialized struct {
+	Widths []int       `json:"widths"`
+	W      [][]float64 `json:"w"`
+	B      [][]float64 `json:"b"`
+}
+
+// MarshalJSON serializes the network weights.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	s := serialized{}
+	s.Widths = append(s.Widths, n.Layers[0].In)
+	for _, l := range n.Layers {
+		s.Widths = append(s.Widths, l.Out)
+		s.W = append(s.W, l.W)
+		s.B = append(s.B, l.B)
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON restores a network from MarshalJSON output.
+func (n *Network) UnmarshalJSON(b []byte) error {
+	var s serialized
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if len(s.Widths) < 2 || len(s.W) != len(s.Widths)-1 || len(s.B) != len(s.W) {
+		return fmt.Errorf("nn: malformed serialized network")
+	}
+	restored, err := NewNetwork(s.Widths, 0)
+	if err != nil {
+		return err
+	}
+	for i, l := range restored.Layers {
+		if len(s.W[i]) != len(l.W) || len(s.B[i]) != len(l.B) {
+			return fmt.Errorf("nn: layer %d weight shape mismatch", i)
+		}
+		copy(l.W, s.W[i])
+		copy(l.B, s.B[i])
+	}
+	*n = *restored
+	return nil
+}

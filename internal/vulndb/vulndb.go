@@ -1,0 +1,158 @@
+// Package vulndb is the vulnerability database: for every CVE it stores
+// the vulnerable and patched reference functions as compiled single-
+// function binaries per architecture, plus the fuzzer-derived execution
+// environments used for dynamic validation and profiling (Dataset II in the
+// paper's evaluation; the paper's database holds 2,076 Android Security
+// Bulletin vulnerabilities of which 25 are exercised end-to-end, which are
+// exactly the 25 this database materializes).
+//
+// References are stored as binaries, not feature vectors, because both
+// analysis stages need to *run* them on the target device's architecture:
+// the static stage extracts the query feature vector from the reference
+// compiled for the scanned image's architecture, and the dynamic stage
+// executes the reference under the shared environments to obtain comparable
+// traces — mirroring how the paper runs the CVE function binary on the same
+// platform as the target firmware.
+package vulndb
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/binimg"
+	"repro/internal/disasm"
+	"repro/internal/features"
+	"repro/internal/minic"
+)
+
+// EnvData is the serializable form of an execution environment.
+type EnvData struct {
+	Args []int64 `json:"args"`
+	Data []byte  `json:"data"`
+}
+
+// ToEnv converts to a runtime environment.
+func (e EnvData) ToEnv() *minic.Env {
+	return &minic.Env{
+		Args: append([]int64(nil), e.Args...),
+		Data: append([]byte(nil), e.Data...),
+	}
+}
+
+// FromEnv captures a runtime environment.
+func FromEnv(env *minic.Env) EnvData {
+	return EnvData{
+		Args: append([]int64(nil), env.Args...),
+		Data: append([]byte(nil), env.Data...),
+	}
+}
+
+// Entry is one CVE record.
+type Entry struct {
+	ID       string `json:"id"`
+	Library  string `json:"library"`
+	FuncName string `json:"func"`
+	Class    string `json:"class"`
+	// Minute marks single-constant patches (the differential engine's
+	// documented blind spot).
+	Minute bool `json:"minute"`
+	// Envs are the validated execution environments (the paper's K fixed
+	// execution environments for this CVE).
+	Envs []EnvData `json:"envs"`
+	// VulnImages and PatchedImages map architecture name to the encoded
+	// single-function reference binary.
+	VulnImages    map[string][]byte `json:"vuln_images"`
+	PatchedImages map[string][]byte `json:"patched_images"`
+}
+
+// Ref is a decoded, disassembled reference function.
+type Ref struct {
+	Dis *disasm.Disassembly
+	Fn  *disasm.Function
+}
+
+// ref decodes and disassembles one stored reference image.
+func (e *Entry) ref(images map[string][]byte, arch string) (*Ref, error) {
+	raw, ok := images[arch]
+	if !ok {
+		return nil, fmt.Errorf("vulndb: %s: no reference for architecture %q", e.ID, arch)
+	}
+	im, err := binimg.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("vulndb: %s: %w", e.ID, err)
+	}
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		return nil, fmt.Errorf("vulndb: %s: %w", e.ID, err)
+	}
+	fn, ok := dis.Lookup(e.FuncName)
+	if !ok {
+		return nil, fmt.Errorf("vulndb: %s: reference image lacks %s", e.ID, e.FuncName)
+	}
+	return &Ref{Dis: dis, Fn: fn}, nil
+}
+
+// VulnRef returns the vulnerable reference for the architecture.
+func (e *Entry) VulnRef(arch string) (*Ref, error) {
+	return e.ref(e.VulnImages, arch)
+}
+
+// PatchedRef returns the patched reference for the architecture.
+func (e *Entry) PatchedRef(arch string) (*Ref, error) {
+	return e.ref(e.PatchedImages, arch)
+}
+
+// StaticVec extracts the reference's static feature vector.
+func (r *Ref) StaticVec() features.Vector {
+	return features.Extract(r.Dis, r.Fn)
+}
+
+// Environments materializes the stored environments.
+func (e *Entry) Environments() []*minic.Env {
+	out := make([]*minic.Env, 0, len(e.Envs))
+	for _, ed := range e.Envs {
+		out = append(out, ed.ToEnv())
+	}
+	return out
+}
+
+// DB is the vulnerability database.
+type DB struct {
+	Entries []*Entry `json:"entries"`
+}
+
+// Get returns the entry for a CVE id.
+func (db *DB) Get(id string) (*Entry, bool) {
+	for _, e := range db.Entries {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// IDs lists all CVE ids in database order.
+func (db *DB) IDs() []string {
+	out := make([]string, 0, len(db.Entries))
+	for _, e := range db.Entries {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Marshal serializes the database.
+func (db *DB) Marshal() ([]byte, error) { return json.Marshal(db) }
+
+// Load restores a database serialized with Marshal.
+func Load(b []byte) (*DB, error) {
+	db := &DB{}
+	if err := json.Unmarshal(b, db); err != nil {
+		return nil, fmt.Errorf("vulndb: %w", err)
+	}
+	for _, e := range db.Entries {
+		if e.ID == "" || e.FuncName == "" {
+			return nil, fmt.Errorf("vulndb: entry missing id or function name")
+		}
+	}
+	return db, nil
+}

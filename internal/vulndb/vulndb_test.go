@@ -1,0 +1,136 @@
+package vulndb
+
+import (
+	"testing"
+
+	"repro/internal/binimg"
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+func sampleDB(t *testing.T) *DB {
+	t.Helper()
+	pair := minic.CVEByID("CVE-2018-9412")
+	e := &Entry{
+		ID: pair.ID, Library: pair.Library, FuncName: pair.FuncName,
+		Class:         pair.Class,
+		VulnImages:    make(map[string][]byte),
+		PatchedImages: make(map[string][]byte),
+		Envs: []EnvData{{
+			Args: []int64{minic.DataBase, 16, 1, 2},
+			Data: []byte{4, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+		}},
+	}
+	for _, arch := range isa.All() {
+		vim, err := compiler.Compile(
+			&minic.Module{Name: "v", Funcs: []*minic.Func{pair.Vulnerable}}, arch, compiler.O1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pim, err := compiler.Compile(
+			&minic.Module{Name: "p", Funcs: []*minic.Func{pair.Patched}}, arch, compiler.O1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.VulnImages[arch.Name] = binimg.Encode(vim)
+		e.PatchedImages[arch.Name] = binimg.Encode(pim)
+	}
+	return &DB{Entries: []*Entry{e}}
+}
+
+func TestDBRoundtrip(t *testing.T) {
+	db := sampleDB(t)
+	b, err := db.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0].ID != "CVE-2018-9412" {
+		t.Fatalf("roundtrip lost entries: %+v", got.IDs())
+	}
+	e := got.Entries[0]
+	if len(e.Envs) != 1 || len(e.Envs[0].Data) != 16 {
+		t.Error("environments lost in roundtrip")
+	}
+}
+
+func TestRefsDecodeAndRun(t *testing.T) {
+	db := sampleDB(t)
+	e := db.Entries[0]
+	for _, arch := range isa.All() {
+		vref, err := e.VulnRef(arch.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		pref, err := e.PatchedRef(arch.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		if vref.Fn.Name != e.FuncName || pref.Fn.Name != e.FuncName {
+			t.Errorf("%s: wrong function resolved", arch.Name)
+		}
+		vv := vref.StaticVec()
+		pv := pref.StaticVec()
+		if vv == pv {
+			t.Errorf("%s: vulnerable and patched have identical static features", arch.Name)
+		}
+	}
+}
+
+func TestEnvironmentsMaterialize(t *testing.T) {
+	db := sampleDB(t)
+	envs := db.Entries[0].Environments()
+	if len(envs) != 1 || envs[0].Args[1] != 16 {
+		t.Fatalf("Environments = %+v", envs)
+	}
+	// Materialized envs are fresh copies.
+	envs[0].Data[0] = 99
+	if db.Entries[0].Envs[0].Data[0] == 99 {
+		t.Error("Environments aliases stored data")
+	}
+}
+
+func TestGetAndIDs(t *testing.T) {
+	db := sampleDB(t)
+	if _, ok := db.Get("CVE-2018-9412"); !ok {
+		t.Error("Get failed")
+	}
+	if _, ok := db.Get("CVE-0000-0000"); ok {
+		t.Error("Get should miss")
+	}
+	if ids := db.IDs(); len(ids) != 1 {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestLoadRejectsBadData(t *testing.T) {
+	if _, err := Load([]byte(`{"entries":[{"id":""}]}`)); err == nil {
+		t.Error("want error for empty id")
+	}
+	if _, err := Load([]byte(`garbage`)); err == nil {
+		t.Error("want error for garbage")
+	}
+}
+
+func TestMissingArch(t *testing.T) {
+	db := sampleDB(t)
+	if _, err := db.Entries[0].VulnRef("mips"); err == nil {
+		t.Error("want error for unknown arch")
+	}
+}
+
+func TestEnvConversionRoundtrip(t *testing.T) {
+	env := &minic.Env{Args: []int64{1, 2, 3}, Data: []byte{9, 8}}
+	got := FromEnv(env).ToEnv()
+	if got.Args[2] != 3 || got.Data[1] != 8 {
+		t.Error("env roundtrip lost data")
+	}
+	got.Args[0] = 99
+	if env.Args[0] == 99 {
+		t.Error("conversion aliases the original")
+	}
+}

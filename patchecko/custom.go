@@ -1,0 +1,132 @@
+package patchecko
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/fuzz"
+	"repro/internal/isa"
+	"repro/internal/minic"
+	"repro/internal/vulndb"
+)
+
+// CustomCVE describes a user-supplied vulnerability for AddCVE: the
+// vulnerable and patched versions of one function, written in the
+// repository's source language (see internal/minic's grammar, or run
+// `patchecko compile` on an example). Both sources must define a function
+// named FuncName with identical parameter lists.
+type CustomCVE struct {
+	ID         string
+	Library    string
+	FuncName   string
+	Class      string
+	Vulnerable string // source text of the vulnerable version
+	Patched    string // source text of the patched version
+	// NumEnvs is how many execution environments to derive (default 4).
+	NumEnvs int
+	// Seed drives environment fuzzing (default derived from ID).
+	Seed int64
+}
+
+// AddCVE compiles both versions for every architecture, derives execution
+// environments that run cleanly on both (the paper's input-validation
+// contract), and appends the entry to the database. This is how downstream
+// users extend the shipped 25-CVE database toward the paper's 2,076-entry
+// scale.
+func AddCVE(db *DB, c CustomCVE) error {
+	if c.ID == "" || c.FuncName == "" {
+		return fmt.Errorf("patchecko: custom CVE needs ID and FuncName")
+	}
+	if _, dup := db.Get(c.ID); dup {
+		return fmt.Errorf("patchecko: %s already in database", c.ID)
+	}
+	vmod, err := minic.Parse(c.Library+".vuln", c.Vulnerable)
+	if err != nil {
+		return fmt.Errorf("patchecko: %s vulnerable source: %w", c.ID, err)
+	}
+	pmod, err := minic.Parse(c.Library+".patched", c.Patched)
+	if err != nil {
+		return fmt.Errorf("patchecko: %s patched source: %w", c.ID, err)
+	}
+	vf, pf := vmod.Lookup(c.FuncName), pmod.Lookup(c.FuncName)
+	if vf == nil || pf == nil {
+		return fmt.Errorf("patchecko: %s: both sources must define %s", c.ID, c.FuncName)
+	}
+	if len(vf.Params) != len(pf.Params) {
+		return fmt.Errorf("patchecko: %s: parameter lists differ between versions", c.ID)
+	}
+
+	entry := &vulndb.Entry{
+		ID:            c.ID,
+		Library:       c.Library,
+		FuncName:      c.FuncName,
+		Class:         c.Class,
+		VulnImages:    make(map[string][]byte),
+		PatchedImages: make(map[string][]byte),
+	}
+	for _, arch := range isa.All() {
+		vim, err := compiler.Compile(vmod, arch, compiler.O1)
+		if err != nil {
+			return fmt.Errorf("patchecko: %s: compile vulnerable for %s: %w", c.ID, arch.Name, err)
+		}
+		pim, err := compiler.Compile(pmod, arch, compiler.O1)
+		if err != nil {
+			return fmt.Errorf("patchecko: %s: compile patched for %s: %w", c.ID, arch.Name, err)
+		}
+		entry.VulnImages[arch.Name] = binimg.Encode(vim)
+		entry.PatchedImages[arch.Name] = binimg.Encode(pim)
+	}
+
+	vref, err := entry.VulnRef(isa.AMD64.Name)
+	if err != nil {
+		return err
+	}
+	pref, err := entry.PatchedRef(isa.AMD64.Name)
+	if err != nil {
+		return err
+	}
+	seed := c.Seed
+	if seed == 0 {
+		for _, ch := range c.ID {
+			seed = seed*131 + int64(ch)
+		}
+	}
+	cfg := fuzz.DefaultConfig(seed)
+	if c.NumEnvs > 0 {
+		cfg.NumEnvs = c.NumEnvs
+	}
+	envs := fuzz.Environments([]fuzz.Ref{
+		{Dis: vref.Dis, Fn: vref.Fn},
+		{Dis: pref.Dis, Fn: pref.Fn},
+	}, cfg)
+	if len(envs) == 0 {
+		return fmt.Errorf("patchecko: %s: no execution environment runs cleanly on both versions", c.ID)
+	}
+	for _, env := range envs {
+		entry.Envs = append(entry.Envs, vulndb.FromEnv(env))
+	}
+	db.Entries = append(db.Entries, entry)
+	return nil
+}
+
+// CompileSource parses source text and compiles it into a (unstripped)
+// library image — the programmatic form of `patchecko compile`.
+func CompileSource(libName, src, archName, level string) (*Image, error) {
+	mod, err := minic.Parse(libName, src)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := isa.ByName(archName)
+	if err != nil {
+		return nil, err
+	}
+	return compiler.Compile(mod, arch, compiler.Level(level))
+}
+
+// Disassemble decodes and CFG-analyzes an image — the programmatic form of
+// `patchecko disasm`. The result feeds Prepare-free inspection workflows.
+func Disassemble(im *Image) (*disasm.Disassembly, error) {
+	return disasm.Disassemble(im)
+}

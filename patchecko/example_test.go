@@ -1,0 +1,111 @@
+package patchecko_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/patchecko"
+)
+
+// Example demonstrates the full pipeline at the smallest scale: train a
+// detector, build the CVE database and a device firmware image, then scan
+// one library for the paper's case-study vulnerability. (Compile-only
+// documentation: corpus generation and training take seconds, so the
+// example declares no expected output.)
+func Example() {
+	groups, err := patchecko.TrainingCorpus(patchecko.ScaleSmall, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _, _, err := patchecko.TrainDetector(groups, patchecko.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := patchecko.BuildVulnDB(patchecko.ScaleSmall, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := patchecko.BuildFirmware(patchecko.ThingOS, patchecko.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, _ := fw.Image("libstagefright")
+	prepared, err := patchecko.Prepare(im)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an := patchecko.NewAnalyzer(model, db)
+	scan, err := an.ScanImage(prepared, "CVE-2018-9412", patchecko.QueryVulnerable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if scan.Matched {
+		fmt.Printf("found at %#x, patched=%v\n", scan.Match.Addr, scan.Verdict.Patched)
+	}
+}
+
+// ExampleAddCVE shows how to extend the vulnerability database with a
+// user-authored advisory written in the source language.
+func ExampleAddCVE() {
+	db := &patchecko.DB{}
+	err := patchecko.AddCVE(db, patchecko.CustomCVE{
+		ID:       "ADV-0001",
+		Library:  "libcustom",
+		FuncName: "decode",
+		Vulnerable: `func decode(p, n) {
+			i = 0; s = 0;
+			while (i <= n) { s = s + p[i]; i = i + 1; }  // off-by-one
+			return s;
+		}`,
+		Patched: `func decode(p, n) {
+			i = 0; s = 0;
+			while (i < n) { s = s + p[i]; i = i + 1; }
+			return s;
+		}`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(db.Entries))
+	// Output: 1
+}
+
+// ExampleCompileSource compiles source text to a binary image and
+// disassembles it.
+func ExampleCompileSource() {
+	im, err := patchecko.CompileSource("libdemo",
+		"func twice(a) { return a * 2; }", "amd64", "O2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dis, err := patchecko.Disassemble(im)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(dis.Funcs), dis.Funcs[0].Name)
+	// Output: 1 twice
+}
+
+// ExampleAnalyzer_ScanFirmware audits a whole device image set.
+func ExampleAnalyzer_ScanFirmware() {
+	var (
+		model *patchecko.Model // trained via TrainDetector
+		db    *patchecko.DB    // built via BuildVulnDB
+	)
+	if model == nil || db == nil {
+		return // documentation sketch; see examples/firmware_audit for a full run
+	}
+	fw, err := patchecko.BuildFirmware(patchecko.Pebble2XL, patchecko.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := patchecko.NewAnalyzer(model, db).ScanFirmware(fw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id, scan := range report.Results {
+		if scan.Matched && !scan.Verdict.Patched {
+			fmt.Println(id, "is still vulnerable in", scan.Library)
+		}
+	}
+}

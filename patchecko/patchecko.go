@@ -1,0 +1,408 @@
+// Package patchecko is the public API of the PATCHECKO reproduction: a
+// vulnerability and patch-presence detection framework for stripped
+// firmware binaries (Sun, Garcia, Salles-Loustau, Zonouz — "Hybrid Firmware
+// Analysis for Known Mobile and IoT Security Vulnerabilities", DSN 2020).
+//
+// The pipeline has three stages:
+//
+//  1. Static stage — every function in the target image is disassembled
+//     and summarized as a 48-dimensional feature vector; a trained deep
+//     neural network scores each function against the CVE reference and
+//     keeps the similar ones as candidates.
+//  2. Dynamic stage — candidates are executed in isolation under the CVE's
+//     fuzzer-derived execution environments; crashing candidates are
+//     pruned, survivors are profiled into 21-dimensional dynamic feature
+//     vectors, and ranked by Minkowski (p=3) distance to the reference's
+//     profiles averaged over environments.
+//  3. Differential stage — the top match is compared against BOTH the
+//     vulnerable and the patched reference (static features, dynamic
+//     similarity, differential CFG/library-call signatures) to decide
+//     whether the device still carries the vulnerability.
+//
+// Typical use:
+//
+//	groups, _ := patchecko.TrainingCorpus(patchecko.ScaleSmall, 1)
+//	model, hist, _, _ := patchecko.TrainDetector(groups, patchecko.DefaultTrainConfig())
+//	db, _ := patchecko.BuildVulnDB(patchecko.ScaleSmall, 1)
+//	fw, _ := patchecko.BuildFirmware(patchecko.ThingOS, patchecko.ScaleSmall)
+//	an := patchecko.NewAnalyzer(model, db)
+//	report, _ := an.ScanFirmware(fw)
+package patchecko
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/binimg"
+	"repro/internal/corpus"
+	"repro/internal/detector"
+	"repro/internal/diffengine"
+	"repro/internal/disasm"
+	"repro/internal/dynamic"
+	"repro/internal/features"
+	"repro/internal/minic"
+	"repro/internal/nn"
+	"repro/internal/vulndb"
+)
+
+// Re-exported building blocks. The aliases make the whole workflow usable
+// through this single package.
+type (
+	// Scale sizes corpus generation and training.
+	Scale = corpus.Scale
+	// Device describes a target platform (architecture + patch states).
+	Device = corpus.Device
+	// Firmware is a device's stripped library set plus held-aside ground truth.
+	Firmware = corpus.Firmware
+	// Model is the trained static-stage similarity detector.
+	Model = detector.Model
+	// TrainConfig controls detector training.
+	TrainConfig = detector.TrainConfig
+	// Groups is the Dataset I feature corpus.
+	Groups = detector.Groups
+	// DB is the vulnerability database (Dataset II).
+	DB = vulndb.DB
+	// History is the per-epoch training history (Fig. 8).
+	History = nn.History
+	// Profile is one execution's 21-dimensional dynamic feature vector
+	// (Table II).
+	Profile = dynamic.Profile
+	// Image is one library binary.
+	Image = binimg.Image
+	// Verdict is the differential engine's patch decision.
+	Verdict = diffengine.Verdict
+)
+
+// Preset scales.
+var (
+	ScaleTiny   = corpus.ScaleTiny
+	ScaleSmall  = corpus.ScaleSmall
+	ScaleMedium = corpus.ScaleMedium
+	ScaleLarge  = corpus.ScaleLarge
+)
+
+// The two evaluation devices.
+var (
+	ThingOS   = corpus.ThingOS
+	Pebble2XL = corpus.Pebble2XL
+)
+
+// TrainingCorpus builds Dataset I at the given scale.
+func TrainingCorpus(s Scale, seed int64) (Groups, error) {
+	return corpus.TrainingGroups(s, seed)
+}
+
+// DefaultTrainConfig mirrors the paper's training setup at laptop scale.
+func DefaultTrainConfig() TrainConfig { return detector.DefaultTrainConfig() }
+
+// TrainDetector fits the 6-layer similarity network on the corpus.
+func TrainDetector(groups Groups, cfg TrainConfig) (*Model, *History, *detector.Dataset, error) {
+	m, h, ds, err := detector.Train(groups, cfg)
+	return m, h, ds, err
+}
+
+// BuildVulnDB builds Dataset II: the 25-CVE vulnerability database.
+func BuildVulnDB(s Scale, seed int64) (*DB, error) { return corpus.BuildDB(s, seed) }
+
+// BuildFirmware builds Dataset III for a device.
+func BuildFirmware(dev Device, s Scale) (*Firmware, error) {
+	return corpus.BuildFirmware(dev, s)
+}
+
+// QueryMode selects which reference version drives the static search. The
+// paper evaluates both (Tables VI and VII) because a scanner does not know
+// a priori whether the target is patched.
+type QueryMode int
+
+// Query modes.
+const (
+	QueryVulnerable QueryMode = iota + 1
+	QueryPatched
+)
+
+func (m QueryMode) String() string {
+	if m == QueryPatched {
+		return "patched"
+	}
+	return "vulnerable"
+}
+
+// Analyzer runs the three-stage pipeline.
+type Analyzer struct {
+	model *Model
+	db    *DB
+	// StepLimit bounds each candidate execution.
+	StepLimit int64
+	// ExploitReplay enables the patch-diff-guided differential replay
+	// extension (the future work the paper sketches for its one
+	// misclassification). When the standard differential evidence is
+	// decisive it is kept; replay only overrides low-confidence verdicts.
+	// Off by default to preserve the paper's documented blind spot.
+	ExploitReplay bool
+	// Workers parallelizes candidate validation when > 1 (the paper's
+	// other future-work item). Results are bit-identical to sequential
+	// validation; only wall-clock changes.
+	Workers int
+}
+
+// NewAnalyzer builds an analyzer from a trained model and a CVE database.
+func NewAnalyzer(model *Model, db *DB) *Analyzer {
+	return &Analyzer{model: model, db: db, StepLimit: 1 << 20}
+}
+
+// DB returns the analyzer's vulnerability database.
+func (a *Analyzer) DB() *DB { return a.db }
+
+// PreparedImage caches the static stage's per-image work (disassembly and
+// feature extraction) so one image can be scanned for many CVEs.
+type PreparedImage struct {
+	Image *Image
+	Dis   *disasm.Disassembly
+	Vecs  []features.Vector
+}
+
+// Prepare disassembles the image and extracts per-function features.
+func Prepare(im *Image) (*PreparedImage, error) {
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		return nil, fmt.Errorf("patchecko: %s: %w", im.LibName, err)
+	}
+	p := &PreparedImage{Image: im, Dis: dis}
+	p.Vecs = make([]features.Vector, len(dis.Funcs))
+	for i, f := range dis.Funcs {
+		p.Vecs[i] = features.Extract(dis, f)
+	}
+	return p, nil
+}
+
+// NumFuncs returns the number of recovered functions.
+func (p *PreparedImage) NumFuncs() int { return len(p.Dis.Funcs) }
+
+// RankedMatch is one dynamically-ranked candidate.
+type RankedMatch struct {
+	Addr uint64
+	Sim  float64 // Minkowski similarity distance; smaller = more similar
+}
+
+// CVEScan is the outcome of scanning one image for one CVE.
+type CVEScan struct {
+	CVE     string
+	Library string
+	Mode    QueryMode
+
+	// Static stage.
+	TotalFuncs    int
+	NumCandidates int
+	CandidateAddr []uint64
+
+	// Dynamic stage.
+	NumExecuted int // candidates surviving input validation
+	Ranking     []RankedMatch
+	// RefProfiles are the query reference's per-environment profiles;
+	// SurvivorProfiles maps each surviving candidate's address to its
+	// profiles. Together they are the raw material of the paper's
+	// Table III and the distance-metric ablations.
+	RefProfiles      []Profile
+	SurvivorProfiles map[uint64][]Profile
+
+	// Differential stage (only when a match was found).
+	Matched bool
+	Match   RankedMatch
+	Verdict Verdict
+
+	// Timings, for the paper's processing-time columns.
+	StaticTime  time.Duration
+	DynamicTime time.Duration
+}
+
+// TopRank returns the 1-based rank of addr in the dynamic ranking, or 0.
+func (s *CVEScan) TopRank(addr uint64) int {
+	for i, r := range s.Ranking {
+		if r.Addr == addr {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// ScanImage runs the full pipeline for one CVE against one prepared image.
+func (a *Analyzer) ScanImage(p *PreparedImage, cveID string, mode QueryMode) (*CVEScan, error) {
+	entry, ok := a.db.Get(cveID)
+	if !ok {
+		return nil, fmt.Errorf("patchecko: unknown CVE %s", cveID)
+	}
+	arch := p.Image.Arch
+	queryRef, err := refFor(entry, arch, mode)
+	if err != nil {
+		return nil, err
+	}
+
+	scan := &CVEScan{
+		CVE:        cveID,
+		Library:    p.Image.LibName,
+		Mode:       mode,
+		TotalFuncs: len(p.Dis.Funcs),
+	}
+
+	// Stage 1: deep-learning classification.
+	start := time.Now()
+	query := queryRef.StaticVec()
+	cands := a.model.Candidates(query, p.Vecs)
+	scan.StaticTime = time.Since(start)
+	scan.NumCandidates = len(cands)
+	for _, c := range cands {
+		scan.CandidateAddr = append(scan.CandidateAddr, p.Dis.Funcs[c.Index].Addr)
+	}
+	if len(cands) == 0 {
+		return scan, nil
+	}
+
+	// Stage 2: input validation + dynamic profiling + ranking.
+	start = time.Now()
+	envs := entry.Environments()
+	candFuncs := make([]*disasm.Function, len(cands))
+	for i, c := range cands {
+		candFuncs[i] = p.Dis.Funcs[c.Index]
+	}
+	survivors, profiles := dynamic.ValidateParallel(p.Dis, candFuncs, envs, a.StepLimit, a.Workers)
+	scan.NumExecuted = len(survivors)
+	refProfiles, err := dynamic.ProfileFunc(queryRef.Dis, queryRef.Fn, envs, a.StepLimit)
+	if err != nil {
+		return nil, fmt.Errorf("patchecko: %s: reference does not execute: %w", cveID, err)
+	}
+	scan.RefProfiles = refProfiles
+	scan.SurvivorProfiles = make(map[uint64][]Profile, len(profiles))
+	for idx, ps := range profiles {
+		scan.SurvivorProfiles[candFuncs[idx].Addr] = ps
+	}
+	ranked := dynamic.Rank(refProfiles, profiles)
+	for _, r := range ranked {
+		scan.Ranking = append(scan.Ranking, RankedMatch{
+			Addr: candFuncs[r.Index].Addr,
+			Sim:  r.Sim,
+		})
+	}
+	scan.DynamicTime = time.Since(start)
+	if len(ranked) == 0 {
+		return scan, nil
+	}
+
+	// Stage 3: differential patch analysis on the top match.
+	scan.Matched = true
+	scan.Match = scan.Ranking[0]
+	topFn := candFuncs[ranked[0].Index]
+	verdict, err := a.patchVerdict(entry, arch, p, topFn, profiles[ranked[0].Index], envs)
+	if err != nil {
+		return nil, err
+	}
+	scan.Verdict = verdict
+	return scan, nil
+}
+
+// patchVerdict runs the differential engine on a matched target function.
+func (a *Analyzer) patchVerdict(entry *vulndb.Entry, arch string, p *PreparedImage,
+	target *disasm.Function, targetProfiles []dynamic.Profile, envs []*minic.Env) (Verdict, error) {
+	vref, err := entry.VulnRef(arch)
+	if err != nil {
+		return Verdict{}, err
+	}
+	pref, err := entry.PatchedRef(arch)
+	if err != nil {
+		return Verdict{}, err
+	}
+	vp, err := dynamic.ProfileFunc(vref.Dis, vref.Fn, envs, a.StepLimit)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("patchecko: %s: vulnerable ref: %w", entry.ID, err)
+	}
+	pp, err := dynamic.ProfileFunc(pref.Dis, pref.Fn, envs, a.StepLimit)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("patchecko: %s: patched ref: %w", entry.ID, err)
+	}
+	verdict := diffengine.Decide(diffengine.Inputs{
+		VulnStatic:      vref.StaticVec(),
+		PatchedStatic:   pref.StaticVec(),
+		TargetStatic:    features.Extract(p.Dis, target),
+		VulnProfiles:    vp,
+		PatchedProfiles: pp,
+		TargetProfiles:  targetProfiles,
+		VulnSig:         diffengine.SigOf(vref.Fn),
+		PatchedSig:      diffengine.SigOf(pref.Fn),
+		TargetSig:       diffengine.SigOf(target),
+	})
+	if a.ExploitReplay && verdict.Confidence < 0.75 {
+		vulnExec := diffengine.Exec{Dis: vref.Dis, Fn: vref.Fn}
+		patchedExec := diffengine.Exec{Dis: pref.Dis, Fn: pref.Fn}
+		targetExec := diffengine.Exec{Dis: p.Dis, Fn: target}
+		div := diffengine.FindDivergence(vulnExec, patchedExec, envs,
+			diffengine.DefaultReplayConfig(int64(target.Addr)))
+		if len(div) > 0 {
+			if patched, ok := diffengine.ReplayVerdict(targetExec, vulnExec, patchedExec, div, a.StepLimit); ok {
+				verdict.Patched = patched
+				verdict.Confidence = 0.95
+			}
+		}
+	}
+	return verdict, nil
+}
+
+func refFor(entry *vulndb.Entry, arch string, mode QueryMode) (*vulndb.Ref, error) {
+	if mode == QueryPatched {
+		return entry.PatchedRef(arch)
+	}
+	return entry.VulnRef(arch)
+}
+
+// Report is a whole-firmware scan result.
+type Report struct {
+	Device string
+	Arch   string
+	// Results is indexed by CVE id; each entry is the scan of that CVE's
+	// best-matching library image.
+	Results map[string]*CVEScan
+}
+
+// ScanFirmware scans every CVE in the database against every library of
+// the firmware image set, reporting the strongest match per CVE. Library
+// images are prepared once and reused across all CVEs. Because the scanner
+// cannot know a priori whether a target is patched, each image is probed
+// with BOTH reference versions ("PATCHECKO will ... restart the whole
+// process based on the patched version of the vulnerable function") and
+// the closer match wins.
+func (a *Analyzer) ScanFirmware(fw *Firmware) (*Report, error) {
+	prepared := make([]*PreparedImage, 0, len(fw.Images))
+	for _, im := range fw.Images {
+		p, err := Prepare(im)
+		if err != nil {
+			return nil, err
+		}
+		prepared = append(prepared, p)
+	}
+	report := &Report{Device: fw.Device, Arch: fw.Arch, Results: make(map[string]*CVEScan)}
+	for _, id := range a.db.IDs() {
+		var best *CVEScan
+		for _, p := range prepared {
+			for _, mode := range []QueryMode{QueryVulnerable, QueryPatched} {
+				scan, err := a.ScanImage(p, id, mode)
+				if err != nil {
+					return nil, err
+				}
+				if best == nil || better(scan, best) {
+					best = scan
+				}
+			}
+		}
+		report.Results[id] = best
+	}
+	return report, nil
+}
+
+// better prefers matched scans with smaller similarity distance.
+func better(a, b *CVEScan) bool {
+	if a.Matched != b.Matched {
+		return a.Matched
+	}
+	if !a.Matched {
+		return a.NumCandidates > b.NumCandidates
+	}
+	return a.Match.Sim < b.Match.Sim
+}
