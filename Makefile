@@ -1,0 +1,24 @@
+# Developer entry points. Everything is stdlib-only Go; see README.md's
+# Development section.
+
+GO ?= go
+
+.PHONY: build test race bench experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race coverage for the concurrent scan engine and candidate validation:
+# the parallel scan grid, the single-flight reference cache, and the
+# worker-pool validator all run under the race detector.
+race:
+	$(GO) test -race ./patchecko/ ./internal/dynamic/
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+experiments:
+	$(GO) run ./cmd/experiments -scale medium -seed 42 -all

@@ -11,8 +11,10 @@ package repro
 // model training) is built once outside the timed regions.
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -222,6 +224,44 @@ func BenchmarkHeadlines(b *testing.B) {
 		fmt.Printf("headline: DL accuracy %.1f%% (paper >93%%), AUC %.3f, top-3 %.0f%% (paper 100%%), patch accuracy %.0f%% (paper 96%%)\n",
 			100*h.TestAccuracy, h.TestAUC, 100*h.Top3Rate, 100*h.PatchAccuracy)
 	})
+}
+
+// BenchmarkScanFirmwareParallel measures the whole-firmware scan grid at
+// one worker vs one per core. Each iteration uses a fresh analyzer so the
+// reference cache starts cold and both configurations pay the same
+// once-per-CVE×mode profiling cost; the printed stats show that cost being
+// amortized (misses <= CVEs×2, everything else a hit) and the reports are
+// identical at any worker count.
+func BenchmarkScanFirmwareParallel(b *testing.B) {
+	s := suite(b)
+	fw := s.Firmware[corpus.ThingOS.Name]
+	parallel := runtime.NumCPU()
+	if parallel < 2 {
+		parallel = 2 // keep the concurrent path exercised even on one core
+	}
+	for _, workers := range []int{1, parallel} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var report *patchecko.Report
+			for i := 0; i < b.N; i++ {
+				an := patchecko.NewAnalyzer(s.Model, s.DB)
+				an.Workers = workers
+				var err error
+				report, err = an.ScanFirmware(context.Background(), fw)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			printArtifact(fmt.Sprintf("scan-parallel-%d", workers), func() {
+				st := report.Stats
+				fmt.Printf("scan grid (workers=%d): %d scans over %d images x %d CVEs x 2 modes; "+
+					"reference cache %d hits / %d misses (<= %d = once per CVE x mode); "+
+					"prepare %v, scan %v\n",
+					st.Workers, st.ScansRun, st.Images, st.CVEs,
+					st.CacheHits, st.CacheMisses, st.CVEs*2, st.PrepareWall, st.ScanWall)
+			})
+		})
+	}
 }
 
 // BenchmarkAblationDistance sweeps the similarity metric (Minkowski p,

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/corpus"
 	"repro/internal/experiments"
@@ -26,6 +27,7 @@ func run() error {
 	var (
 		scaleName = flag.String("scale", "medium", "corpus scale: tiny|small|medium|large")
 		seed      = flag.Int64("seed", 42, "seed")
+		workers   = flag.Int("workers", runtime.NumCPU(), "scan worker pool size (results are identical at any count; timing columns vary)")
 		all       = flag.Bool("all", false, "run every experiment")
 		fig7      = flag.Bool("fig7", false, "Fig. 7: static-stage FP rates")
 		fig8      = flag.Bool("fig8", false, "Fig. 8: training curves")
@@ -53,9 +55,10 @@ func run() error {
 		return err
 	}
 	suite, err := experiments.NewSuite(experiments.Config{
-		Scale: scale,
-		Seed:  *seed,
-		Log:   func(s string) { fmt.Println(s) },
+		Scale:   scale,
+		Seed:    *seed,
+		Workers: *workers,
+		Log:     func(s string) { fmt.Println(s) },
 	})
 	if err != nil {
 		return err

@@ -17,10 +17,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -70,7 +72,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   patchecko train  -scale <tiny|small|medium|large> -seed N -out model.json
-  patchecko scan   -model model.json -db vulndb.json -image lib.img [-cve CVE-...]
+  patchecko scan   -model model.json -db vulndb.json -image lib.img [-cve CVE-...] [-workers N]
   patchecko disasm -image lib.img [-func name|-addr 0x...]
   patchecko compile -src file.mc [-arch amd64 -level O2 -out lib.img -strip]
   patchecko run -src file.mc -func f [-args 4096,8 -data "bytes"]
@@ -172,6 +174,7 @@ func runScan(args []string) error {
 		dbPath    = fs.String("db", "vulndb.json", "vulnerability database")
 		imagePath = fs.String("image", "", "library image to scan")
 		cveID     = fs.String("cve", "", "scan a single CVE (default: all)")
+		workers   = fs.Int("workers", runtime.NumCPU(), "scan worker pool size (results are identical at any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -205,6 +208,7 @@ func runScan(args []string) error {
 	}
 
 	an := patchecko.NewAnalyzer(model, db)
+	an.Workers = *workers
 	prepared, err := patchecko.Prepare(im)
 	if err != nil {
 		return err
@@ -216,8 +220,9 @@ func runScan(args []string) error {
 	if *cveID != "" {
 		ids = []string{*cveID}
 	}
+	ctx := context.Background()
 	for _, id := range ids {
-		scan, err := an.ScanImage(prepared, id, patchecko.QueryVulnerable)
+		scan, err := an.ScanImage(ctx, prepared, id, patchecko.QueryVulnerable)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -116,7 +117,7 @@ func vendorChecksum(p, n) {
 	if err != nil {
 		return err
 	}
-	scan, err := an.ScanImage(prepared, "ADV-2026-0001", patchecko.QueryVulnerable)
+	scan, err := an.ScanImage(context.Background(), prepared, "ADV-2026-0001", patchecko.QueryVulnerable)
 	if err != nil {
 		return err
 	}

@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 	"sort"
+	"time"
 
 	"repro/patchecko"
 )
@@ -44,10 +47,14 @@ func run() error {
 	fmt.Printf("auditing %s (%s): %d library images\n\n", fw.Device, fw.Arch, len(fw.Images))
 
 	an := patchecko.NewAnalyzer(model, db)
-	report, err := an.ScanFirmware(fw)
+	an.Workers = runtime.NumCPU() // scan grid in parallel; the report is identical at any worker count
+	report, err := an.ScanFirmware(context.Background(), fw)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("scanned %d (image, CVE, mode) grid cells on %d workers in %v (%d cache hits / %d misses)\n\n",
+		report.Stats.ScansRun, report.Stats.Workers, report.Stats.ScanWall.Round(time.Millisecond),
+		report.Stats.CacheHits, report.Stats.CacheMisses)
 
 	var vulnerable, patched, unlocated []string
 	for id, scan := range report.Results {

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/patchecko"
 )
@@ -49,6 +51,7 @@ func run() error {
 		return err
 	}
 	an := patchecko.NewAnalyzer(model, db)
+	an.Workers = runtime.NumCPU()
 
 	devices := []patchecko.Device{patchecko.ThingOS, patchecko.Pebble2XL}
 	reports := make(map[string]*patchecko.Report, len(devices))
@@ -58,7 +61,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("scanning %s (%s, %d libraries)...\n", dev.Name, fw.Arch, len(fw.Images))
-		report, err := an.ScanFirmware(fw)
+		report, err := an.ScanFirmware(context.Background(), fw)
 		if err != nil {
 			return err
 		}

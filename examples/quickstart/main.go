@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,7 +68,7 @@ func run() error {
 	fmt.Printf("recovered %d functions from the stripped image\n", prepared.NumFuncs())
 
 	an := patchecko.NewAnalyzer(model, db)
-	scan, err := an.ScanImage(prepared, "CVE-2018-9412", patchecko.QueryVulnerable)
+	scan, err := an.ScanImage(context.Background(), prepared, "CVE-2018-9412", patchecko.QueryVulnerable)
 	if err != nil {
 		return err
 	}

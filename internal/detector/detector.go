@@ -285,10 +285,12 @@ func Train(groups Groups, cfg TrainConfig) (*Model, *nn.History, *Dataset, error
 }
 
 // Similarity scores a pair of raw feature vectors in [0,1]; the score is
-// symmetrized over both input orders.
+// symmetrized over both input orders. It uses the network's stateless
+// inference path, so one model can score from many goroutines at once —
+// the parallel scan engine depends on this.
 func (m *Model) Similarity(a, b features.Vector) float64 {
-	ab := m.Net.Predict(pairInput(m.Norm, a, b))
-	ba := m.Net.Predict(pairInput(m.Norm, b, a))
+	ab := m.Net.Infer(pairInput(m.Norm, a, b))
+	ba := m.Net.Infer(pairInput(m.Norm, b, a))
 	return (ab + ba) / 2
 }
 

@@ -11,8 +11,10 @@
 package dynamic
 
 import (
+	"context"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/disasm"
 	"repro/internal/emu"
@@ -143,44 +145,62 @@ func Validate(dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.E
 // stated future work ("parallelizing the candidate function execution in
 // each environment to further reduce the dynamic analysis processing
 // time"). Results are identical to Validate: candidates are independent
-// and the emulator is deterministic, so only wall-clock changes.
-func ValidateParallel(dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.Env, limit int64, workers int) ([]int, map[int][]Profile) {
-	if workers <= 1 || len(cands) <= 1 {
-		return Validate(dis, cands, envs, limit)
+// and the emulator is deterministic, so only wall-clock changes. The
+// context cancels between candidate executions; on cancellation the
+// partial result set is returned and the caller is expected to check
+// ctx.Err and discard it.
+func ValidateParallel(ctx context.Context, dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.Env, limit int64, workers int) ([]int, map[int][]Profile) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers > len(cands) {
 		workers = len(cands)
 	}
+	if workers <= 1 || len(cands) <= 1 {
+		var survivors []int
+		profiles := make(map[int][]Profile)
+		for i, fn := range cands {
+			if ctx.Err() != nil {
+				break
+			}
+			ps, err := ProfileFunc(dis, fn, envs, limit)
+			if err != nil {
+				continue
+			}
+			survivors = append(survivors, i)
+			profiles[i] = ps
+		}
+		return survivors, profiles
+	}
 	type result struct {
-		idx int
-		ps  []Profile
-		ok  bool
+		ps []Profile
+		ok bool
 	}
 	results := make([]result, len(cands))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(cands) || ctx.Err() != nil {
+					return
+				}
 				ps, err := ProfileFunc(dis, cands[i], envs, limit)
-				results[i] = result{idx: i, ps: ps, ok: err == nil}
+				results[i] = result{ps: ps, ok: err == nil}
 			}
 		}()
 	}
-	for i := range cands {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 
 	var survivors []int
 	profiles := make(map[int][]Profile)
-	for _, r := range results {
+	for i, r := range results {
 		if r.ok {
-			survivors = append(survivors, r.idx)
-			profiles[r.idx] = r.ps
+			survivors = append(survivors, i)
+			profiles[i] = r.ps
 		}
 	}
 	return survivors, profiles

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -182,7 +183,7 @@ func TestValidateParallelMatchesSequential(t *testing.T) {
 	}
 	seqIdx, seqProf := Validate(dis, dis.Funcs, envs, 0)
 	for _, workers := range []int{2, 4, 100} {
-		parIdx, parProf := ValidateParallel(dis, dis.Funcs, envs, 0, workers)
+		parIdx, parProf := ValidateParallel(context.Background(), dis, dis.Funcs, envs, 0, workers)
 		if len(parIdx) != len(seqIdx) {
 			t.Fatalf("workers=%d: %d survivors vs sequential %d", workers, len(parIdx), len(seqIdx))
 		}
@@ -198,7 +199,27 @@ func TestValidateParallelMatchesSequential(t *testing.T) {
 		}
 	}
 	// Degenerate worker counts fall back to sequential.
-	if idx, _ := ValidateParallel(dis, dis.Funcs, envs, 0, 0); len(idx) != len(seqIdx) {
+	if idx, _ := ValidateParallel(context.Background(), dis, dis.Funcs, envs, 0, 0); len(idx) != len(seqIdx) {
 		t.Error("workers=0 should behave like Validate")
+	}
+	// A nil context behaves like context.Background.
+	if idx, _ := ValidateParallel(nil, dis, dis.Funcs, envs, 0, 4); len(idx) != len(seqIdx) {
+		t.Error("nil context should behave like Background")
+	}
+}
+
+func TestValidateParallelCancelled(t *testing.T) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 71, Name: "libpar", NumFuncs: 24, FragileFrac: 0.4})
+	dis := buildFirmwareLib(t, mod)
+	envs := []*minic.Env{
+		{Args: []int64{minic.DataBase, 32, 5, 2}, Data: make([]byte, 64)},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		idx, prof := ValidateParallel(ctx, dis, dis.Funcs, envs, 0, workers)
+		if len(idx) != 0 || len(prof) != 0 {
+			t.Errorf("workers=%d: cancelled validation still profiled %d candidates", workers, len(idx))
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -94,7 +95,7 @@ func (s *Suite) scansForDevice(device string) (map[string]*patchecko.CVEScan, ma
 		if err != nil {
 			return nil, nil, err
 		}
-		scan, err := s.Analyzer.ScanImage(p, id, patchecko.QueryVulnerable)
+		scan, err := s.Analyzer.ScanImage(context.Background(), p, id, patchecko.QueryVulnerable)
 		if err != nil {
 			return nil, nil, err
 		}

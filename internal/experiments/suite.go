@@ -10,8 +10,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/corpus"
 	"repro/internal/detector"
@@ -25,6 +27,10 @@ type Config struct {
 	Seed  int64
 	// Epochs overrides the scale's training epochs when > 0.
 	Epochs int
+	// Workers sizes the analyzer's scan worker pool and parallelizes
+	// firmware preparation during setup. Every experiment artifact is
+	// bit-identical at any worker count; <= 0 keeps scanning sequential.
+	Workers int
 	// Log, when non-nil, receives progress lines during setup.
 	Log func(string)
 }
@@ -87,7 +93,14 @@ func NewSuite(cfg Config) (*Suite, error) {
 		return nil, err
 	}
 	s.Analyzer = patchecko.NewAnalyzer(s.Model, s.DB)
+	s.Analyzer.Workers = cfg.Workers
 
+	prepWorkers := cfg.Workers
+	if prepWorkers <= 0 {
+		// Preparation has no ordering concerns at all, so default to every
+		// core even when scanning stays sequential.
+		prepWorkers = runtime.NumCPU()
+	}
 	for _, dev := range Devices() {
 		logf(fmt.Sprintf("building Dataset III firmware for %s (%s)...", dev.Name, dev.Arch.Name))
 		fw, err := corpus.BuildFirmware(dev, cfg.Scale)
@@ -95,13 +108,13 @@ func NewSuite(cfg Config) (*Suite, error) {
 			return nil, err
 		}
 		s.Firmware[dev.Name] = fw
-		prep := make(map[string]*patchecko.PreparedImage, len(fw.Images))
-		for _, im := range fw.Images {
-			p, err := patchecko.Prepare(im)
-			if err != nil {
-				return nil, err
-			}
-			prep[im.LibName] = p
+		preparedImages, err := patchecko.PrepareImages(context.Background(), fw.Images, prepWorkers)
+		if err != nil {
+			return nil, err
+		}
+		prep := make(map[string]*patchecko.PreparedImage, len(preparedImages))
+		for _, p := range preparedImages {
+			prep[p.Image.LibName] = p
 		}
 		s.prepared[dev.Name] = prep
 	}

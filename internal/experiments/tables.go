@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -53,7 +54,7 @@ func (s *Suite) Table3(device, cveID string) (Table3Result, error) {
 	if err != nil {
 		return Table3Result{}, err
 	}
-	scan, err := s.Analyzer.ScanImage(p, cveID, patchecko.QueryVulnerable)
+	scan, err := s.Analyzer.ScanImage(context.Background(), p, cveID, patchecko.QueryVulnerable)
 	if err != nil {
 		return Table3Result{}, err
 	}
@@ -128,7 +129,7 @@ func (s *Suite) Ranking(device, cveID string, mode patchecko.QueryMode, topN int
 	if err != nil {
 		return RankResult{}, err
 	}
-	scan, err := s.Analyzer.ScanImage(p, cveID, mode)
+	scan, err := s.Analyzer.ScanImage(context.Background(), p, cveID, mode)
 	if err != nil {
 		return RankResult{}, err
 	}
@@ -201,7 +202,7 @@ func (s *Suite) Pipeline(device string, mode patchecko.QueryMode) (PipelineResul
 		if err != nil {
 			return PipelineResult{}, err
 		}
-		scan, err := s.Analyzer.ScanImage(p, id, mode)
+		scan, err := s.Analyzer.ScanImage(context.Background(), p, id, mode)
 		if err != nil {
 			return PipelineResult{}, err
 		}
@@ -323,12 +324,12 @@ func (s *Suite) verdictsWith(an *patchecko.Analyzer, device string) (VerdictResu
 		if err != nil {
 			return VerdictResult{}, err
 		}
-		scan, err := an.ScanImage(p, id, patchecko.QueryVulnerable)
+		scan, err := an.ScanImage(context.Background(), p, id, patchecko.QueryVulnerable)
 		if err != nil {
 			return VerdictResult{}, err
 		}
 		if !scan.Matched || scan.Match.Addr != truth.Addr {
-			pscan, err := an.ScanImage(p, id, patchecko.QueryPatched)
+			pscan, err := an.ScanImage(context.Background(), p, id, patchecko.QueryPatched)
 			if err != nil {
 				return VerdictResult{}, err
 			}

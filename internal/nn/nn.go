@@ -45,6 +45,12 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 // Forward computes the layer output, remembering the input for Backward.
 func (d *Dense) Forward(x []float64) []float64 {
 	d.lastX = x
+	return d.Apply(x)
+}
+
+// Apply computes the layer output without recording backprop state. Unlike
+// Forward it does not mutate the layer, so it is safe for concurrent use.
+func (d *Dense) Apply(x []float64) []float64 {
 	y := make([]float64, d.Out)
 	for o := 0; o < d.Out; o++ {
 		row := d.W[o*d.In : (o+1)*d.In]
@@ -151,6 +157,32 @@ func (n *Network) Logit(x []float64) float64 {
 // Predict returns the probability that x is a positive pair.
 func (n *Network) Predict(x []float64) float64 {
 	return Sigmoid(n.Logit(x))
+}
+
+// InferLogit is Logit without the backprop bookkeeping (saved layer inputs
+// and ReLU masks): a pure read of the weights, safe to call from many
+// goroutines at once. Inference paths that may run concurrently — the scan
+// engine's static stage in particular — must use this instead of Logit.
+func (n *Network) InferLogit(x []float64) float64 {
+	h := x
+	for li, l := range n.Layers {
+		h = l.Apply(h)
+		if li == len(n.Layers)-1 {
+			break
+		}
+		for i := range h {
+			if h[i] < 0 {
+				h[i] = 0
+			}
+		}
+	}
+	return h[0]
+}
+
+// Infer returns the probability that x is a positive pair, computed
+// goroutine-safely (see InferLogit).
+func (n *Network) Infer(x []float64) float64 {
+	return Sigmoid(n.InferLogit(x))
 }
 
 // backward runs backprop from a single logit gradient, accumulating layer

@@ -1,0 +1,311 @@
+// Parallel scan engine: whole-firmware scans schedule the (image, CVE,
+// query-mode) grid across a bounded worker pool, amortize per-CVE reference
+// work through a single-flight cache, and reduce results in sequential
+// iteration order so the final Report is identical to a one-worker run
+// regardless of scheduling.
+
+package patchecko
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/binimg"
+	"repro/internal/dynamic"
+	"repro/internal/minic"
+	"repro/internal/vulndb"
+)
+
+// refKey identifies one cached reference: a CVE's vulnerable or patched
+// version for one architecture under one execution step limit.
+type refKey struct {
+	cve   string
+	arch  string
+	mode  QueryMode
+	limit int64
+}
+
+// refEntry holds the memoized reference work for one key. The decoded
+// reference and its dynamic profiles are guarded by separate sync.Onces:
+// the static stage only needs the decoded binary, and profiling must stay
+// lazy so a scan with zero candidates never executes the reference (the
+// sequential pipeline never did).
+type refEntry struct {
+	refOnce sync.Once
+	ref     *vulndb.Ref
+	refErr  error
+
+	profOnce sync.Once
+	profiles []dynamic.Profile
+	profErr  error
+}
+
+// resolveRef decodes and disassembles the reference, once per entry.
+func (e *refEntry) resolveRef(entry *vulndb.Entry, arch string, mode QueryMode) (*vulndb.Ref, error) {
+	e.refOnce.Do(func() {
+		e.ref, e.refErr = refFor(entry, arch, mode)
+	})
+	return e.ref, e.refErr
+}
+
+// refCache memoizes per-CVE reference work across images, query modes and
+// goroutines. Concurrent requests for the same key single-flight: the first
+// arrival computes under the entry's sync.Once, later arrivals block on the
+// Once and reuse the result.
+type refCache struct {
+	mu      sync.Mutex
+	entries map[refKey]*refEntry
+	// hits/misses count reference *profiling* consults (the expensive,
+	// per-CVE×mode work the cache exists to amortize). Exactly one miss is
+	// recorded per key — the consult whose Once body ran — so the counters
+	// are deterministic for any worker count.
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func (c *refCache) entry(k refKey) *refEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[refKey]*refEntry)
+	}
+	e, ok := c.entries[k]
+	if !ok {
+		e = &refEntry{}
+		c.entries[k] = e
+	}
+	return e
+}
+
+func (c *refCache) counts() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// cachedRef returns the decoded reference for (CVE, arch, mode), computed
+// once per analyzer. Decoding is cheap next to profiling, so it is memoized
+// without touching the hit/miss counters.
+func (a *Analyzer) cachedRef(entry *vulndb.Entry, arch string, mode QueryMode) (*vulndb.Ref, error) {
+	e := a.cache.entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
+	return e.resolveRef(entry, arch, mode)
+}
+
+// cachedRefProfiles returns the reference's per-environment dynamic
+// profiles, executing the reference once per (CVE, arch, mode, step limit)
+// for the analyzer's lifetime. The caller must not mutate the returned
+// slice; ScanImage copies it before publishing on a CVEScan.
+func (a *Analyzer) cachedRefProfiles(entry *vulndb.Entry, arch string, mode QueryMode, envs []*minic.Env) ([]dynamic.Profile, error) {
+	e := a.cache.entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
+	computed := false
+	e.profOnce.Do(func() {
+		computed = true
+		ref, err := e.resolveRef(entry, arch, mode)
+		if err != nil {
+			e.profErr = err
+			return
+		}
+		e.profiles, e.profErr = dynamic.ProfileFunc(ref.Dis, ref.Fn, envs, a.StepLimit)
+	})
+	if computed {
+		a.cache.misses.Add(1)
+	} else {
+		a.cache.hits.Add(1)
+	}
+	return e.profiles, e.profErr
+}
+
+// ScanStats are scan-level counters for one ScanFirmware run. All fields
+// except the wall-clock durations are deterministic in the inputs — they do
+// not depend on worker count or goroutine scheduling.
+type ScanStats struct {
+	Workers     int           // effective worker-pool size
+	Images      int           // library images prepared
+	CVEs        int           // CVEs scanned
+	ScansRun    int           // (image, CVE, mode) grid cells executed
+	CacheHits   int64         // reference-profile consults answered from cache
+	CacheMisses int64         // reference-profile consults that computed
+	PrepareWall time.Duration // wall-clock of the prepare stage
+	ScanWall    time.Duration // wall-clock of the scan grid and reduction
+}
+
+// PrepareImages disassembles and feature-extracts a set of library images
+// with a bounded worker pool. Results keep the input order. When several
+// images fail, the error of the lowest-index image wins regardless of which
+// worker hit its error first, so the call is deterministic for any worker
+// count. workers <= 0 defaults to runtime.NumCPU.
+func PrepareImages(ctx context.Context, images []*binimg.Image, workers int) ([]*PreparedImage, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(images) {
+		workers = len(images)
+	}
+	prepared := make([]*PreparedImage, len(images))
+	errs := make([]error, len(images))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(images) || ctx.Err() != nil {
+					return
+				}
+				prepared[i], errs[i] = Prepare(images[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return prepared, nil
+}
+
+// ScanFirmware scans every CVE in the database against every library of
+// the firmware image set, reporting the strongest match per CVE. Library
+// images are prepared once and reused across all CVEs. Because the scanner
+// cannot know a priori whether a target is patched, each image is probed
+// with BOTH reference versions ("PATCHECKO will ... restart the whole
+// process based on the patched version of the vulnerable function") and
+// the closer match wins.
+//
+// The (image, CVE, mode) scan grid runs on Analyzer.Workers goroutines
+// (<= 1 means sequential). The reduction is deterministic: the Report is
+// identical for any worker count, and when several grid cells fail the
+// error of the earliest cell in sequential iteration order is returned.
+// Per-CVE reference work is served from the analyzer's single-flight cache;
+// Report.Stats exposes the cache and wall-clock counters.
+func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	workers := a.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+
+	prepStart := time.Now()
+	prepared, err := PrepareImages(ctx, fw.Images, workers)
+	if err != nil {
+		return nil, err
+	}
+	prepWall := time.Since(prepStart)
+
+	// The scan grid. Task index encodes the sequential iteration order
+	// (CVE, then image, then mode), which the reduction and the error
+	// selection below both rely on.
+	ids := a.db.IDs()
+	modes := [2]QueryMode{QueryVulnerable, QueryPatched}
+	nTasks := len(ids) * len(prepared) * len(modes)
+	if workers > nTasks {
+		workers = nTasks
+	}
+	// Candidate validation inside each grid cell stays sequential when the
+	// grid itself is parallel: the outer pool already saturates the cores,
+	// and nesting pools would only add scheduling overhead.
+	validateWorkers := a.Workers
+	if workers > 1 {
+		validateWorkers = 1
+	}
+
+	hits0, misses0 := a.cache.counts()
+	scanStart := time.Now()
+	scans := make([]*CVEScan, nTasks)
+	errs := make([]error, nTasks)
+	var (
+		next   atomic.Int64
+		ran    atomic.Int64
+		minErr atomic.Int64 // lowest failed task index; nTasks when none
+		wg     sync.WaitGroup
+	)
+	minErr.Store(int64(nTasks))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= nTasks || ctx.Err() != nil {
+					return
+				}
+				// A lower-index task already failed: this cell's outcome
+				// cannot be observed, so skip the work. Cells below the
+				// current minimum are never skipped, which keeps the
+				// surfaced error deterministic.
+				if int64(i) > minErr.Load() {
+					continue
+				}
+				mi := i % len(modes)
+				pi := (i / len(modes)) % len(prepared)
+				ci := i / (len(modes) * len(prepared))
+				scan, err := a.scanImage(ctx, prepared[pi], ids[ci], modes[mi], validateWorkers)
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := minErr.Load()
+						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				scans[i] = scan
+				ran.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if idx := minErr.Load(); idx < int64(nTasks) {
+		return nil, errs[idx]
+	}
+
+	// Deterministic reduction: fold the grid in sequential iteration order
+	// so ties resolve exactly as a one-worker scan would.
+	report := &Report{Device: fw.Device, Arch: fw.Arch, Results: make(map[string]*CVEScan, len(ids))}
+	for ci, id := range ids {
+		var best *CVEScan
+		for pi := range prepared {
+			for mi := range modes {
+				scan := scans[(ci*len(prepared)+pi)*len(modes)+mi]
+				if best == nil || better(scan, best) {
+					best = scan
+				}
+			}
+		}
+		report.Results[id] = best
+	}
+	hits1, misses1 := a.cache.counts()
+	report.Stats = ScanStats{
+		Workers:     workers,
+		Images:      len(prepared),
+		CVEs:        len(ids),
+		ScansRun:    int(ran.Load()),
+		CacheHits:   hits1 - hits0,
+		CacheMisses: misses1 - misses0,
+		PrepareWall: prepWall,
+		ScanWall:    time.Since(scanStart),
+	}
+	return report, nil
+}

@@ -1,8 +1,10 @@
 package patchecko_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/patchecko"
 )
@@ -35,7 +37,7 @@ func Example() {
 		log.Fatal(err)
 	}
 	an := patchecko.NewAnalyzer(model, db)
-	scan, err := an.ScanImage(prepared, "CVE-2018-9412", patchecko.QueryVulnerable)
+	scan, err := an.ScanImage(context.Background(), prepared, "CVE-2018-9412", patchecko.QueryVulnerable)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +101,9 @@ func ExampleAnalyzer_ScanFirmware() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := patchecko.NewAnalyzer(model, db).ScanFirmware(fw)
+	an := patchecko.NewAnalyzer(model, db)
+	an.Workers = runtime.NumCPU() // deterministic output, parallel wall-clock
+	report, err := an.ScanFirmware(context.Background(), fw)
 	if err != nil {
 		log.Fatal(err)
 	}

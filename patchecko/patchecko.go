@@ -26,10 +26,11 @@
 //	db, _ := patchecko.BuildVulnDB(patchecko.ScaleSmall, 1)
 //	fw, _ := patchecko.BuildFirmware(patchecko.ThingOS, patchecko.ScaleSmall)
 //	an := patchecko.NewAnalyzer(model, db)
-//	report, _ := an.ScanFirmware(fw)
+//	report, _ := an.ScanFirmware(context.Background(), fw)
 package patchecko
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -139,10 +140,16 @@ type Analyzer struct {
 	// decisive it is kept; replay only overrides low-confidence verdicts.
 	// Off by default to preserve the paper's documented blind spot.
 	ExploitReplay bool
-	// Workers parallelizes candidate validation when > 1 (the paper's
-	// other future-work item). Results are bit-identical to sequential
-	// validation; only wall-clock changes.
+	// Workers parallelizes the scan engine when > 1 (the paper's other
+	// future-work item): ScanFirmware schedules its (image, CVE, mode)
+	// grid across this many goroutines, and standalone ScanImage calls
+	// validate candidates on a pool of this size. Results are bit-identical
+	// to sequential scanning; only wall-clock changes.
 	Workers int
+
+	// cache memoizes per-CVE reference work (decoded references and their
+	// dynamic profiles) across images, query modes and goroutines.
+	cache refCache
 }
 
 // NewAnalyzer builds an analyzer from a trained model and a CVE database.
@@ -226,13 +233,28 @@ func (s *CVEScan) TopRank(addr uint64) int {
 }
 
 // ScanImage runs the full pipeline for one CVE against one prepared image.
-func (a *Analyzer) ScanImage(p *PreparedImage, cveID string, mode QueryMode) (*CVEScan, error) {
+// The context cancels the scan between pipeline stages; per-CVE reference
+// work is served from the analyzer's cache.
+func (a *Analyzer) ScanImage(ctx context.Context, p *PreparedImage, cveID string, mode QueryMode) (*CVEScan, error) {
+	return a.scanImage(ctx, p, cveID, mode, a.Workers)
+}
+
+// scanImage is ScanImage with an explicit candidate-validation pool size,
+// so the firmware scan grid can keep per-cell validation sequential while
+// standalone ScanImage calls still parallelize it.
+func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string, mode QueryMode, validateWorkers int) (*CVEScan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	entry, ok := a.db.Get(cveID)
 	if !ok {
 		return nil, fmt.Errorf("patchecko: unknown CVE %s", cveID)
 	}
 	arch := p.Image.Arch
-	queryRef, err := refFor(entry, arch, mode)
+	queryRef, err := a.cachedRef(entry, arch, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -256,6 +278,9 @@ func (a *Analyzer) ScanImage(p *PreparedImage, cveID string, mode QueryMode) (*C
 	if len(cands) == 0 {
 		return scan, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 2: input validation + dynamic profiling + ranking.
 	start = time.Now()
@@ -264,13 +289,18 @@ func (a *Analyzer) ScanImage(p *PreparedImage, cveID string, mode QueryMode) (*C
 	for i, c := range cands {
 		candFuncs[i] = p.Dis.Funcs[c.Index]
 	}
-	survivors, profiles := dynamic.ValidateParallel(p.Dis, candFuncs, envs, a.StepLimit, a.Workers)
+	survivors, profiles := dynamic.ValidateParallel(ctx, p.Dis, candFuncs, envs, a.StepLimit, validateWorkers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	scan.NumExecuted = len(survivors)
-	refProfiles, err := dynamic.ProfileFunc(queryRef.Dis, queryRef.Fn, envs, a.StepLimit)
+	refProfiles, err := a.cachedRefProfiles(entry, arch, mode, envs)
 	if err != nil {
 		return nil, fmt.Errorf("patchecko: %s: reference does not execute: %w", cveID, err)
 	}
-	scan.RefProfiles = refProfiles
+	// Copy: the cached slice is shared across scans and must not alias a
+	// published result.
+	scan.RefProfiles = append([]Profile(nil), refProfiles...)
 	scan.SurvivorProfiles = make(map[uint64][]Profile, len(profiles))
 	for idx, ps := range profiles {
 		scan.SurvivorProfiles[candFuncs[idx].Addr] = ps
@@ -286,6 +316,9 @@ func (a *Analyzer) ScanImage(p *PreparedImage, cveID string, mode QueryMode) (*C
 	if len(ranked) == 0 {
 		return scan, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 3: differential patch analysis on the top match.
 	scan.Matched = true
@@ -300,21 +333,24 @@ func (a *Analyzer) ScanImage(p *PreparedImage, cveID string, mode QueryMode) (*C
 }
 
 // patchVerdict runs the differential engine on a matched target function.
+// Both reference versions and their profiles come from the analyzer's cache,
+// so across a firmware scan they are computed once per CVE — the same cache
+// entries also serve the query side of vulnerable- and patched-mode scans.
 func (a *Analyzer) patchVerdict(entry *vulndb.Entry, arch string, p *PreparedImage,
 	target *disasm.Function, targetProfiles []dynamic.Profile, envs []*minic.Env) (Verdict, error) {
-	vref, err := entry.VulnRef(arch)
+	vref, err := a.cachedRef(entry, arch, QueryVulnerable)
 	if err != nil {
 		return Verdict{}, err
 	}
-	pref, err := entry.PatchedRef(arch)
+	pref, err := a.cachedRef(entry, arch, QueryPatched)
 	if err != nil {
 		return Verdict{}, err
 	}
-	vp, err := dynamic.ProfileFunc(vref.Dis, vref.Fn, envs, a.StepLimit)
+	vp, err := a.cachedRefProfiles(entry, arch, QueryVulnerable, envs)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("patchecko: %s: vulnerable ref: %w", entry.ID, err)
 	}
-	pp, err := dynamic.ProfileFunc(pref.Dis, pref.Fn, envs, a.StepLimit)
+	pp, err := a.cachedRefProfiles(entry, arch, QueryPatched, envs)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("patchecko: %s: patched ref: %w", entry.ID, err)
 	}
@@ -359,44 +395,15 @@ type Report struct {
 	// Results is indexed by CVE id; each entry is the scan of that CVE's
 	// best-matching library image.
 	Results map[string]*CVEScan
+	// Stats are the scan-level counters of the run that produced the
+	// report (worker count, cache hits/misses, per-stage wall-clock).
+	Stats ScanStats
 }
 
-// ScanFirmware scans every CVE in the database against every library of
-// the firmware image set, reporting the strongest match per CVE. Library
-// images are prepared once and reused across all CVEs. Because the scanner
-// cannot know a priori whether a target is patched, each image is probed
-// with BOTH reference versions ("PATCHECKO will ... restart the whole
-// process based on the patched version of the vulnerable function") and
-// the closer match wins.
-func (a *Analyzer) ScanFirmware(fw *Firmware) (*Report, error) {
-	prepared := make([]*PreparedImage, 0, len(fw.Images))
-	for _, im := range fw.Images {
-		p, err := Prepare(im)
-		if err != nil {
-			return nil, err
-		}
-		prepared = append(prepared, p)
-	}
-	report := &Report{Device: fw.Device, Arch: fw.Arch, Results: make(map[string]*CVEScan)}
-	for _, id := range a.db.IDs() {
-		var best *CVEScan
-		for _, p := range prepared {
-			for _, mode := range []QueryMode{QueryVulnerable, QueryPatched} {
-				scan, err := a.ScanImage(p, id, mode)
-				if err != nil {
-					return nil, err
-				}
-				if best == nil || better(scan, best) {
-					best = scan
-				}
-			}
-		}
-		report.Results[id] = best
-	}
-	return report, nil
-}
-
-// better prefers matched scans with smaller similarity distance.
+// better prefers matched scans with smaller similarity distance. It is the
+// comparison the firmware-scan reduction folds with, so it must be a strict
+// ordering: ties return false and the earlier scan in sequential iteration
+// order wins, which is what keeps parallel reduction deterministic.
 func better(a, b *CVEScan) bool {
 	if a.Matched != b.Matched {
 		return a.Matched

@@ -1,6 +1,7 @@
 package patchecko
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -62,7 +63,7 @@ func TestEndToEndCaseStudy(t *testing.T) {
 		t.Fatal(err)
 	}
 	an := NewAnalyzer(model, db)
-	scan, err := an.ScanImage(p, "CVE-2018-9412", QueryVulnerable)
+	scan, err := an.ScanImage(context.Background(), p, "CVE-2018-9412", QueryVulnerable)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestPatchedDeviceVerdict(t *testing.T) {
 		t.Fatal(err)
 	}
 	an := NewAnalyzer(model, db)
-	scan, err := an.ScanImage(p, "CVE-2017-13232", QueryVulnerable)
+	scan, err := an.ScanImage(context.Background(), p, "CVE-2017-13232", QueryVulnerable)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestScanUnknownCVE(t *testing.T) {
 		t.Fatal(err)
 	}
 	an := NewAnalyzer(model, db)
-	if _, err := an.ScanImage(p, "CVE-1999-0001", QueryVulnerable); err == nil {
+	if _, err := an.ScanImage(context.Background(), p, "CVE-1999-0001", QueryVulnerable); err == nil {
 		t.Error("want error for unknown CVE")
 	}
 }
@@ -153,7 +154,7 @@ func TestQueryModes(t *testing.T) {
 	}
 	an := NewAnalyzer(model, db)
 	for _, mode := range []QueryMode{QueryVulnerable, QueryPatched} {
-		scan, err := an.ScanImage(p, "CVE-2018-9412", mode)
+		scan, err := an.ScanImage(context.Background(), p, "CVE-2018-9412", mode)
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -173,7 +174,7 @@ func TestScanFirmwareReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	an := NewAnalyzer(model, db)
-	report, err := an.ScanFirmware(fw)
+	report, err := an.ScanFirmware(context.Background(), fw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,13 +317,13 @@ func TestExploitReplayAnalyzer(t *testing.T) {
 	if an.DB() != db {
 		t.Error("DB accessor broken")
 	}
-	base, err := an.ScanImage(p, "CVE-2018-9470", QueryVulnerable)
+	base, err := an.ScanImage(context.Background(), p, "CVE-2018-9470", QueryVulnerable)
 	if err != nil {
 		t.Fatal(err)
 	}
 	an.ExploitReplay = true
 	an.Workers = 4 // also exercise parallel validation in the pipeline
-	replay, err := an.ScanImage(p, "CVE-2018-9470", QueryVulnerable)
+	replay, err := an.ScanImage(context.Background(), p, "CVE-2018-9470", QueryVulnerable)
 	if err != nil {
 		t.Fatal(err)
 	}
