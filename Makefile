@@ -12,10 +12,11 @@ test:
 	$(GO) test ./...
 
 # Race coverage for the concurrent scan engine and candidate validation:
-# the parallel scan grid, the single-flight reference cache, and the
-# worker-pool validator all run under the race detector.
+# the parallel scan grid, the single-flight reference cache, the worker-pool
+# validator, the context watchdog and the fault-injection registry all run
+# under the race detector.
 race:
-	$(GO) test -race ./patchecko/ ./internal/dynamic/
+	$(GO) test -race ./patchecko/ ./internal/dynamic/ ./internal/emu/ ./internal/faultinject/
 
 bench:
 	$(GO) test -bench=. -benchmem

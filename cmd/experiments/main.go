@@ -50,6 +50,9 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("nothing selected (use -all)")
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
 	scale, err := corpus.ScaleByName(*scaleName)
 	if err != nil {
 		return err

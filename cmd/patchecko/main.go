@@ -182,6 +182,9 @@ func runScan(args []string) error {
 	if *imagePath == "" {
 		return fmt.Errorf("-image is required")
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
 	rawModel, err := os.ReadFile(*modelPath)
 	if err != nil {
 		return err
@@ -220,11 +223,17 @@ func runScan(args []string) error {
 	if *cveID != "" {
 		ids = []string{*cveID}
 	}
+	// Scan failures are isolated per CVE, mirroring the firmware engine: a
+	// broken reference must not cost the scans of the remaining CVEs. Any
+	// failure still exits non-zero after the loop.
 	ctx := context.Background()
+	failed := 0
 	for _, id := range ids {
 		scan, err := an.ScanImage(ctx, prepared, id, patchecko.QueryVulnerable)
 		if err != nil {
-			return err
+			failed++
+			fmt.Fprintf(os.Stderr, "patchecko: %-16s scan failed: %v\n", id, err)
+			continue
 		}
 		if !scan.Matched {
 			fmt.Printf("%-16s no match (candidates %d, survived validation %d)\n",
@@ -238,6 +247,9 @@ func runScan(args []string) error {
 		fmt.Printf("%-16s match at %#x (sim %.3f, %d candidates -> %d executed) verdict: %s (confidence %.2f)\n",
 			id, scan.Match.Addr, scan.Match.Sim, scan.NumCandidates, scan.NumExecuted,
 			status, scan.Verdict.Confidence)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d CVE scans failed", failed, len(ids))
 	}
 	return nil
 }

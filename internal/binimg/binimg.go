@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+
+	"repro/internal/faultinject"
 )
 
 // TextBase is the virtual address where .text is mapped.
@@ -123,6 +125,9 @@ func Decode(b []byte) (*Image, error) {
 	im := &Image{}
 	im.Arch = r.str()
 	im.LibName = r.str()
+	if err := faultinject.Fire(faultinject.DecodeCorrupt, im.LibName); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadImage, err)
+	}
 	im.OptLevel = r.str()
 	im.Stripped = r.u8() != 0
 	im.Text = r.blob()

@@ -1,9 +1,12 @@
 package binimg
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/faultinject"
 )
 
 func sampleImage() *Image {
@@ -66,6 +69,30 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	}
 	if _, err := Decode(nil); err == nil {
 		t.Error("nil input not rejected")
+	}
+}
+
+func TestDecodeFaultInjection(t *testing.T) {
+	// The decode-corruption fault point simulates bit rot on a structurally
+	// valid image (the checksum passes; the payload lies). It keys on the
+	// library name so chaos tests can break one library's images only.
+	enc := Encode(sampleImage())
+	injected := errors.New("injected bit rot")
+	disarm := faultinject.Arm(faultinject.DecodeCorrupt, "libstagefright", injected)
+	defer disarm()
+	_, err := Decode(enc)
+	if !errors.Is(err, ErrBadImage) || !errors.Is(err, injected) {
+		t.Fatalf("injected decode fault = %v, want ErrBadImage wrapping the injected error", err)
+	}
+	// Other libraries decode fine while the fault is armed.
+	other := sampleImage()
+	other.LibName = "libother"
+	if _, err := Decode(Encode(other)); err != nil {
+		t.Errorf("unrelated library affected by armed fault: %v", err)
+	}
+	disarm()
+	if _, err := Decode(enc); err != nil {
+		t.Errorf("decode still failing after disarm: %v", err)
 	}
 }
 

@@ -54,18 +54,21 @@ func decideFor(t *testing.T, pair *minic.CVEPair, targetPatched bool, targetLvl 
 	if len(envs) == 0 {
 		t.Fatal("no environments")
 	}
-	vp, err := dynamic.ProfileFunc(vuln.dis, vuln.fn, envs, 0)
-	if err != nil {
-		t.Fatal(err)
+	profile := func(dis *disasm.Disassembly, fn *disasm.Function) []dynamic.Profile {
+		t.Helper()
+		eps, err := dynamic.ProfileFunc(nil, dis, fn, envs, dynamic.Exec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs, err := dynamic.CompleteVectors(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vs
 	}
-	pp, err := dynamic.ProfileFunc(patched.dis, patched.fn, envs, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tp, err := dynamic.ProfileFunc(target.dis, target.fn, envs, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	vp := profile(vuln.dis, vuln.fn)
+	pp := profile(patched.dis, patched.fn)
+	tp := profile(target.dis, target.fn)
 	return Decide(Inputs{
 		VulnStatic: vuln.vec, PatchedStatic: patched.vec, TargetStatic: target.vec,
 		VulnProfiles: vp, PatchedProfiles: pp, TargetProfiles: tp,

@@ -2,19 +2,33 @@
 // validation and similarity ranking from dynamic features.
 //
 // Following §III-B/III-C of the paper: candidates surviving the static
-// stage are executed under the CVE function's execution environments;
-// candidates that trap are discarded ("if the candidate f triggers a system
-// exception, we will remove [it] from the candidate set"); the survivors
-// are profiled into 21-dimensional dynamic feature vectors (Table II), and
+// stage are executed under the CVE function's execution environments and
+// profiled into 21-dimensional dynamic feature vectors (Table II);
 // similarity to the reference is the Minkowski distance with p=3 averaged
 // over the K environments (equations (1) and (2)). Smaller is more similar.
+//
+// # Failure model
+//
+// The paper discards a candidate outright when it "triggers a system
+// exception". Real firmware functions trap constantly under fixed execution
+// environments, so this implementation degrades instead of discarding
+// blindly: a trapping execution yields a truncated-but-usable EnvProfile —
+// the Table II trace up to the trap, tagged with the trap — and ranking
+// weights each environment by how much of it completed. A candidate is
+// excluded only when no environment completes, and exclusions carry their
+// reason instead of vanishing silently. Candidates that complete every
+// environment are ranked exactly as the paper's rule would rank them:
+// completion is the primary sort key, so partially-profiled candidates can
+// never displace fully-validated ones.
 package dynamic
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/disasm"
 	"repro/internal/emu"
@@ -36,6 +50,10 @@ var Names = [NumDynamic]string{
 	"mem_anon_access", "mem_others_access",
 	"library_call_num", "syscall_num",
 }
+
+// idxInstrs is the vector slot of instruction_num (F6), the feature the
+// completion weighting measures trace length with.
+const idxInstrs = 5
 
 // Profile is one execution's dynamic feature vector.
 type Profile [NumDynamic]float64
@@ -106,119 +124,295 @@ func similarity(f, g []Profile, dist func(Profile, Profile, float64) float64) fl
 // DefaultStepLimit bounds candidate executions.
 const DefaultStepLimit = 1 << 20
 
-// ProfileFunc executes fn under every environment, returning one profile
-// per environment. Any trap aborts with the error.
-func ProfileFunc(dis *disasm.Disassembly, fn *disasm.Function, envs []*minic.Env, limit int64) ([]Profile, error) {
-	if limit <= 0 {
-		limit = DefaultStepLimit
+// Exec bundles the per-execution bounds threaded from the analyzer down to
+// every emulator run.
+type Exec struct {
+	// Steps is the instruction budget per execution (DefaultStepLimit
+	// if <= 0); exhaustion surfaces as minic.TrapStepLimit.
+	Steps int64
+	// Budget is the wall-clock watchdog per execution (0 = none);
+	// expiry surfaces as minic.TrapBudget. Unlike the step limit the
+	// watchdog is not deterministic in the inputs, so scans that must be
+	// byte-reproducible leave it off and rely on Steps.
+	Budget time.Duration
+}
+
+// Steps builds an Exec with only an instruction budget — the common case
+// in tests and deterministic scans.
+func Steps(limit int64) Exec { return Exec{Steps: limit} }
+
+// EnvProfile is one environment's execution outcome: the Table II feature
+// vector of the trace — complete, or truncated at the fault — plus the trap
+// that ended it, if any.
+type EnvProfile struct {
+	Vec  Profile
+	Trap *minic.TrapError // nil when the execution ran to completion
+}
+
+// Complete reports whether the environment executed cleanly.
+func (e EnvProfile) Complete() bool { return e.Trap == nil }
+
+// Vectors flattens env profiles to plain feature vectors, truncated traces
+// included, preserving environment order.
+func Vectors(eps []EnvProfile) []Profile {
+	out := make([]Profile, len(eps))
+	for i, ep := range eps {
+		out[i] = ep.Vec
 	}
-	out := make([]Profile, 0, len(envs))
-	for _, env := range envs {
-		res, err := emu.Execute(dis, fn, env.Clone(), limit)
-		if err != nil {
-			return nil, err
+	return out
+}
+
+// CompleteVectors flattens env profiles that all ran to completion. It
+// fails with the first trap otherwise — the contract for reference
+// executions, which must run clean under their own environments.
+func CompleteVectors(eps []EnvProfile) ([]Profile, error) {
+	for i, ep := range eps {
+		if ep.Trap != nil {
+			return nil, fmt.Errorf("environment %d: %w", i, ep.Trap)
 		}
-		out = append(out, Profile(res.Trace.Vector()))
+	}
+	return Vectors(eps), nil
+}
+
+// Completion counts the environments that ran to completion.
+func Completion(eps []EnvProfile) int {
+	n := 0
+	for _, ep := range eps {
+		if ep.Complete() {
+			n++
+		}
+	}
+	return n
+}
+
+// ProfileFunc executes fn under every environment, returning one profile
+// per environment. A trapping environment yields a truncated profile tagged
+// with its trap instead of aborting the whole candidate. The returned error
+// is non-nil only when the context ended the run (cancellation or an outer
+// deadline); the profiles gathered so far accompany it.
+func ProfileFunc(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, envs []*minic.Env, ex Exec) ([]EnvProfile, error) {
+	if ex.Steps <= 0 {
+		ex.Steps = DefaultStepLimit
+	}
+	out := make([]EnvProfile, 0, len(envs))
+	for _, env := range envs {
+		if ctx != nil && ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		res, err := executeOne(ctx, dis, fn, env, ex)
+		if err != nil {
+			if tr, ok := minic.IsTrap(err); ok {
+				ep := EnvProfile{Trap: tr}
+				if res != nil && res.Trace != nil {
+					ep.Vec = Profile(res.Trace.Vector())
+				}
+				out = append(out, ep)
+				continue
+			}
+			return out, err // cancellation from an enclosing context
+		}
+		out = append(out, EnvProfile{Vec: Profile(res.Trace.Vector())})
 	}
 	return out, nil
 }
 
-// Validate executes every candidate under every environment and returns
-// the indexes (into cands) of those that complete all executions cleanly,
-// together with their profiles. This is the paper's
-// "candidate functions execution validation" step.
-func Validate(dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.Env, limit int64) ([]int, map[int][]Profile) {
-	var survivors []int
-	profiles := make(map[int][]Profile)
-	for i, fn := range cands {
-		ps, err := ProfileFunc(dis, fn, envs, limit)
-		if err != nil {
-			continue
-		}
-		survivors = append(survivors, i)
-		profiles[i] = ps
+// executeOne runs a single emulator execution under the Exec bounds,
+// deriving the per-execution watchdog deadline from the budget.
+func executeOne(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, env *minic.Env, ex Exec) (*emu.Result, error) {
+	if ex.Budget <= 0 {
+		return emu.ExecuteCtx(ctx, dis, fn, env.Clone(), ex.Steps)
 	}
-	return survivors, profiles
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ectx, cancel := context.WithTimeout(ctx, ex.Budget)
+	defer cancel()
+	return emu.ExecuteCtx(ectx, dis, fn, env.Clone(), ex.Steps)
+}
+
+// SimilarityEnv is the fault-tolerant form of equation (2): each
+// environment's (scaled) distance is weighted by its completion. A
+// completed environment weighs 1; a trapped one weighs the fraction of the
+// reference trace it covered before faulting (by instruction count), so a
+// candidate that died immediately contributes almost nothing while one that
+// trapped on its last loop iteration still carries most of its signal. It
+// also returns how many environments completed — the primary ranking key.
+func SimilarityEnv(ref []Profile, cand []EnvProfile) (sim float64, completed int) {
+	k := len(ref)
+	if len(cand) < k {
+		k = len(cand)
+	}
+	if k == 0 {
+		return math.Inf(1), 0
+	}
+	var sum, wsum float64
+	for i := 0; i < k; i++ {
+		d := MinkowskiScaled(ref[i], cand[i].Vec, MinkowskiP)
+		w := 1.0
+		if cand[i].Complete() {
+			completed++
+		} else {
+			w = completionFrac(ref[i], cand[i].Vec)
+		}
+		sum += w * d
+		wsum += w
+	}
+	if wsum == 0 {
+		return math.Inf(1), completed
+	}
+	return sum / wsum, completed
+}
+
+// completionFrac estimates how much of the reference execution a truncated
+// trace covered, by instruction count, clamped to [0, 1].
+func completionFrac(ref, cand Profile) float64 {
+	refInstr := ref[idxInstrs]
+	if refInstr <= 0 {
+		return 0
+	}
+	f := cand[idxInstrs] / refInstr
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Validate executes every candidate under every environment. A candidate
+// survives when at least one environment runs to completion; its profiles
+// keep the truncated traces of any trapping environments. Candidates with
+// no completed environment are excluded, and — unlike the paper's silent
+// discard — the exclusion reason is returned per candidate index. This is
+// the fault-tolerant form of the paper's "candidate functions execution
+// validation" step.
+func Validate(dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.Env, ex Exec) ([]int, map[int][]EnvProfile, map[int]error) {
+	return ValidateParallel(nil, dis, cands, envs, ex, 1)
 }
 
 // ValidateParallel is Validate with a bounded worker pool — the paper's
 // stated future work ("parallelizing the candidate function execution in
 // each environment to further reduce the dynamic analysis processing
 // time"). Results are identical to Validate: candidates are independent
-// and the emulator is deterministic, so only wall-clock changes. The
-// context cancels between candidate executions; on cancellation the
-// partial result set is returned and the caller is expected to check
-// ctx.Err and discard it.
-func ValidateParallel(ctx context.Context, dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.Env, limit int64, workers int) ([]int, map[int][]Profile) {
+// and the emulator is deterministic, so only wall-clock changes. A panic
+// while profiling a candidate is recovered and recorded as that candidate's
+// exclusion reason rather than crashing the pool. The context cancels
+// between candidate executions; on cancellation the partial result set is
+// returned and the caller is expected to check ctx.Err and discard it.
+func ValidateParallel(ctx context.Context, dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.Env, ex Exec, workers int) ([]int, map[int][]EnvProfile, map[int]error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if workers > len(cands) {
 		workers = len(cands)
 	}
+	results := make([]candResult, len(cands))
 	if workers <= 1 || len(cands) <= 1 {
-		var survivors []int
-		profiles := make(map[int][]Profile)
 		for i, fn := range cands {
 			if ctx.Err() != nil {
 				break
 			}
-			ps, err := ProfileFunc(dis, fn, envs, limit)
-			if err != nil {
-				continue
-			}
-			survivors = append(survivors, i)
-			profiles[i] = ps
+			results[i] = profileCandidate(ctx, dis, fn, envs, ex)
 		}
-		return survivors, profiles
-	}
-	type result struct {
-		ps []Profile
-		ok bool
-	}
-	results := make([]result, len(cands))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(cands) || ctx.Err() != nil {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(cands) || ctx.Err() != nil {
+						return
+					}
+					results[i] = profileCandidate(ctx, dis, cands[i], envs, ex)
 				}
-				ps, err := ProfileFunc(dis, cands[i], envs, limit)
-				results[i] = result{ps: ps, ok: err == nil}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	var survivors []int
-	profiles := make(map[int][]Profile)
+	profiles := make(map[int][]EnvProfile)
+	excluded := make(map[int]error)
 	for i, r := range results {
-		if r.ok {
+		switch {
+		case !r.ran:
+			// Skipped by cancellation; the caller discards the set.
+		case r.err != nil:
+			excluded[i] = r.err
+		case Completion(r.eps) == 0:
+			excluded[i] = exclusionReason(r.eps)
+		default:
 			survivors = append(survivors, i)
-			profiles[i] = r.ps
+			profiles[i] = r.eps
 		}
 	}
-	return survivors, profiles
+	return survivors, profiles, excluded
+}
+
+type candResult struct {
+	eps []EnvProfile
+	err error
+	ran bool
+}
+
+// profileCandidate profiles one candidate, converting panics and
+// cancellation into a recorded outcome so one hostile candidate cannot
+// take down the pool.
+func profileCandidate(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, envs []*minic.Env, ex Exec) (r candResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r = candResult{err: fmt.Errorf("dynamic: panic while profiling candidate: %v", rec), ran: true}
+		}
+	}()
+	eps, err := ProfileFunc(ctx, dis, fn, envs, ex)
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return candResult{} // context ended the run mid-candidate
+		}
+		return candResult{err: err, ran: true} // emulator-level failure: exclude with reason
+	}
+	return candResult{eps: eps, ran: true}
+}
+
+// exclusionReason summarizes why a fully-trapping candidate was excluded:
+// every environment faulted; the first environment's trap leads the message
+// deterministically.
+func exclusionReason(eps []EnvProfile) error {
+	for i, ep := range eps {
+		if ep.Trap != nil {
+			return fmt.Errorf("no environment completed (%d total): env %d: %w", len(eps), i, ep.Trap)
+		}
+	}
+	return fmt.Errorf("no environments to execute")
 }
 
 // Ranked is one candidate with its similarity distance to the reference.
 type Ranked struct {
 	Index int
-	Sim   float64
+	Sim   float64 // completion-weighted Minkowski distance; smaller = closer
+	// Completed and Envs report the candidate's validation coverage:
+	// environments that ran to completion out of those executed.
+	Completed int
+	Envs      int
 }
 
-// Rank orders candidates by ascending similarity distance to the reference
-// profiles (most similar first), producing the (function, similarity
-// distance) ranking of the paper's Tables IV/V.
-func Rank(ref []Profile, cands map[int][]Profile) []Ranked {
+// Rank orders candidates for the (function, similarity distance) ranking of
+// the paper's Tables IV/V. Completion dominates: candidates that completed
+// more environments always rank above candidates that completed fewer, so
+// among fully-validated candidates the order is exactly the paper's
+// ascending-distance rule, and partially-profiled candidates follow without
+// ever displacing them.
+func Rank(ref []Profile, cands map[int][]EnvProfile) []Ranked {
 	out := make([]Ranked, 0, len(cands))
-	for idx, ps := range cands {
-		out = append(out, Ranked{Index: idx, Sim: Similarity(ref, ps)})
+	for idx, eps := range cands {
+		sim, _ := SimilarityEnv(ref, eps)
+		// Completion is counted over the candidate's own environments, not
+		// the (possibly shorter) comparison window the distance uses.
+		out = append(out, Ranked{Index: idx, Sim: sim, Completed: Completion(eps), Envs: len(eps)})
 	}
 	sortRanked(out)
 	return out
@@ -235,6 +429,9 @@ func sortRanked(rs []Ranked) {
 }
 
 func less(a, b Ranked) bool {
+	if a.Completed != b.Completed {
+		return a.Completed > b.Completed
+	}
 	if a.Sim != b.Sim {
 		return a.Sim < b.Sim
 	}

@@ -11,10 +11,12 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/disasm"
+	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/minic"
 )
@@ -28,6 +30,12 @@ const (
 
 // DefaultStepLimit bounds executions ("infinite loop" detection).
 const DefaultStepLimit = 1 << 20
+
+// watchdogStride is how many instructions execute between context checks.
+// The wall-clock watchdog and cancellation both piggyback on this check, so
+// the hot loop pays one counter test per instruction and one channel poll
+// per stride.
+const watchdogStride = 4096
 
 // maxCallDepth matches the interpreter's recursion budget.
 const maxCallDepth = 64
@@ -234,6 +242,7 @@ type frame struct {
 
 // Machine executes one function invocation.
 type Machine struct {
+	ctx   context.Context // nil = no watchdog, no cancellation
 	dis   *disasm.Disassembly
 	mem   *taggedMem
 	regs  [16]int64
@@ -252,12 +261,31 @@ type Machine struct {
 // (DefaultStepLimit if limit <= 0). The environment's scalar arguments load
 // into r0..r3 — the same convention for every candidate function, which is
 // what lets one environment drive many candidates, as in the paper.
+//
+// On abnormal termination the returned Result is non-nil and carries the
+// trace collected up to the fault — the partial profile the dynamic stage
+// consumes — alongside the *minic.TrapError.
 func Execute(dis *disasm.Disassembly, fn *disasm.Function, env *minic.Env, limit int64) (*Result, error) {
+	return ExecuteCtx(nil, dis, fn, env, limit)
+}
+
+// ExecuteCtx is Execute with a watchdog context. The context's deadline is
+// the execution's wall-clock budget, checked every watchdogStride
+// instructions alongside the step limit: an expired deadline surfaces as a
+// minic.TrapBudget trap (an abnormal execution of this one function), while
+// plain cancellation returns the context's error verbatim (the whole scan
+// is being torn down, not this function misbehaving). A nil or
+// context.Background context disables both checks at zero per-step cost.
+func ExecuteCtx(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, env *minic.Env, limit int64) (*Result, error) {
 	if limit <= 0 {
 		limit = DefaultStepLimit
 	}
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // no deadline and not cancellable: skip the polling
+	}
 	tr := newTrace()
 	m := &Machine{
+		ctx: ctx,
 		dis: dis,
 		mem: &taggedMem{
 			data:   make([]byte, minic.DataSize),
@@ -279,8 +307,13 @@ func Execute(dis *disasm.Disassembly, fn *disasm.Function, env *minic.Env, limit
 		m.regs[i] = a
 	}
 	m.regs[m.sp()] = StackTop
+	if err := faultinject.Fire(faultinject.ExecTrap, dis.Image.LibName+":"+fn.Name); err != nil {
+		return &Result{Trace: tr, Mem: m.mem.data}, err
+	}
 	if err := m.run(); err != nil {
-		return nil, err
+		// Partial result: the trace up to the fault is the truncated
+		// profile the fault-tolerant dynamic stage ranks with.
+		return &Result{Ret: m.regs[0], Trace: tr, Mem: m.mem.data}, err
 	}
 	return &Result{Ret: m.regs[0], Trace: tr, Mem: m.mem.data}, nil
 }
@@ -300,6 +333,17 @@ func (m *Machine) run() error {
 		m.trace.Instrs++
 		if m.trace.Instrs > m.limit {
 			return &minic.TrapError{Kind: minic.TrapStepLimit}
+		}
+		if m.ctx != nil && m.trace.Instrs%watchdogStride == 0 {
+			select {
+			case <-m.ctx.Done():
+				if m.ctx.Err() == context.DeadlineExceeded {
+					return &minic.TrapError{Kind: minic.TrapBudget,
+						Msg: fmt.Sprintf("after %d instructions", m.trace.Instrs)}
+				}
+				return m.ctx.Err()
+			default:
+			}
 		}
 		m.trace.uniquePCs[pcAddr] = struct{}{}
 		depth := int64(len(m.frames)) + 1
@@ -611,5 +655,5 @@ func ExecuteByName(dis *disasm.Disassembly, name string, env *minic.Env, limit i
 	if !ok {
 		return nil, fmt.Errorf("emu: no function %q in %s", name, dis.Image.LibName)
 	}
-	return Execute(dis, fn, env, limit)
+	return ExecuteCtx(nil, dis, fn, env, limit)
 }

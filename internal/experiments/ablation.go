@@ -60,7 +60,7 @@ func rankWith(scan *patchecko.CVEScan, trueAddr uint64, k int,
 		}
 		var sum float64
 		for i := 0; i < n; i++ {
-			sum += dist(ref[i], ps[i], p)
+			sum += dist(ref[i], ps[i].Vec, p)
 		}
 		rs = append(rs, scored{addr: addr, sim: sum / float64(n)})
 	}

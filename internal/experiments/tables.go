@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/dynamic"
 	"repro/internal/features"
 	"repro/internal/vulndb"
 	"repro/patchecko"
@@ -62,7 +63,7 @@ func (s *Suite) Table3(device, cveID string) (Table3Result, error) {
 	for _, r := range scan.Ranking {
 		res.Rows = append(res.Rows, Table3Row{
 			Label:    fmt.Sprintf("candidate_%x", r.Addr),
-			Features: meanProfile(scan.SurvivorProfiles[r.Addr]),
+			Features: meanProfile(dynamic.Vectors(scan.SurvivorProfiles[r.Addr])),
 		})
 	}
 	res.Rows = append(res.Rows, Table3Row{

@@ -1,0 +1,121 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestArmFireDisarm(t *testing.T) {
+	if Active() {
+		t.Fatal("faults armed at test entry")
+	}
+	errA := errors.New("boom-a")
+	disarm := Arm(PrepareFail, "liba", errA)
+	if !Active() {
+		t.Error("Arm did not mark the registry active")
+	}
+	if got := Fire(PrepareFail, "liba"); !errors.Is(got, errA) {
+		t.Errorf("Fire(exact key) = %v, want %v", got, errA)
+	}
+	if got := Fire(PrepareFail, "libz"); got != nil {
+		t.Errorf("Fire(other key) = %v, want nil", got)
+	}
+	if got := Fire(ExecTrap, "liba"); got != nil {
+		t.Errorf("Fire(other point) = %v, want nil", got)
+	}
+	disarm()
+	if Active() || Fire(PrepareFail, "liba") != nil {
+		t.Error("disarm did not clear the fault")
+	}
+	disarm() // double disarm is a no-op
+	if Active() {
+		t.Error("double disarm corrupted the armed count")
+	}
+}
+
+func TestWildcardAndPrecedence(t *testing.T) {
+	wild := errors.New("any")
+	exact := errors.New("this-one")
+	d1 := Arm(ExecTrap, "", wild)
+	d2 := Arm(ExecTrap, "lib:fn", exact)
+	defer d1()
+	defer d2()
+	if got := Fire(ExecTrap, "other:fn"); !errors.Is(got, wild) {
+		t.Errorf("wildcard did not match: %v", got)
+	}
+	if got := Fire(ExecTrap, "lib:fn"); !errors.Is(got, exact) {
+		t.Errorf("exact key should win over wildcard: %v", got)
+	}
+}
+
+func TestRearmReplaces(t *testing.T) {
+	first := errors.New("first")
+	second := errors.New("second")
+	d1 := Arm(DecodeCorrupt, "k", first)
+	d2 := Arm(DecodeCorrupt, "k", second)
+	if got := Fire(DecodeCorrupt, "k"); !errors.Is(got, second) {
+		t.Errorf("re-arm did not replace: %v", got)
+	}
+	d1()
+	d2()
+	if Active() {
+		t.Error("armed count drifted after replace+disarm")
+	}
+}
+
+func TestFirePanic(t *testing.T) {
+	defer Arm(ScanPanic, "cell", errors.New("injected crash"))()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("FirePanic did not panic on an armed fault")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "injected crash") {
+			t.Errorf("panic value %v does not carry the armed error", r)
+		}
+	}()
+	FirePanic(ScanPanic, "other") // disarmed key: no panic
+	FirePanic(ScanPanic, "cell")
+}
+
+func TestArmNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Arm(nil) should panic")
+		}
+	}()
+	Arm(PrepareFail, "x", nil)
+}
+
+func TestConcurrentFire(t *testing.T) {
+	// Fire is on the emulator's hot path; it must be race-free against
+	// concurrent Arm/disarm (run under -race via make race).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				Arm(ExecTrap, "spin", errors.New("x"))()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10000; i++ {
+			Fire(ExecTrap, "spin")
+			Fire(ExecTrap, "other")
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	if Active() {
+		t.Error("faults leaked from concurrency test")
+	}
+}

@@ -58,7 +58,7 @@ func TestOpPredicates(t *testing.T) {
 }
 
 func TestTrapKindStrings(t *testing.T) {
-	kinds := []TrapKind{TrapOOB, TrapDivZero, TrapBadCall, TrapStepLimit, TrapStack, TrapDecode}
+	kinds := []TrapKind{TrapOOB, TrapDivZero, TrapBadCall, TrapStepLimit, TrapStack, TrapDecode, TrapBudget}
 	seen := make(map[string]bool)
 	for _, k := range kinds {
 		s := k.String()

@@ -19,6 +19,7 @@ const (
 	TrapStepLimit // execution exceeded its instruction budget ("infinite loop")
 	TrapStack     // machine stack overflow/underflow (emulator only)
 	TrapDecode    // undecodable instruction (emulator only)
+	TrapBudget    // wall-clock watchdog budget exceeded (emulator only)
 )
 
 func (k TrapKind) String() string {
@@ -35,6 +36,8 @@ func (k TrapKind) String() string {
 		return "stack fault"
 	case TrapDecode:
 		return "decode fault"
+	case TrapBudget:
+		return "wall-clock budget exceeded"
 	default:
 		return fmt.Sprintf("trap(%d)", int(k))
 	}

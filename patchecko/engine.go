@@ -3,11 +3,17 @@
 // work through a single-flight cache, and reduce results in sequential
 // iteration order so the final Report is identical to a one-worker run
 // regardless of scheduling.
+//
+// Failures are isolated, not fatal: an image that will not prepare, a CVE
+// reference that will not execute, or a grid cell that traps or panics is
+// recorded as a typed ScanError on the Report while every unaffected cell
+// completes. Only context cancellation aborts the whole scan.
 
 package patchecko
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,6 +21,7 @@ import (
 
 	"repro/internal/binimg"
 	"repro/internal/dynamic"
+	"repro/internal/faultinject"
 	"repro/internal/minic"
 	"repro/internal/vulndb"
 )
@@ -28,40 +35,43 @@ type refKey struct {
 	limit int64
 }
 
-// refEntry holds the memoized reference work for one key. The decoded
-// reference and its dynamic profiles are guarded by separate sync.Onces:
-// the static stage only needs the decoded binary, and profiling must stay
-// lazy so a scan with zero candidates never executes the reference (the
-// sequential pipeline never did).
+// refEntry holds the memoized reference work for one key under a mutex
+// (not a sync.Once): outcomes memoize permanently — including failures,
+// which are deterministic in the inputs — EXCEPT cancellation, which says
+// nothing about the reference and must not poison the cache for later
+// scans. Holding the mutex across the computation single-flights
+// concurrent consults of the same key.
 type refEntry struct {
-	refOnce sync.Once
+	mu sync.Mutex
+
+	refDone bool
 	ref     *vulndb.Ref
 	refErr  error
 
-	profOnce sync.Once
+	profDone bool
 	profiles []dynamic.Profile
 	profErr  error
 }
 
-// resolveRef decodes and disassembles the reference, once per entry.
-func (e *refEntry) resolveRef(entry *vulndb.Entry, arch string, mode QueryMode) (*vulndb.Ref, error) {
-	e.refOnce.Do(func() {
+// resolveRefLocked decodes and disassembles the reference once per entry.
+// Callers hold e.mu.
+func (e *refEntry) resolveRefLocked(entry *vulndb.Entry, arch string, mode QueryMode) (*vulndb.Ref, error) {
+	if !e.refDone {
 		e.ref, e.refErr = refFor(entry, arch, mode)
-	})
+		e.refDone = true
+	}
 	return e.ref, e.refErr
 }
 
 // refCache memoizes per-CVE reference work across images, query modes and
-// goroutines. Concurrent requests for the same key single-flight: the first
-// arrival computes under the entry's sync.Once, later arrivals block on the
-// Once and reuse the result.
+// goroutines.
 type refCache struct {
 	mu      sync.Mutex
 	entries map[refKey]*refEntry
 	// hits/misses count reference *profiling* consults (the expensive,
 	// per-CVE×mode work the cache exists to amortize). Exactly one miss is
-	// recorded per key — the consult whose Once body ran — so the counters
-	// are deterministic for any worker count.
+	// recorded per key — the consult that computed — so the counters are
+	// deterministic for any worker count.
 	hits   atomic.Int64
 	misses atomic.Int64
 }
@@ -89,31 +99,50 @@ func (c *refCache) counts() (hits, misses int64) {
 // without touching the hit/miss counters.
 func (a *Analyzer) cachedRef(entry *vulndb.Entry, arch string, mode QueryMode) (*vulndb.Ref, error) {
 	e := a.cache.entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
-	return e.resolveRef(entry, arch, mode)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.resolveRefLocked(entry, arch, mode)
 }
 
 // cachedRefProfiles returns the reference's per-environment dynamic
 // profiles, executing the reference once per (CVE, arch, mode, step limit)
-// for the analyzer's lifetime. The caller must not mutate the returned
-// slice; ScanImage copies it before publishing on a CVEScan.
-func (a *Analyzer) cachedRefProfiles(entry *vulndb.Entry, arch string, mode QueryMode, envs []*minic.Env) ([]dynamic.Profile, error) {
+// for the analyzer's lifetime. References must run every environment to
+// completion; a trapping reference is a memoized failure. A cancelled
+// profiling run is returned but NOT memoized, so a later scan with a live
+// context retries instead of inheriting the stale cancellation. The caller
+// must not mutate the returned slice; ScanImage copies it before publishing
+// on a CVEScan.
+func (a *Analyzer) cachedRefProfiles(ctx context.Context, entry *vulndb.Entry, arch string, mode QueryMode, envs []*minic.Env) ([]dynamic.Profile, error) {
 	e := a.cache.entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
-	computed := false
-	e.profOnce.Do(func() {
-		computed = true
-		ref, err := e.resolveRef(entry, arch, mode)
-		if err != nil {
-			e.profErr = err
-			return
-		}
-		e.profiles, e.profErr = dynamic.ProfileFunc(ref.Dis, ref.Fn, envs, a.StepLimit)
-	})
-	if computed {
-		a.cache.misses.Add(1)
-	} else {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.profDone {
 		a.cache.hits.Add(1)
+		return e.profiles, e.profErr
 	}
+	a.cache.misses.Add(1)
+	ref, err := e.resolveRefLocked(entry, arch, mode)
+	if err != nil {
+		e.profDone, e.profErr = true, err
+		return nil, err
+	}
+	profiles, err := profileReference(ctx, ref, envs, a.exec())
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return nil, err
+	}
+	e.profDone, e.profiles, e.profErr = true, profiles, err
 	return e.profiles, e.profErr
+}
+
+// profileReference executes the reference under its own environments. The
+// reference defines the environments, so it must complete all of them; a
+// trap here means the stored reference is unusable for this step limit.
+func profileReference(ctx context.Context, ref *vulndb.Ref, envs []*minic.Env, ex dynamic.Exec) ([]dynamic.Profile, error) {
+	eps, err := dynamic.ProfileFunc(ctx, ref.Dis, ref.Fn, envs, ex)
+	if err != nil {
+		return nil, err
+	}
+	return dynamic.CompleteVectors(eps)
 }
 
 // ScanStats are scan-level counters for one ScanFirmware run. All fields
@@ -123,11 +152,17 @@ type ScanStats struct {
 	Workers     int           // effective worker-pool size
 	Images      int           // library images prepared
 	CVEs        int           // CVEs scanned
-	ScansRun    int           // (image, CVE, mode) grid cells executed
+	ScansRun    int           // (image, CVE, mode) grid cells completed
 	CacheHits   int64         // reference-profile consults answered from cache
 	CacheMisses int64         // reference-profile consults that computed
 	PrepareWall time.Duration // wall-clock of the prepare stage
 	ScanWall    time.Duration // wall-clock of the scan grid and reduction
+
+	// Fault-isolation counters.
+	ImagesFailed       int // images that failed to prepare (isolated, see Report.Errors)
+	CellsFailed        int // grid cells that failed (before deduplication)
+	CandidatesExcluded int // dynamic-stage candidates excluded with a recorded reason
+	PartialSurvivors   int // survivors ranked from truncated profiles
 }
 
 // PrepareImages disassembles and feature-extracts a set of library images
@@ -135,6 +170,9 @@ type ScanStats struct {
 // images fail, the error of the lowest-index image wins regardless of which
 // worker hit its error first, so the call is deterministic for any worker
 // count. workers <= 0 defaults to runtime.NumCPU.
+//
+// This is the fail-fast entry point for callers that need all images; the
+// firmware scan engine isolates per-image failures instead.
 func PrepareImages(ctx context.Context, images []*binimg.Image, workers int) ([]*PreparedImage, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -142,6 +180,21 @@ func PrepareImages(ctx context.Context, images []*binimg.Image, workers int) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	prepared, errs := prepareAll(ctx, images, workers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return prepared, nil
+}
+
+// prepareAll runs the shared prepare pool, returning per-image results and
+// errors in input order.
+func prepareAll(ctx context.Context, images []*binimg.Image, workers int) ([]*PreparedImage, []error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -161,20 +214,59 @@ func PrepareImages(ctx context.Context, images []*binimg.Image, workers int) ([]
 				if i >= len(images) || ctx.Err() != nil {
 					return
 				}
-				prepared[i], errs[i] = Prepare(images[i])
+				prepared[i], errs[i] = prepareOne(images[i])
 			}
 		}()
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	return prepared, errs
+}
+
+// prepareOne prepares a single image with panic containment and the
+// prepare-stage fault point armed for chaos tests.
+func prepareOne(im *binimg.Image) (p *PreparedImage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, &panicError{r}
 		}
+	}()
+	if ferr := faultinject.Fire(faultinject.PrepareFail, im.LibName); ferr != nil {
+		return nil, ferr
 	}
-	return prepared, nil
+	return Prepare(im)
+}
+
+// prepareImagesIsolated prepares every image, converting failures into
+// ScanErrors (in image order) instead of aborting: a broken library must
+// not cost the scan of the healthy ones. Failed slots are nil.
+func prepareImagesIsolated(ctx context.Context, images []*binimg.Image, workers int) ([]*PreparedImage, []ScanError) {
+	prepared, errs := prepareAll(ctx, images, workers)
+	var scanErrs []ScanError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		prepared[i] = nil
+		scanErrs = append(scanErrs, ScanError{
+			Library: images[i].LibName,
+			Kind:    classify(err, FailPrepare),
+			Msg:     err.Error(),
+		})
+	}
+	return prepared, scanErrs
+}
+
+// runCell executes one (image, CVE, mode) grid cell with panic containment:
+// a panic anywhere in the pipeline below becomes this cell's error instead
+// of tearing down the scan.
+func (a *Analyzer) runCell(ctx context.Context, p *PreparedImage, cveID string, mode QueryMode, validateWorkers int) (scan *CVEScan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			scan, err = nil, &panicError{r}
+		}
+	}()
+	faultinject.FirePanic(faultinject.ScanPanic, p.Image.LibName+"|"+cveID+"|"+mode.String())
+	return a.scanImage(ctx, p, cveID, mode, validateWorkers)
 }
 
 // ScanFirmware scans every CVE in the database against every library of
@@ -186,11 +278,13 @@ func PrepareImages(ctx context.Context, images []*binimg.Image, workers int) ([]
 // the closer match wins.
 //
 // The (image, CVE, mode) scan grid runs on Analyzer.Workers goroutines
-// (<= 1 means sequential). The reduction is deterministic: the Report is
-// identical for any worker count, and when several grid cells fail the
-// error of the earliest cell in sequential iteration order is returned.
-// Per-CVE reference work is served from the analyzer's single-flight cache;
-// Report.Stats exposes the cache and wall-clock counters.
+// (<= 1 means sequential). Failures are isolated per cell: a failing image,
+// reference or cell is recorded as a typed ScanError in Report.Errors and
+// the rest of the grid completes; only context cancellation returns an
+// error. The reduction is deterministic — results, errors and stats are
+// identical for any worker count. Per-CVE reference work is served from the
+// analyzer's single-flight cache; Report.Stats exposes the cache, isolation
+// and wall-clock counters.
 func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -204,20 +298,22 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	}
 
 	prepStart := time.Now()
-	prepared, err := PrepareImages(ctx, fw.Images, workers)
-	if err != nil {
+	prepared, prepErrs := prepareImagesIsolated(ctx, fw.Images, workers)
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	prepWall := time.Since(prepStart)
 
 	// The scan grid. Task index encodes the sequential iteration order
-	// (CVE, then image, then mode), which the reduction and the error
-	// selection below both rely on.
+	// (CVE, then image, then mode), which the reduction below relies on.
 	ids := a.db.IDs()
 	modes := [2]QueryMode{QueryVulnerable, QueryPatched}
 	nTasks := len(ids) * len(prepared) * len(modes)
 	if workers > nTasks {
 		workers = nTasks
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	// Candidate validation inside each grid cell stays sequential when the
 	// grid itself is parallel: the outer pool already saturates the cores,
@@ -232,12 +328,10 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	scans := make([]*CVEScan, nTasks)
 	errs := make([]error, nTasks)
 	var (
-		next   atomic.Int64
-		ran    atomic.Int64
-		minErr atomic.Int64 // lowest failed task index; nTasks when none
-		wg     sync.WaitGroup
+		next atomic.Int64
+		ran  atomic.Int64
+		wg   sync.WaitGroup
 	)
-	minErr.Store(int64(nTasks))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -247,25 +341,18 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 				if i >= nTasks || ctx.Err() != nil {
 					return
 				}
-				// A lower-index task already failed: this cell's outcome
-				// cannot be observed, so skip the work. Cells below the
-				// current minimum are never skipped, which keeps the
-				// surfaced error deterministic.
-				if int64(i) > minErr.Load() {
-					continue
-				}
 				mi := i % len(modes)
 				pi := (i / len(modes)) % len(prepared)
 				ci := i / (len(modes) * len(prepared))
-				scan, err := a.scanImage(ctx, prepared[pi], ids[ci], modes[mi], validateWorkers)
+				if prepared[pi] == nil {
+					continue // image failed prepare; recorded already
+				}
+				scan, err := a.runCell(ctx, prepared[pi], ids[ci], modes[mi], validateWorkers)
 				if err != nil {
-					errs[i] = err
-					for {
-						cur := minErr.Load()
-						if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
-							break
-						}
+					if ctx.Err() != nil {
+						return
 					}
+					errs[i] = err
 					continue
 				}
 				scans[i] = scan
@@ -277,18 +364,35 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if idx := minErr.Load(); idx < int64(nTasks) {
-		return nil, errs[idx]
-	}
 
 	// Deterministic reduction: fold the grid in sequential iteration order
-	// so ties resolve exactly as a one-worker scan would.
+	// so ties — and the order of recorded errors — resolve exactly as a
+	// one-worker scan would. Cell failures dedupe by value: a broken CVE
+	// reference observed from every image collapses to one ScanError.
 	report := &Report{Device: fw.Device, Arch: fw.Arch, Results: make(map[string]*CVEScan, len(ids))}
+	report.Errors = append(report.Errors, prepErrs...)
+	stats := ScanStats{ImagesFailed: len(prepErrs)}
+	seen := make(map[ScanError]bool)
 	for ci, id := range ids {
 		var best *CVEScan
 		for pi := range prepared {
 			for mi := range modes {
-				scan := scans[(ci*len(prepared)+pi)*len(modes)+mi]
+				i := (ci*len(prepared)+pi)*len(modes) + mi
+				if err := errs[i]; err != nil {
+					stats.CellsFailed++
+					se := cellError(id, prepared[pi].Image.LibName, modes[mi], err)
+					if !seen[se] {
+						seen[se] = true
+						report.Errors = append(report.Errors, se)
+					}
+					continue
+				}
+				scan := scans[i]
+				if scan == nil {
+					continue
+				}
+				stats.CandidatesExcluded += len(scan.Excluded)
+				stats.PartialSurvivors += scan.NumPartial
 				if best == nil || better(scan, best) {
 					best = scan
 				}
@@ -297,15 +401,14 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 		report.Results[id] = best
 	}
 	hits1, misses1 := a.cache.counts()
-	report.Stats = ScanStats{
-		Workers:     workers,
-		Images:      len(prepared),
-		CVEs:        len(ids),
-		ScansRun:    int(ran.Load()),
-		CacheHits:   hits1 - hits0,
-		CacheMisses: misses1 - misses0,
-		PrepareWall: prepWall,
-		ScanWall:    time.Since(scanStart),
-	}
+	stats.Workers = workers
+	stats.Images = len(prepared)
+	stats.CVEs = len(ids)
+	stats.ScansRun = int(ran.Load())
+	stats.CacheHits = hits1 - hits0
+	stats.CacheMisses = misses1 - misses0
+	stats.PrepareWall = prepWall
+	stats.ScanWall = time.Since(scanStart)
+	report.Stats = stats
 	return report, nil
 }

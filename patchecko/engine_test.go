@@ -138,16 +138,44 @@ func TestPrepareImagesDeterministicError(t *testing.T) {
 			t.Errorf("workers=%d: got error %q, want the index-1 image's error", workers, err)
 		}
 	}
-	// The same determinism holds end to end through ScanFirmware.
+	// End to end, ScanFirmware isolates the failures instead of aborting:
+	// the corrupt images become typed ScanErrors in deterministic (image)
+	// order, and every healthy image is still scanned for every CVE.
 	model, db := fixtures(t)
 	badFw := *fw
 	badFw.Images = images
 	an := NewAnalyzer(model, db)
 	an.Workers = 8
-	if _, err := an.ScanFirmware(context.Background(), &badFw); err == nil {
-		t.Fatal("corrupt firmware scanned without error")
-	} else if !strings.Contains(err.Error(), "libfirstbad") {
-		t.Errorf("ScanFirmware surfaced %q, want the index-1 image's error", err)
+	report, err := an.ScanFirmware(context.Background(), &badFw)
+	if err != nil {
+		t.Fatalf("isolated scan aborted: %v", err)
+	}
+	if report.Stats.ImagesFailed != 2 {
+		t.Errorf("ImagesFailed = %d, want 2", report.Stats.ImagesFailed)
+	}
+	if len(report.Errors) != 2 {
+		t.Fatalf("recorded %d scan errors, want 2: %v", len(report.Errors), report.Errors)
+	}
+	if report.Errors[0].Library != "libfirstbad" || report.Errors[1].Library != "liblastbad" {
+		t.Errorf("error order not deterministic: %+v", report.Errors)
+	}
+	for _, se := range report.Errors {
+		if se.CVE != "" || se.Kind != FailPrepare {
+			t.Errorf("image failure misrecorded: %+v", se)
+		}
+		if !strings.Contains(se.Error(), se.Library) {
+			t.Errorf("rendered error %q does not name the image", se.Error())
+		}
+	}
+	for id, scan := range report.Results {
+		if scan == nil {
+			t.Errorf("%s: no result despite healthy images", id)
+		}
+	}
+	healthy := len(images) - 2
+	if report.Stats.ScansRun != report.Stats.CVEs*healthy*2 {
+		t.Errorf("ScansRun = %d, want the full grid over the %d healthy images",
+			report.Stats.ScansRun, healthy)
 	}
 }
 

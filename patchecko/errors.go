@@ -1,0 +1,133 @@
+// Typed failure taxonomy for the fault-tolerant scan engine: every failing
+// (image, CVE, mode) grid cell is recorded as a ScanError on the Report
+// instead of aborting the whole firmware scan.
+
+package patchecko
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/binimg"
+	"repro/internal/minic"
+)
+
+// FailKind classifies an isolated scan failure.
+type FailKind int
+
+// Failure kinds. Trap, decode, panic and cancellation causes are recognized
+// from the error chain; the remaining kinds record which pipeline stage
+// failed.
+const (
+	FailDecode    FailKind = iota + 1 // image or reference bytes failed to decode
+	FailPrepare                       // disassembly / feature extraction failed
+	FailReference                     // per-CVE reference work failed
+	FailTrap                          // an emulator trap surfaced at scan level
+	FailPanic                         // recovered panic in a scan worker
+	FailCancelled                     // the context ended the work
+	FailInternal                      // anything else
+)
+
+func (k FailKind) String() string {
+	switch k {
+	case FailDecode:
+		return "decode"
+	case FailPrepare:
+		return "prepare"
+	case FailReference:
+		return "reference"
+	case FailTrap:
+		return "trap"
+	case FailPanic:
+		return "panic"
+	case FailCancelled:
+		return "cancelled"
+	case FailInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("failkind(%d)", int(k))
+	}
+}
+
+// ScanError is one isolated failure from a firmware scan. It is a plain
+// comparable value: the engine deduplicates identical failures (e.g. a
+// broken CVE reference observed from every image) by equality, and reports
+// carrying it stay byte-comparable across worker counts.
+//
+// Field presence encodes the failure's scope:
+//   - image-level (prepare) failures have CVE == "" and Mode == 0;
+//   - reference-side failures have Library == "" — the CVE's reference is
+//     broken independently of any target image;
+//   - cell-level failures carry all three coordinates.
+type ScanError struct {
+	CVE     string
+	Library string
+	Mode    QueryMode
+	Kind    FailKind
+	Msg     string
+}
+
+func (e ScanError) Error() string {
+	switch {
+	case e.CVE == "":
+		return fmt.Sprintf("image %s: %s: %s", e.Library, e.Kind, e.Msg)
+	case e.Library == "":
+		return fmt.Sprintf("%s [%s]: %s: %s", e.CVE, e.Mode, e.Kind, e.Msg)
+	default:
+		return fmt.Sprintf("%s [%s] on %s: %s: %s", e.CVE, e.Mode, e.Library, e.Kind, e.Msg)
+	}
+}
+
+// panicError wraps a recovered panic value so it travels the same path as
+// ordinary errors and classifies as FailPanic.
+type panicError struct{ v any }
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic in scan worker: %v", e.v) }
+
+// refError marks a failure in per-CVE reference work (decoding or executing
+// the vulnerable/patched reference). Reference work does not depend on the
+// image being scanned, so the engine blanks the library coordinate on these
+// and identical failures from different images collapse to one ScanError.
+type refError struct{ err error }
+
+func (e *refError) Error() string { return e.err.Error() }
+func (e *refError) Unwrap() error { return e.err }
+
+// classify maps an error chain to a FailKind. Specific causes win over the
+// stage fallback: an emulator trap is FailTrap even when it surfaced through
+// reference profiling.
+func classify(err error, stage FailKind) FailKind {
+	if err == nil {
+		return 0
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return FailCancelled
+	}
+	if _, ok := minic.IsTrap(err); ok {
+		return FailTrap
+	}
+	if errors.Is(err, binimg.ErrBadImage) {
+		return FailDecode
+	}
+	var pe *panicError
+	if errors.As(err, &pe) {
+		return FailPanic
+	}
+	return stage
+}
+
+// cellError converts one failed grid cell into its ScanError record.
+func cellError(cve, lib string, mode QueryMode, err error) ScanError {
+	stage := FailInternal
+	var re *refError
+	isRef := errors.As(err, &re)
+	if isRef {
+		stage = FailReference
+	}
+	se := ScanError{CVE: cve, Library: lib, Mode: mode, Kind: classify(err, stage), Msg: err.Error()}
+	if isRef {
+		se.Library = ""
+	}
+	return se
+}

@@ -68,6 +68,9 @@ type (
 	// Profile is one execution's 21-dimensional dynamic feature vector
 	// (Table II).
 	Profile = dynamic.Profile
+	// EnvProfile is one environment's execution outcome: a Profile plus
+	// the trap that truncated it, if any.
+	EnvProfile = dynamic.EnvProfile
 	// Image is one library binary.
 	Image = binimg.Image
 	// Verdict is the differential engine's patch decision.
@@ -134,6 +137,12 @@ type Analyzer struct {
 	db    *DB
 	// StepLimit bounds each candidate execution.
 	StepLimit int64
+	// ExecBudget is a wall-clock watchdog per emulator execution, enforced
+	// alongside the step limit; expiry surfaces as a TrapBudget trap. Zero
+	// (the default) disables it: unlike the step limit a wall-clock bound
+	// is not deterministic in the inputs, so scans that must be
+	// byte-reproducible across runs leave it off.
+	ExecBudget time.Duration
 	// ExploitReplay enables the patch-diff-guided differential replay
 	// extension (the future work the paper sketches for its one
 	// misclassification). When the standard differential evidence is
@@ -189,7 +198,14 @@ func (p *PreparedImage) NumFuncs() int { return len(p.Dis.Funcs) }
 type RankedMatch struct {
 	Addr uint64
 	Sim  float64 // Minkowski similarity distance; smaller = more similar
+	// Completed of Envs environments ran to completion during validation;
+	// Completed < Envs marks a candidate ranked from truncated profiles.
+	Completed int
+	Envs      int
 }
+
+// Partial reports whether the candidate was ranked from truncated profiles.
+func (m RankedMatch) Partial() bool { return m.Completed < m.Envs }
 
 // CVEScan is the outcome of scanning one image for one CVE.
 type CVEScan struct {
@@ -204,13 +220,19 @@ type CVEScan struct {
 
 	// Dynamic stage.
 	NumExecuted int // candidates surviving input validation
+	NumPartial  int // survivors whose profiles include a trapped environment
 	Ranking     []RankedMatch
+	// Excluded records, per candidate address, why validation excluded it
+	// (no environment completed, a worker panic, ...). The paper discards
+	// these silently; keeping the reasons makes pruning auditable.
+	Excluded map[uint64]string
 	// RefProfiles are the query reference's per-environment profiles;
 	// SurvivorProfiles maps each surviving candidate's address to its
-	// profiles. Together they are the raw material of the paper's
-	// Table III and the distance-metric ablations.
+	// per-environment outcomes, truncated traces included. Together they
+	// are the raw material of the paper's Table III and the
+	// distance-metric ablations.
 	RefProfiles      []Profile
-	SurvivorProfiles map[uint64][]Profile
+	SurvivorProfiles map[uint64][]EnvProfile
 
 	// Differential stage (only when a match was found).
 	Matched bool
@@ -256,7 +278,7 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	arch := p.Image.Arch
 	queryRef, err := a.cachedRef(entry, arch, mode)
 	if err != nil {
-		return nil, err
+		return nil, &refError{err}
 	}
 
 	scan := &CVEScan{
@@ -289,27 +311,41 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	for i, c := range cands {
 		candFuncs[i] = p.Dis.Funcs[c.Index]
 	}
-	survivors, profiles := dynamic.ValidateParallel(ctx, p.Dis, candFuncs, envs, a.StepLimit, validateWorkers)
+	survivors, profiles, excluded := dynamic.ValidateParallel(ctx, p.Dis, candFuncs, envs, a.exec(), validateWorkers)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	scan.NumExecuted = len(survivors)
-	refProfiles, err := a.cachedRefProfiles(entry, arch, mode, envs)
+	if len(excluded) > 0 {
+		scan.Excluded = make(map[uint64]string, len(excluded))
+		for idx, reason := range excluded {
+			scan.Excluded[candFuncs[idx].Addr] = reason.Error()
+		}
+	}
+	refProfiles, err := a.cachedRefProfiles(ctx, entry, arch, mode, envs)
 	if err != nil {
-		return nil, fmt.Errorf("patchecko: %s: reference does not execute: %w", cveID, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, &refError{fmt.Errorf("patchecko: %s: reference does not execute: %w", cveID, err)}
 	}
 	// Copy: the cached slice is shared across scans and must not alias a
 	// published result.
 	scan.RefProfiles = append([]Profile(nil), refProfiles...)
-	scan.SurvivorProfiles = make(map[uint64][]Profile, len(profiles))
+	scan.SurvivorProfiles = make(map[uint64][]EnvProfile, len(profiles))
 	for idx, ps := range profiles {
 		scan.SurvivorProfiles[candFuncs[idx].Addr] = ps
+		if dynamic.Completion(ps) < len(ps) {
+			scan.NumPartial++
+		}
 	}
 	ranked := dynamic.Rank(refProfiles, profiles)
 	for _, r := range ranked {
 		scan.Ranking = append(scan.Ranking, RankedMatch{
-			Addr: candFuncs[r.Index].Addr,
-			Sim:  r.Sim,
+			Addr:      candFuncs[r.Index].Addr,
+			Sim:       r.Sim,
+			Completed: r.Completed,
+			Envs:      r.Envs,
 		})
 	}
 	scan.DynamicTime = time.Since(start)
@@ -320,11 +356,18 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 		return nil, err
 	}
 
-	// Stage 3: differential patch analysis on the top match.
+	// Stage 3: differential patch analysis on the top match. Only a
+	// fully-validated match can claim one: a candidate ranked from
+	// truncated profiles is reported in the ranking but is not strong
+	// enough evidence to drive a patch verdict.
+	top := ranked[0]
+	if top.Envs == 0 || top.Completed < top.Envs {
+		return scan, nil
+	}
 	scan.Matched = true
 	scan.Match = scan.Ranking[0]
-	topFn := candFuncs[ranked[0].Index]
-	verdict, err := a.patchVerdict(entry, arch, p, topFn, profiles[ranked[0].Index], envs)
+	topFn := candFuncs[top.Index]
+	verdict, err := a.patchVerdict(ctx, entry, arch, p, topFn, dynamic.Vectors(profiles[top.Index]), envs)
 	if err != nil {
 		return nil, err
 	}
@@ -332,27 +375,38 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	return scan, nil
 }
 
+// exec bundles the analyzer's per-execution bounds for the dynamic stage.
+func (a *Analyzer) exec() dynamic.Exec {
+	return dynamic.Exec{Steps: a.StepLimit, Budget: a.ExecBudget}
+}
+
 // patchVerdict runs the differential engine on a matched target function.
 // Both reference versions and their profiles come from the analyzer's cache,
 // so across a firmware scan they are computed once per CVE — the same cache
 // entries also serve the query side of vulnerable- and patched-mode scans.
-func (a *Analyzer) patchVerdict(entry *vulndb.Entry, arch string, p *PreparedImage,
+func (a *Analyzer) patchVerdict(ctx context.Context, entry *vulndb.Entry, arch string, p *PreparedImage,
 	target *disasm.Function, targetProfiles []dynamic.Profile, envs []*minic.Env) (Verdict, error) {
 	vref, err := a.cachedRef(entry, arch, QueryVulnerable)
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{}, &refError{err}
 	}
 	pref, err := a.cachedRef(entry, arch, QueryPatched)
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{}, &refError{err}
 	}
-	vp, err := a.cachedRefProfiles(entry, arch, QueryVulnerable, envs)
+	vp, err := a.cachedRefProfiles(ctx, entry, arch, QueryVulnerable, envs)
 	if err != nil {
-		return Verdict{}, fmt.Errorf("patchecko: %s: vulnerable ref: %w", entry.ID, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return Verdict{}, cerr
+		}
+		return Verdict{}, &refError{fmt.Errorf("patchecko: %s: vulnerable ref: %w", entry.ID, err)}
 	}
-	pp, err := a.cachedRefProfiles(entry, arch, QueryPatched, envs)
+	pp, err := a.cachedRefProfiles(ctx, entry, arch, QueryPatched, envs)
 	if err != nil {
-		return Verdict{}, fmt.Errorf("patchecko: %s: patched ref: %w", entry.ID, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return Verdict{}, cerr
+		}
+		return Verdict{}, &refError{fmt.Errorf("patchecko: %s: patched ref: %w", entry.ID, err)}
 	}
 	verdict := diffengine.Decide(diffengine.Inputs{
 		VulnStatic:      vref.StaticVec(),
@@ -393,8 +447,16 @@ type Report struct {
 	Device string
 	Arch   string
 	// Results is indexed by CVE id; each entry is the scan of that CVE's
-	// best-matching library image.
+	// best-matching library image. An entry is nil only when every grid
+	// cell for that CVE failed — individual failures are isolated into
+	// Errors and do not null out a CVE that other images answered.
 	Results map[string]*CVEScan
+	// Errors are the isolated failures recorded during the scan, in
+	// deterministic order: image preparation failures first (in image
+	// order), then grid-cell failures in sequential iteration order.
+	// Identical failures observed from several cells (e.g. a broken CVE
+	// reference seen by every image) are deduplicated by value.
+	Errors []ScanError
 	// Stats are the scan-level counters of the run that produced the
 	// report (worker count, cache hits/misses, per-stage wall-clock).
 	Stats ScanStats
