@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench experiments
+.PHONY: build test race bench bench-static experiments
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,19 @@ test:
 
 # Race coverage for the concurrent scan engine and candidate validation:
 # the parallel scan grid, the single-flight reference cache, the worker-pool
-# validator, the context watchdog and the fault-injection registry all run
-# under the race detector.
+# validator, the context watchdog, the fault-injection registry, and the
+# batched static-stage scorer all run under the race detector.
 race:
-	$(GO) test -race ./patchecko/ ./internal/dynamic/ ./internal/emu/ ./internal/faultinject/
+	$(GO) test -race ./patchecko/ ./internal/dynamic/ ./internal/emu/ ./internal/faultinject/ ./internal/detector/ ./internal/nn/
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Measure the static stage's scalar and batched candidate paths and refresh
+# BENCH_static.json (ns/pair, pairs/sec, allocs/op, speedup). Fails if the
+# batched path allocates in steady state or the speedup drops below 3x.
+bench-static:
+	PATCHECKO_BENCH_OUT=$(CURDIR)/BENCH_static.json $(GO) test ./internal/detector/ -run TestWriteStaticBenchArtifact -count=1 -v
 
 experiments:
 	$(GO) run ./cmd/experiments -scale medium -seed 42 -all

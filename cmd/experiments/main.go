@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/patchecko"
 )
 
@@ -23,7 +24,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		scaleName = flag.String("scale", "medium", "corpus scale: tiny|small|medium|large")
 		seed      = flag.Int64("seed", 42, "seed")
@@ -40,6 +41,7 @@ func run() error {
 		census    = flag.Bool("census", false, "firmware census (§II-A)")
 		charts    = flag.Bool("charts", false, "render Fig. 7/8 as ASCII bar charts too")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *all {
 		*fig7, *fig8, *table3, *table45, *table67, *table8, *ablate, *headline =
@@ -53,6 +55,14 @@ func run() error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	scale, err := corpus.ScaleByName(*scaleName)
 	if err != nil {
 		return err

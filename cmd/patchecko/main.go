@@ -36,6 +36,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/minic"
+	"repro/internal/profiling"
 	"repro/internal/vulndb"
 	"repro/patchecko"
 )
@@ -73,22 +74,32 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   patchecko train  -scale <tiny|small|medium|large> -seed N -out model.json
   patchecko scan   -model model.json -db vulndb.json -image lib.img [-cve CVE-...] [-workers N]
+  (train and scan also take -cpuprofile file / -memprofile file for go tool pprof)
   patchecko disasm -image lib.img [-func name|-addr 0x...]
   patchecko compile -src file.mc [-arch amd64 -level O2 -out lib.img -strip]
   patchecko run -src file.mc -func f [-args 4096,8 -data "bytes"]
   patchecko diff -a lib1.img -b lib2.img -afunc f [-bfunc g]`)
 }
 
-func runTrain(args []string) error {
+func runTrain(args []string) (err error) {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	var (
 		scaleName = fs.String("scale", "small", "corpus scale")
 		seed      = fs.Int64("seed", 1, "seed")
 		out       = fs.String("out", "model.json", "output model path")
 	)
+	prof := profiling.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	scale, err := corpus.ScaleByName(*scaleName)
 	if err != nil {
 		return err
@@ -167,7 +178,7 @@ func runDisasm(args []string) error {
 	return nil
 }
 
-func runScan(args []string) error {
+func runScan(args []string) (err error) {
 	fs := flag.NewFlagSet("scan", flag.ExitOnError)
 	var (
 		modelPath = fs.String("model", "model.json", "trained model")
@@ -176,12 +187,21 @@ func runScan(args []string) error {
 		cveID     = fs.String("cve", "", "scan a single CVE (default: all)")
 		workers   = fs.Int("workers", runtime.NumCPU(), "scan worker pool size (results are identical at any count)")
 	)
+	prof := profiling.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *imagePath == "" {
 		return fmt.Errorf("-image is required")
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}

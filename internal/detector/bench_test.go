@@ -1,0 +1,129 @@
+package detector
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/features"
+)
+
+// benchTargets approximates one ScaleSmall library image's function count.
+const benchTargets = 400
+
+func benchFixture(b *testing.B) (*Model, features.Vector, []features.Vector) {
+	b.Helper()
+	m, rng := syntheticModel(1, 100)
+	targets := make([]features.Vector, benchTargets)
+	for i := range targets {
+		targets[i] = syntheticVector(rng)
+	}
+	return m, syntheticVector(rng), targets
+}
+
+// BenchmarkCandidatesScalar is the static stage's scalar baseline: per
+// pair, both vectors are normalized and pushed through the first layer
+// from scratch, and every layer output is freshly allocated.
+func BenchmarkCandidatesScalar(b *testing.B) {
+	m, query, targets := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Candidates(query, targets)
+	}
+	reportPairMetrics(b, len(targets))
+}
+
+// BenchmarkCandidatesBatched is the steady-state batched path: target and
+// query halves precomputed (as the scan engine's caches hold them), all
+// forward passes in per-worker scratch buffers.
+func BenchmarkCandidatesBatched(b *testing.B) {
+	m, query, targets := benchFixture(b)
+	ts := m.PrepareTargets(targets)
+	qh := m.PrepareQuery(query)
+	sc := m.NewScorer()
+	sc.Candidates(qh, ts) // warm the candidate buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sc.Candidates(qh, ts)
+	}
+	reportPairMetrics(b, len(targets))
+}
+
+// BenchmarkPrepareTargets prices the per-image precomputation the batched
+// path amortizes across the scan grid.
+func BenchmarkPrepareTargets(b *testing.B) {
+	m, _, targets := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.PrepareTargets(targets)
+	}
+	reportPairMetrics(b, len(targets))
+}
+
+func reportPairMetrics(b *testing.B, pairs int) {
+	total := float64(pairs) * float64(b.N)
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/total, "ns/pair")
+	b.ReportMetric(total/b.Elapsed().Seconds(), "pairs/s")
+}
+
+// benchArtifact is the BENCH_static.json schema: the static stage's perf
+// trajectory for future PRs to compare against.
+type benchArtifact struct {
+	Benchmark string           `json:"benchmark"`
+	Targets   int              `json:"targets"`
+	Scalar    benchArtifactRow `json:"scalar"`
+	Batched   benchArtifactRow `json:"batched"`
+	Speedup   float64          `json:"speedup"`
+}
+
+type benchArtifactRow struct {
+	NsPerPair   float64 `json:"ns_per_pair"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// TestWriteStaticBenchArtifact measures the scalar and batched candidate
+// paths and writes BENCH_static.json to the path in PATCHECKO_BENCH_OUT.
+// Skipped when the variable is unset, so `go test` stays fast; CI and
+// `make bench-static` opt in.
+func TestWriteStaticBenchArtifact(t *testing.T) {
+	out := os.Getenv("PATCHECKO_BENCH_OUT")
+	if out == "" {
+		t.Skip("PATCHECKO_BENCH_OUT not set")
+	}
+	row := func(r testing.BenchmarkResult) benchArtifactRow {
+		ns := float64(r.NsPerOp()) / benchTargets
+		return benchArtifactRow{
+			NsPerPair:   ns,
+			PairsPerSec: 1e9 / ns,
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	scalar := testing.Benchmark(BenchmarkCandidatesScalar)
+	batched := testing.Benchmark(BenchmarkCandidatesBatched)
+	art := benchArtifact{
+		Benchmark: "internal/detector Candidates: paper network, symmetrized pairs, small-scale image",
+		Targets:   benchTargets,
+		Scalar:    row(scalar),
+		Batched:   row(batched),
+		Speedup:   float64(scalar.NsPerOp()) / float64(batched.NsPerOp()),
+	}
+	raw, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scalar %.0f ns/pair, batched %.0f ns/pair, speedup %.2fx, batched allocs/op %d",
+		art.Scalar.NsPerPair, art.Batched.NsPerPair, art.Speedup, art.Batched.AllocsPerOp)
+	if art.Speedup < 3 {
+		t.Errorf("batched speedup %.2fx below the 3x acceptance floor", art.Speedup)
+	}
+	if art.Batched.AllocsPerOp != 0 {
+		t.Errorf("batched path allocates %d objects/op in steady state, want 0", art.Batched.AllocsPerOp)
+	}
+}

@@ -120,10 +120,16 @@ func FitNormalizer(vecs []features.Vector) *Normalizer {
 // Apply standardizes one vector.
 func (n *Normalizer) Apply(v features.Vector) []float64 {
 	out := make([]float64, features.NumStatic)
-	for i, x := range v {
-		out[i] = (slog(x) - n.Mean[i]) / n.Std[i]
-	}
+	n.ApplyInto(out, v)
 	return out
+}
+
+// ApplyInto standardizes one vector into a caller-owned buffer of length
+// NumStatic, allocation-free.
+func (n *Normalizer) ApplyInto(dst []float64, v features.Vector) {
+	for i, x := range v {
+		dst[i] = (slog(x) - n.Mean[i]) / n.Std[i]
+	}
 }
 
 // Model is a trained similarity detector.
@@ -253,9 +259,9 @@ func BuildDataset(groups Groups, cfg TrainConfig) (*Dataset, error) {
 }
 
 func pairInput(norm *Normalizer, a, b features.Vector) []float64 {
-	x := make([]float64, 0, PairDim)
-	x = append(x, norm.Apply(a)...)
-	x = append(x, norm.Apply(b)...)
+	x := make([]float64, PairDim)
+	norm.ApplyInto(x[:features.NumStatic], a)
+	norm.ApplyInto(x[features.NumStatic:], b)
 	return x
 }
 
@@ -288,9 +294,21 @@ func Train(groups Groups, cfg TrainConfig) (*Model, *nn.History, *Dataset, error
 // symmetrized over both input orders. It uses the network's stateless
 // inference path, so one model can score from many goroutines at once —
 // the parallel scan engine depends on this.
+//
+// Each vector is normalized once and pushed through both halves of the
+// first layer once, then reused for both symmetrized orders. Scores follow
+// the canonical split accumulation order (see package nn), which the
+// batched Scorer shares — the two paths are bit-identical, so this is the
+// reference implementation the batched engine is verified against.
 func (m *Model) Similarity(a, b features.Vector) float64 {
-	ab := m.Net.Infer(pairInput(m.Norm, a, b))
-	ba := m.Net.Infer(pairInput(m.Norm, b, a))
+	l0 := m.Net.Layers[0]
+	na, nb := m.Norm.Apply(a), m.Norm.Apply(b)
+	aFirst := l0.HalfApply(na, 0, true)
+	aSecond := l0.HalfApply(na, features.NumStatic, false)
+	bFirst := l0.HalfApply(nb, 0, true)
+	bSecond := l0.HalfApply(nb, features.NumStatic, false)
+	ab := nn.Sigmoid(m.Net.InferLogitSplit(aFirst, bSecond))
+	ba := nn.Sigmoid(m.Net.InferLogitSplit(bFirst, aSecond))
 	return (ab + ba) / 2
 }
 

@@ -1,0 +1,75 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile flags
+// into the repo's CLIs, so scan and experiment runs can be fed straight to
+// `go tool pprof` without ad-hoc instrumentation.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by AddFlags and the
+// in-flight CPU profile between Start and Stop.
+type Flags struct {
+	CPU string
+	Mem string
+
+	cpuFile *os.File
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the flag set (pass
+// flag.CommandLine for a command's top-level flags).
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to `file` on exit")
+	return f
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Callers must pair
+// it with Stop on every exit path (a deferred Stop is the usual shape).
+func (f *Flags) Start() error {
+	if f.CPU == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPU)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("profiling: %s: %w", f.CPU, err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes the CPU profile started by Start and, when -memprofile was
+// given, snapshots the heap after a final GC (so the profile reflects live
+// objects, not collectable garbage). Safe to call when profiling is off.
+func (f *Flags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := f.cpuFile.Close()
+		f.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if f.Mem == "" {
+		return nil
+	}
+	file, err := os.Create(f.Mem)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer file.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		return fmt.Errorf("profiling: %s: %w", f.Mem, err)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package profiling
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to record.
+	sink := make([]float64, 0, 1024)
+	for i := 0; i < 1_000_000; i++ {
+		sink = append(sink[:0], float64(i))
+	}
+	_ = sink
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestStopWithoutProfilingIsANoOp(t *testing.T) {
+	var f Flags
+	if err := f.Stop(); err != nil {
+		t.Fatalf("Stop without Start: %v", err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatalf("Start with no destinations: %v", err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

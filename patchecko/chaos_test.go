@@ -80,11 +80,21 @@ func TestScanFirmwareChaos(t *testing.T) {
 
 	healthy := len(fw.Images) - 1
 	var base *Report
-	for _, workers := range []int{1, 4, 16} {
+	// The final two runs pin the static stage to the scalar path: batched
+	// and scalar scans must produce byte-identical reports even with every
+	// fault armed.
+	for _, cfg := range []struct {
+		workers int
+		scalar  bool
+	}{
+		{1, false}, {4, false}, {16, false}, {1, true}, {4, true},
+	} {
+		workers := cfg.workers
 		// A fresh analyzer per run: reference failures memoize per analyzer,
 		// and the determinism guarantee is about a cold scan.
 		an := NewAnalyzer(model, db)
 		an.Workers = workers
+		an.StaticScalar = cfg.scalar
 		report, err := an.ScanFirmware(context.Background(), fw)
 		if err != nil {
 			t.Fatalf("workers=%d: chaos scan aborted: %v", workers, err)

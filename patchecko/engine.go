@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/binimg"
+	"repro/internal/detector"
 	"repro/internal/dynamic"
 	"repro/internal/faultinject"
 	"repro/internal/minic"
@@ -47,6 +48,12 @@ type refEntry struct {
 	refDone bool
 	ref     *vulndb.Ref
 	refErr  error
+
+	// qh caches the reference static vector's first-layer halves for the
+	// batched static stage: normalized and half-multiplied once per
+	// (CVE, arch, mode), reused by every image and worker.
+	qhDone bool
+	qh     *detector.QueryHalves
 
 	profDone bool
 	profiles []dynamic.Profile
@@ -102,6 +109,25 @@ func (a *Analyzer) cachedRef(entry *vulndb.Entry, arch string, mode QueryMode) (
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.resolveRefLocked(entry, arch, mode)
+}
+
+// cachedQueryHalves returns the reference's precomputed first-layer query
+// halves, built once per (CVE, arch, mode, step limit) for the analyzer's
+// lifetime. Like cachedRef this is cheap next to profiling and does not
+// touch the hit/miss counters.
+func (a *Analyzer) cachedQueryHalves(entry *vulndb.Entry, arch string, mode QueryMode) (*detector.QueryHalves, error) {
+	e := a.cache.entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ref, err := e.resolveRefLocked(entry, arch, mode)
+	if err != nil {
+		return nil, err
+	}
+	if !e.qhDone {
+		e.qh = a.model.PrepareQuery(ref.StaticVec())
+		e.qhDone = true
+	}
+	return e.qh, nil
 }
 
 // cachedRefProfiles returns the reference's per-environment dynamic
@@ -259,14 +285,14 @@ func prepareImagesIsolated(ctx context.Context, images []*binimg.Image, workers 
 // runCell executes one (image, CVE, mode) grid cell with panic containment:
 // a panic anywhere in the pipeline below becomes this cell's error instead
 // of tearing down the scan.
-func (a *Analyzer) runCell(ctx context.Context, p *PreparedImage, cveID string, mode QueryMode, validateWorkers int) (scan *CVEScan, err error) {
+func (a *Analyzer) runCell(ctx context.Context, p *PreparedImage, cveID string, mode QueryMode, validateWorkers int, sc *detector.Scorer) (scan *CVEScan, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			scan, err = nil, &panicError{r}
 		}
 	}()
 	faultinject.FirePanic(faultinject.ScanPanic, p.Image.LibName+"|"+cveID+"|"+mode.String())
-	return a.scanImage(ctx, p, cveID, mode, validateWorkers)
+	return a.scanImage(ctx, p, cveID, mode, validateWorkers, sc)
 }
 
 // ScanFirmware scans every CVE in the database against every library of
@@ -336,6 +362,10 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One batched scoring context per worker: scratch buffers and
+			// the candidate buffer are reused across every cell the worker
+			// runs, so steady-state static scoring never allocates.
+			sc := a.newScorer()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= nTasks || ctx.Err() != nil {
@@ -347,7 +377,7 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 				if prepared[pi] == nil {
 					continue // image failed prepare; recorded already
 				}
-				scan, err := a.runCell(ctx, prepared[pi], ids[ci], modes[mi], validateWorkers)
+				scan, err := a.runCell(ctx, prepared[pi], ids[ci], modes[mi], validateWorkers, sc)
 				if err != nil {
 					if ctx.Err() != nil {
 						return

@@ -69,6 +69,86 @@ func TestScanFirmwareParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestScanFirmwareScalarMatchesBatched is the wire-through half of the
+// batched==scalar guarantee: whole-firmware Reports from the batched static
+// stage (cached first-layer halves, per-worker scratch buffers) and from
+// the scalar reference path are byte-identical — every score, candidate
+// list, ranking, verdict and deterministic counter — at any worker count.
+func TestScanFirmwareScalarMatchesBatched(t *testing.T) {
+	model, db := fixtures(t)
+	fw, err := BuildFirmware(ThingOS, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base *Report
+	for _, cfg := range []struct {
+		workers int
+		scalar  bool
+	}{
+		{1, true}, {4, true}, {16, true},
+		{1, false}, {4, false}, {16, false},
+	} {
+		an := NewAnalyzer(model, db)
+		an.Workers = cfg.workers
+		an.StaticScalar = cfg.scalar
+		report, err := an.ScanFirmware(context.Background(), fw)
+		if err != nil {
+			t.Fatalf("workers=%d scalar=%v: %v", cfg.workers, cfg.scalar, err)
+		}
+		normalizeReport(report)
+		if base == nil {
+			base = report
+			continue
+		}
+		if !reflect.DeepEqual(base, report) {
+			t.Errorf("workers=%d scalar=%v: report diverges from scalar single-worker scan",
+				cfg.workers, cfg.scalar)
+			for id, want := range base.Results {
+				if got := report.Results[id]; !reflect.DeepEqual(want, got) {
+					t.Errorf("  %s:\n got %+v\nwant %+v", id, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScanImageScalarMatchesBatched pins the single-image entry point the
+// same way, including reuse of one analyzer's caches across both modes.
+func TestScanImageScalarMatchesBatched(t *testing.T) {
+	model, db := fixtures(t)
+	fw, err := BuildFirmware(ThingOS, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, ok := fw.CVETruthFor("CVE-2018-9412")
+	if !ok {
+		t.Fatal("no ground truth")
+	}
+	im, _ := fw.Image(truth.Library)
+	p, err := Prepare(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar := NewAnalyzer(model, db)
+	scalar.StaticScalar = true
+	batched := NewAnalyzer(model, db)
+	for _, mode := range []QueryMode{QueryVulnerable, QueryPatched} {
+		want, err := scalar.ScanImage(context.Background(), p, "CVE-2018-9412", mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := batched.ScanImage(context.Background(), p, "CVE-2018-9412", mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.StaticTime, want.DynamicTime = 0, 0
+		got.StaticTime, got.DynamicTime = 0, 0
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("mode=%v: batched scan diverges from scalar:\n got %+v\nwant %+v", mode, got, want)
+		}
+	}
+}
+
 // TestBetter pins the tie-break ordering the parallel reducer folds with.
 // better must be a strict order — ties return false so the earlier scan in
 // sequential iteration order wins deterministically.

@@ -32,6 +32,7 @@ package patchecko
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/binimg"
@@ -155,6 +156,13 @@ type Analyzer struct {
 	// validate candidates on a pool of this size. Results are bit-identical
 	// to sequential scanning; only wall-clock changes.
 	Workers int
+	// StaticScalar pins the static stage to the scalar reference path
+	// (Model.Candidates on raw vectors) instead of the batched scorer with
+	// cached first-layer halves. Both paths share one canonical
+	// floating-point order, so reports are byte-identical either way; the
+	// flag exists so equivalence is testable and the batched machinery is
+	// bypassable when debugging.
+	StaticScalar bool
 
 	// cache memoizes per-CVE reference work (decoded references and their
 	// dynamic profiles) across images, query modes and goroutines.
@@ -175,6 +183,27 @@ type PreparedImage struct {
 	Image *Image
 	Dis   *disasm.Disassembly
 	Vecs  []features.Vector
+
+	// Batched static stage: every function vector normalized and pushed
+	// through the model's first layer once, then reused across all CVEs,
+	// both query modes and every worker. Built lazily under mu by the first
+	// cell that scores this image.
+	mu      sync.Mutex
+	tsModel *Model
+	ts      *detector.TargetSet
+}
+
+// Targets returns the image's precomputed first-layer target halves for the
+// model, building them on first use. Safe for concurrent use; the build is
+// single-flighted under the image's mutex.
+func (p *PreparedImage) Targets(m *Model) *detector.TargetSet {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tsModel != m {
+		p.ts = m.PrepareTargets(p.Vecs)
+		p.tsModel = m
+	}
+	return p.ts
 }
 
 // Prepare disassembles the image and extracts per-function features.
@@ -258,13 +287,24 @@ func (s *CVEScan) TopRank(addr uint64) int {
 // The context cancels the scan between pipeline stages; per-CVE reference
 // work is served from the analyzer's cache.
 func (a *Analyzer) ScanImage(ctx context.Context, p *PreparedImage, cveID string, mode QueryMode) (*CVEScan, error) {
-	return a.scanImage(ctx, p, cveID, mode, a.Workers)
+	return a.scanImage(ctx, p, cveID, mode, a.Workers, a.newScorer())
 }
 
-// scanImage is ScanImage with an explicit candidate-validation pool size,
+// newScorer returns a scoring context for the batched static stage, or nil
+// when the analyzer is pinned to the scalar path. A Scorer is single-
+// threaded; the scan engine calls this once per worker goroutine.
+func (a *Analyzer) newScorer() *detector.Scorer {
+	if a.StaticScalar {
+		return nil
+	}
+	return a.model.NewScorer()
+}
+
+// scanImage is ScanImage with an explicit candidate-validation pool size —
 // so the firmware scan grid can keep per-cell validation sequential while
-// standalone ScanImage calls still parallelize it.
-func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string, mode QueryMode, validateWorkers int) (*CVEScan, error) {
+// standalone ScanImage calls still parallelize it — and the caller's
+// batched scoring context (nil forces the scalar static stage).
+func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string, mode QueryMode, validateWorkers int, sc *detector.Scorer) (*CVEScan, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -288,10 +328,22 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 		TotalFuncs: len(p.Dis.Funcs),
 	}
 
-	// Stage 1: deep-learning classification.
+	// Stage 1: deep-learning classification. The batched path scores the
+	// image's cached first-layer target halves against the CVE's cached
+	// query halves in the worker's scratch buffers; the scalar path scores
+	// the raw vectors. Both use the same canonical accumulation order, so
+	// candidates — indices, exact scores, order — are identical.
 	start := time.Now()
-	query := queryRef.StaticVec()
-	cands := a.model.Candidates(query, p.Vecs)
+	var cands []detector.Candidate
+	if sc == nil {
+		cands = a.model.Candidates(queryRef.StaticVec(), p.Vecs)
+	} else {
+		qh, qerr := a.cachedQueryHalves(entry, arch, mode)
+		if qerr != nil {
+			return nil, &refError{qerr}
+		}
+		cands = sc.Candidates(qh, p.Targets(a.model))
+	}
 	scan.StaticTime = time.Since(start)
 	scan.NumCandidates = len(cands)
 	for _, c := range cands {
