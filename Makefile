@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-static experiments
+.PHONY: build test race bench bench-static fuzz-smoke cover experiments
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,35 @@ bench:
 # batched path allocates in steady state or the speedup drops below 3x.
 bench-static:
 	PATCHECKO_BENCH_OUT=$(CURDIR)/BENCH_static.json $(GO) test ./internal/detector/ -run TestWriteStaticBenchArtifact -count=1 -v
+
+# Short fuzzing pass over every fuzz target, seeded from the checked-in
+# corpora under testdata/fuzz. Ten seconds each is enough to exercise the
+# mutator against the structural invariants; longer local runs just raise
+# -fuzztime.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/isa/ -run=Fuzz -fuzz=FuzzDecode$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/isa/ -run=Fuzz -fuzz=FuzzDecodeAllNoHang -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/binimg/ -run=Fuzz -fuzz=FuzzImageDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/disasm/ -run=Fuzz -fuzz=FuzzDisassemble -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/features/ -run=Fuzz -fuzz=FuzzExtract -fuzztime=$(FUZZTIME)
+
+# Statement-coverage floor for the packages the observability layer leans
+# on hardest: the metrics/trace layer itself, the static-stage scorer, and
+# the scan engine. The floor is asserted per package, so a regression in one
+# cannot hide behind the others. CI runs this.
+COVER_PKGS  = ./internal/obs/ ./internal/detector/ ./patchecko/
+COVER_FLOOR = 70
+cover:
+	@set -e; for pkg in $(COVER_PKGS); do \
+		$(GO) test -coverprofile=cover.out $$pkg; \
+		pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		rm -f cover.out; \
+		awk -v pct="$$pct" -v floor="$(COVER_FLOOR)" -v pkg="$$pkg" 'BEGIN { \
+			if (pct + 0 < floor + 0) { \
+				printf "FAIL: %s coverage %.1f%% below the %d%% floor\n", pkg, pct, floor; exit 1 } \
+			}'; \
+	done
 
 experiments:
 	$(GO) run ./cmd/experiments -scale medium -seed 42 -all

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/patchecko"
 )
@@ -42,6 +43,7 @@ func run() (err error) {
 		charts    = flag.Bool("charts", false, "render Fig. 7/8 as ASCII bar charts too")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
+	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *all {
 		*fig7, *fig8, *table3, *table45, *table67, *table8, *ablate, *headline =
@@ -71,11 +73,22 @@ func run() (err error) {
 		Scale:   scale,
 		Seed:    *seed,
 		Workers: *workers,
+		Obs:     of.Collector(),
 		Log:     func(s string) { fmt.Println(s) },
 	})
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if werr := of.Write(obs.RunInfo{
+			Tool:    "experiments",
+			Seed:    *seed,
+			Scale:   scale.Name,
+			Workers: *workers,
+		}); werr != nil && err == nil {
+			err = werr
+		}
+	}()
 	out := os.Stdout
 	caseDevice := corpus.ThingOS.Name
 	const caseCVE = "CVE-2018-9412"

@@ -36,6 +36,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/vulndb"
 	"repro/patchecko"
@@ -74,7 +75,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   patchecko train  -scale <tiny|small|medium|large> -seed N -out model.json
   patchecko scan   -model model.json -db vulndb.json -image lib.img [-cve CVE-...] [-workers N]
-  (train and scan also take -cpuprofile file / -memprofile file for go tool pprof)
+  (train and scan also take -cpuprofile file / -memprofile file for go tool pprof;
+   scan also takes -metrics manifest.json / -trace events.jsonl for run observability)
   patchecko disasm -image lib.img [-func name|-addr 0x...]
   patchecko compile -src file.mc [-arch amd64 -level O2 -out lib.img -strip]
   patchecko run -src file.mc -func f [-args 4096,8 -data "bytes"]
@@ -188,6 +190,7 @@ func runScan(args []string) (err error) {
 		workers   = fs.Int("workers", runtime.NumCPU(), "scan worker pool size (results are identical at any count)")
 	)
 	prof := profiling.AddFlags(fs)
+	of := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -232,10 +235,14 @@ func runScan(args []string) (err error) {
 
 	an := patchecko.NewAnalyzer(model, db)
 	an.Workers = *workers
+	an.Obs = of.Collector()
 	prepared, err := patchecko.Prepare(im)
 	if err != nil {
 		return err
 	}
+	an.Obs.Add(obs.CtrImagesPrepared, 1)
+	an.Obs.Add(obs.CtrFuncsDisassembled, int64(prepared.NumFuncs()))
+	an.Obs.Emit(obs.Event{Kind: obs.EvImagePrepared, Library: im.LibName, Funcs: prepared.NumFuncs()})
 	fmt.Printf("%s (%s, %s): %d functions recovered\n",
 		im.LibName, im.Arch, im.OptLevel, prepared.NumFuncs())
 
@@ -255,6 +262,7 @@ func runScan(args []string) (err error) {
 			fmt.Fprintf(os.Stderr, "patchecko: %-16s scan failed: %v\n", id, err)
 			continue
 		}
+		an.EmitScanEvents(scan)
 		if !scan.Matched {
 			fmt.Printf("%-16s no match (candidates %d, survived validation %d)\n",
 				id, scan.NumCandidates, scan.NumExecuted)
@@ -267,6 +275,13 @@ func runScan(args []string) (err error) {
 		fmt.Printf("%-16s match at %#x (sim %.3f, %d candidates -> %d executed) verdict: %s (confidence %.2f)\n",
 			id, scan.Match.Addr, scan.Match.Sim, scan.NumCandidates, scan.NumExecuted,
 			status, scan.Verdict.Confidence)
+	}
+	if werr := of.Write(obs.RunInfo{
+		Tool:      "patchecko scan",
+		Workers:   *workers,
+		ModelHash: obs.ModelHash(rawModel),
+	}); werr != nil {
+		return werr
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d CVE scans failed", failed, len(ids))

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/features"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // TargetSet is the batched static stage's per-image precomputation: each
@@ -96,11 +97,20 @@ type Scorer struct {
 	model   *Model
 	scratch *nn.Scratch
 	out     []Candidate
+	obs     *obs.Metrics
 }
 
 // NewScorer builds a scoring context for the model.
 func (m *Model) NewScorer() *Scorer {
 	return &Scorer{model: m, scratch: m.Net.NewScratch()}
+}
+
+// Observe attaches a metrics sink (nil for the no-op default) and returns
+// the Scorer. Candidates then counts pairs scored and candidates surviving
+// the cutoff in two bulk adds per call — nothing per pair.
+func (s *Scorer) Observe(o *obs.Metrics) *Scorer {
+	s.obs = o
+	return s
 }
 
 // Pair scores prepared target i against the prepared query, symmetrized
@@ -138,5 +148,7 @@ func (s *Scorer) Candidates(q *QueryHalves, ts *TargetSet) []Candidate {
 		return a.Index - b.Index
 	})
 	s.out = out
+	s.obs.Add(obs.CtrPairsScored, int64(ts.Len()))
+	s.obs.Add(obs.CtrStaticCandidates, int64(len(out)))
 	return out
 }

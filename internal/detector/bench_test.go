@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/features"
+	"repro/internal/obs"
 )
 
 // benchTargets approximates one ScaleSmall library image's function count.
@@ -51,6 +52,26 @@ func BenchmarkCandidatesBatched(b *testing.B) {
 	reportPairMetrics(b, len(targets))
 }
 
+// BenchmarkCandidatesObserved is the batched path with a live metrics sink
+// attached: the instrumentation budget is two bulk atomic adds per
+// Candidates call, so ns/pair must stay within noise of the unobserved
+// batched path and the steady state must stay allocation-free. (A nil sink
+// is the same code path with the adds compiled down to nil-receiver
+// returns; BenchmarkCandidatesBatched already covers it.)
+func BenchmarkCandidatesObserved(b *testing.B) {
+	m, query, targets := benchFixture(b)
+	ts := m.PrepareTargets(targets)
+	qh := m.PrepareQuery(query)
+	sc := m.NewScorer().Observe(obs.New())
+	sc.Candidates(qh, ts) // warm the candidate buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sc.Candidates(qh, ts)
+	}
+	reportPairMetrics(b, len(targets))
+}
+
 // BenchmarkPrepareTargets prices the per-image precomputation the batched
 // path amortizes across the scan grid.
 func BenchmarkPrepareTargets(b *testing.B) {
@@ -76,7 +97,11 @@ type benchArtifact struct {
 	Targets   int              `json:"targets"`
 	Scalar    benchArtifactRow `json:"scalar"`
 	Batched   benchArtifactRow `json:"batched"`
+	Observed  benchArtifactRow `json:"observed"`
 	Speedup   float64          `json:"speedup"`
+	// ObservedOverheadPct is the batched path's ns/pair cost of a live
+	// metrics sink, in percent (negative values are measurement noise).
+	ObservedOverheadPct float64 `json:"observed_overhead_pct"`
 }
 
 type benchArtifactRow struct {
@@ -104,12 +129,16 @@ func TestWriteStaticBenchArtifact(t *testing.T) {
 	}
 	scalar := testing.Benchmark(BenchmarkCandidatesScalar)
 	batched := testing.Benchmark(BenchmarkCandidatesBatched)
+	observed := testing.Benchmark(BenchmarkCandidatesObserved)
 	art := benchArtifact{
 		Benchmark: "internal/detector Candidates: paper network, symmetrized pairs, small-scale image",
 		Targets:   benchTargets,
 		Scalar:    row(scalar),
 		Batched:   row(batched),
+		Observed:  row(observed),
 		Speedup:   float64(scalar.NsPerOp()) / float64(batched.NsPerOp()),
+		ObservedOverheadPct: 100 * (float64(observed.NsPerOp()) -
+			float64(batched.NsPerOp())) / float64(batched.NsPerOp()),
 	}
 	raw, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -118,12 +147,21 @@ func TestWriteStaticBenchArtifact(t *testing.T) {
 	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("scalar %.0f ns/pair, batched %.0f ns/pair, speedup %.2fx, batched allocs/op %d",
-		art.Scalar.NsPerPair, art.Batched.NsPerPair, art.Speedup, art.Batched.AllocsPerOp)
+	t.Logf("scalar %.0f ns/pair, batched %.0f ns/pair, observed %.0f ns/pair, "+
+		"speedup %.2fx, metrics overhead %+.2f%%, batched allocs/op %d",
+		art.Scalar.NsPerPair, art.Batched.NsPerPair, art.Observed.NsPerPair,
+		art.Speedup, art.ObservedOverheadPct, art.Batched.AllocsPerOp)
 	if art.Speedup < 3 {
 		t.Errorf("batched speedup %.2fx below the 3x acceptance floor", art.Speedup)
 	}
 	if art.Batched.AllocsPerOp != 0 {
 		t.Errorf("batched path allocates %d objects/op in steady state, want 0", art.Batched.AllocsPerOp)
+	}
+	if art.Observed.AllocsPerOp != 0 {
+		t.Errorf("observed path allocates %d objects/op in steady state, want 0", art.Observed.AllocsPerOp)
+	}
+	if art.ObservedOverheadPct >= 2 {
+		t.Errorf("live metrics sink costs %+.2f%% ns/pair on the batched path, want < 2%%",
+			art.ObservedOverheadPct)
 	}
 }

@@ -145,6 +145,12 @@ type boundary struct {
 // findBoundaries scans for prologue byte patterns and validates candidates
 // by decoding. Invalid candidates (prologue look-alikes inside immediates)
 // are merged into the preceding function.
+//
+// Validation is incremental: each candidate's instruction stream is decoded
+// at most once no matter how many merge steps extend its end, keeping
+// recovery linear in the text size. Re-decoding the span per merge step is
+// quadratic on prologue-dense inputs, which adversarial (fuzzed) images hit
+// reliably even if compiled code never does.
 func findBoundaries(arch *isa.Arch, text []byte) []boundary {
 	pattern := arch.PrologueBytes()
 	var starts []int
@@ -156,17 +162,27 @@ func findBoundaries(arch *isa.Arch, text []byte) []boundary {
 		}
 		off++
 	}
+	// nonzero[i] counts nonzero bytes in text[:i], so padding runs can be
+	// checked in O(1) during candidate merging.
+	nonzero := make([]int, len(text)+1)
+	for i, b := range text {
+		nonzero[i+1] = nonzero[i]
+		if b != 0 {
+			nonzero[i+1]++
+		}
+	}
 	var out []boundary
 	i := 0
 	for i < len(starts) {
 		start := starts[i]
+		sp := spanDecoder{arch: arch, body: text[start:], nonzero: nonzero[start:], zeroAt: -1}
 		j := i + 1
 		for {
 			end := len(text)
 			if j < len(starts) {
 				end = starts[j]
 			}
-			if bodyEnd, ok := decodeSpan(arch, text[start:end]); ok {
+			if bodyEnd, ok := sp.validTo(end - start); ok {
 				out = append(out, boundary{start: start, end: start + bodyEnd})
 				break
 			}
@@ -181,29 +197,54 @@ func findBoundaries(arch *isa.Arch, text []byte) []boundary {
 	return out
 }
 
-// decodeSpan greedily decodes instructions from the start of b. Opcode
+// spanDecoder incrementally validates candidate function spans. Opcode
 // bytes are never zero, so a zero byte at an instruction boundary marks the
-// start of inter-function padding. It returns the byte length of the
-// instruction stream and whether the whole region (stream + zero padding)
-// is well formed.
-func decodeSpan(arch *isa.Arch, b []byte) (int, bool) {
-	pos := 0
-	for pos < len(b) && b[pos] != 0 {
-		_, n, err := arch.Decode(b[pos:])
-		if err != nil {
-			return 0, false
+// start of inter-function padding; a span is well formed when it is a
+// nonempty instruction stream followed only by padding. Because instruction
+// lengths are fully determined by their leading bytes (truncation is always
+// a decode error, never a shorter instruction), greedily decoding the
+// unbounded text visits exactly the boundaries a decode bounded to any span
+// end would, so successive validTo queries can share one decode pass.
+type spanDecoder struct {
+	arch    *isa.Arch
+	body    []byte
+	nonzero []int // nonzero[i] = nonzero bytes in body[:i]
+	pos     int   // next undecoded instruction boundary
+	zeroAt  int   // boundary where padding stopped the decode, -1 if none
+	failed  bool  // body[pos:] does not decode
+}
+
+// validTo reports whether body[:end] is a well-formed span and returns the
+// byte length of its instruction stream. end must not decrease across calls.
+func (s *spanDecoder) validTo(end int) (int, bool) {
+	for !s.failed && s.zeroAt < 0 && s.pos < end {
+		if s.body[s.pos] == 0 {
+			s.zeroAt = s.pos
+			break
 		}
-		pos += n
+		_, n, err := s.arch.Decode(s.body[s.pos:])
+		if err != nil {
+			s.failed = true
+			break
+		}
+		s.pos += n
 	}
-	if pos == 0 {
+	switch {
+	case s.zeroAt >= 0:
+		// Padding from zeroAt on: the remainder up to end must stay zero,
+		// and the instruction stream must be nonempty.
+		return s.zeroAt, s.zeroAt > 0 && s.nonzero[end] == s.nonzero[s.zeroAt]
+	case s.failed:
+		// The undecodable byte sits before end, and a decode bounded to end
+		// fails on it the same way (shorter slices only truncate harder).
+		return 0, false
+	case s.pos == end:
+		return end, end > 0
+	default:
+		// end falls strictly inside an instruction: a bounded decode would
+		// see it truncated.
 		return 0, false
 	}
-	for rest := pos; rest < len(b); rest++ {
-		if b[rest] != 0 {
-			return 0, false
-		}
-	}
-	return pos, true
 }
 
 func decodeFunction(arch *isa.Arch, text []byte, b boundary) (*Function, error) {

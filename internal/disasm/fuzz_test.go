@@ -1,0 +1,97 @@
+package disasm
+
+import (
+	"testing"
+
+	"repro/internal/binimg"
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// FuzzDisassemble hardens the stripped-image recovery path against
+// arbitrary text bytes: the first input byte selects the architecture and
+// the rest becomes the .text section of a stripped image. Disassembly must
+// never panic, and whatever it recovers must satisfy the structural
+// invariants the rest of the pipeline relies on: functions sorted and
+// non-overlapping inside the text mapping, instruction offsets strictly
+// increasing and in bounds, CFG block ranges and successor indices valid.
+func FuzzDisassemble(f *testing.F) {
+	// Real compiled prologues per architecture give the mutator a running
+	// start; testdata/fuzz holds further checked-in seeds.
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 7, Name: "libfuzz", NumFuncs: 4})
+	for ai, arch := range isa.All() {
+		im, err := compiler.Compile(mod, arch, compiler.O2)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte{byte(ai)}, im.Text...))
+	}
+	f.Add([]byte{0})
+	f.Add([]byte{3, 0xff, 0x00, 0x13, 0x37})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		archs := isa.All()
+		arch := archs[int(data[0])%len(archs)]
+		im := &binimg.Image{
+			Arch:     arch.Name,
+			LibName:  "libfuzz",
+			OptLevel: "O2",
+			Text:     data[1:],
+			Stripped: true,
+		}
+		dis, err := Disassemble(im)
+		if err != nil {
+			return
+		}
+		var prevEnd uint64 = binimg.TextBase
+		for fi, fn := range dis.Funcs {
+			if fn.Addr < prevEnd {
+				t.Fatalf("func %d at %#x overlaps previous end %#x", fi, fn.Addr, prevEnd)
+			}
+			end := fn.Addr + fn.Size
+			if end > binimg.TextBase+uint64(len(im.Text)) {
+				t.Fatalf("func %d spans [%#x, %#x) past text end", fi, fn.Addr, end)
+			}
+			prevEnd = end
+			if got, ok := dis.FuncAt(fn.Addr); !ok || got != fn {
+				t.Fatalf("FuncAt(%#x) does not resolve func %d", fn.Addr, fi)
+			}
+			off := -1
+			for ii, in := range fn.Instrs {
+				if in.Offset <= off {
+					t.Fatalf("func %d instr %d: offset %d not increasing past %d", fi, ii, in.Offset, off)
+				}
+				off = in.Offset
+				if in.Size <= 0 || uint64(in.Offset+in.Size) > fn.Size {
+					t.Fatalf("func %d instr %d: span [%d, %d) outside size %d",
+						fi, ii, in.Offset, in.Offset+in.Size, fn.Size)
+				}
+				if idx, ok := fn.IndexAtOffset(in.Offset); !ok || idx != ii {
+					t.Fatalf("func %d: IndexAtOffset(%d) = %d, %v; want %d", fi, in.Offset, idx, ok, ii)
+				}
+			}
+			for bi, b := range fn.Blocks {
+				if b.First < 0 || b.Last < b.First || b.Last >= len(fn.Instrs) {
+					t.Fatalf("func %d block %d: range [%d, %d] invalid for %d instrs",
+						fi, bi, b.First, b.Last, len(fn.Instrs))
+				}
+				if bi > 0 && b.First != fn.Blocks[bi-1].Last+1 {
+					t.Fatalf("func %d block %d: starts at %d, previous ended at %d",
+						fi, bi, b.First, fn.Blocks[bi-1].Last)
+				}
+				for _, s := range b.Succs {
+					if s < 0 || s >= len(fn.Blocks) {
+						t.Fatalf("func %d block %d: successor %d out of %d blocks",
+							fi, bi, s, len(fn.Blocks))
+					}
+				}
+			}
+		}
+	})
+}

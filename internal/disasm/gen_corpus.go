@@ -1,0 +1,68 @@
+//go:build ignore
+
+// Regenerates the crafted entries of the FuzzDisassemble seed corpus in
+// testdata/fuzz/FuzzDisassemble. Hash-named entries alongside them were
+// found by the fuzzer itself and are not rewritten here. Run from this
+// directory:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/isa"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDisassemble")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range seeds() {
+		var buf bytes.Buffer
+		buf.WriteString("go test fuzz v1\n")
+		fmt.Fprintf(&buf, "[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// seeds returns the crafted corpus: adversarial shapes the compiled-image
+// seeds added by f.Add never produce. The first byte selects the
+// architecture, matching the fuzz target's input scheme.
+func seeds() map[string][]byte {
+	out := make(map[string][]byte)
+	for ai, arch := range isa.All() {
+		p := arch.PrologueBytes()
+
+		// Prologue-dense text: every candidate boundary fails validation and
+		// merges forward. Regression input for the quadratic span
+		// re-validation findBoundaries used to hit.
+		dense := []byte{byte(ai)}
+		for len(dense) < 1024 {
+			dense = append(dense, p...)
+		}
+		dense = append(dense, 0x00, 0xff)
+		out["prologue-dense-"+arch.Name] = dense
+
+		// A prologue whose padding run is interrupted by junk: exercises the
+		// padding-scan rejection path.
+		junk := append([]byte{byte(ai)}, p...)
+		junk = append(junk, make([]byte, 16)...)
+		junk = append(junk, 0xff)
+		out["padding-then-junk-"+arch.Name] = junk
+
+		// A prologue followed by a truncated final instruction: the span
+		// decodes cleanly until the text ends mid-instruction.
+		trunc := append([]byte{byte(ai)}, p...)
+		trunc = append(trunc, p[:len(p)-1]...)
+		out["truncated-tail-"+arch.Name] = trunc
+	}
+	return out
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/disasm"
 	"repro/internal/emu"
 	"repro/internal/minic"
+	"repro/internal/obs"
 )
 
 // NumDynamic is the dynamic feature vector width (Table II).
@@ -135,6 +136,9 @@ type Exec struct {
 	// watchdog is not deterministic in the inputs, so scans that must be
 	// byte-reproducible leave it off and rely on Steps.
 	Budget time.Duration
+	// Obs receives execution and validation counters; nil (the default)
+	// is the no-op sink.
+	Obs *obs.Metrics
 }
 
 // Steps builds an Exec with only an instruction budget — the common case
@@ -202,6 +206,8 @@ func ProfileFunc(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Functi
 		res, err := executeOne(ctx, dis, fn, env, ex)
 		if err != nil {
 			if tr, ok := minic.IsTrap(err); ok {
+				ex.Obs.Add(obs.CtrEnvsExecuted, 1)
+				ex.Obs.Add(obs.CtrEnvsTrapped, 1)
 				ep := EnvProfile{Trap: tr}
 				if res != nil && res.Trace != nil {
 					ep.Vec = Profile(res.Trace.Vector())
@@ -211,6 +217,7 @@ func ProfileFunc(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Functi
 			}
 			return out, err // cancellation from an enclosing context
 		}
+		ex.Obs.Add(obs.CtrEnvsExecuted, 1)
 		out = append(out, EnvProfile{Vec: Profile(res.Trace.Vector())})
 	}
 	return out, nil
@@ -220,14 +227,14 @@ func ProfileFunc(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Functi
 // deriving the per-execution watchdog deadline from the budget.
 func executeOne(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, env *minic.Env, ex Exec) (*emu.Result, error) {
 	if ex.Budget <= 0 {
-		return emu.ExecuteCtx(ctx, dis, fn, env.Clone(), ex.Steps)
+		return emu.ExecuteObserved(ctx, dis, fn, env.Clone(), ex.Steps, ex.Obs)
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	ectx, cancel := context.WithTimeout(ctx, ex.Budget)
 	defer cancel()
-	return emu.ExecuteCtx(ectx, dis, fn, env.Clone(), ex.Steps)
+	return emu.ExecuteObserved(ectx, dis, fn, env.Clone(), ex.Steps, ex.Obs)
 }
 
 // SimilarityEnv is the fault-tolerant form of equation (2): each
@@ -343,20 +350,30 @@ func ValidateParallel(ctx context.Context, dis *disasm.Disassembly, cands []*dis
 			// Skipped by cancellation; the caller discards the set.
 		case r.err != nil:
 			excluded[i] = r.err
+			ex.Obs.Add(obs.CtrCandidatesExcluded, 1)
+			if r.panicked {
+				ex.Obs.Add(obs.CtrExcludedPanic, 1)
+			} else {
+				ex.Obs.Add(obs.CtrExcludedError, 1)
+			}
 		case Completion(r.eps) == 0:
 			excluded[i] = exclusionReason(r.eps)
+			ex.Obs.Add(obs.CtrCandidatesExcluded, 1)
+			ex.Obs.Add(obs.CtrExcludedNoEnv, 1)
 		default:
 			survivors = append(survivors, i)
 			profiles[i] = r.eps
+			ex.Obs.Add(obs.CtrCandidatesValidated, 1)
 		}
 	}
 	return survivors, profiles, excluded
 }
 
 type candResult struct {
-	eps []EnvProfile
-	err error
-	ran bool
+	eps      []EnvProfile
+	err      error
+	ran      bool
+	panicked bool
 }
 
 // profileCandidate profiles one candidate, converting panics and
@@ -365,7 +382,7 @@ type candResult struct {
 func profileCandidate(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, envs []*minic.Env, ex Exec) (r candResult) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			r = candResult{err: fmt.Errorf("dynamic: panic while profiling candidate: %v", rec), ran: true}
+			r = candResult{err: fmt.Errorf("dynamic: panic while profiling candidate: %v", rec), ran: true, panicked: true}
 		}
 	}()
 	eps, err := ProfileFunc(ctx, dis, fn, envs, ex)

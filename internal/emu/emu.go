@@ -19,6 +19,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/minic"
+	"repro/internal/obs"
 )
 
 // Stack layout. The machine stack lives well away from the data, rodata and
@@ -277,6 +278,15 @@ func Execute(dis *disasm.Disassembly, fn *disasm.Function, env *minic.Env, limit
 // is being torn down, not this function misbehaving). A nil or
 // context.Background context disables both checks at zero per-step cost.
 func ExecuteCtx(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, env *minic.Env, limit int64) (*Result, error) {
+	return ExecuteObserved(ctx, dis, fn, env, limit, nil)
+}
+
+// ExecuteObserved is ExecuteCtx reporting into an observability sink:
+// executions started, instructions executed, and traps by kind. A nil sink
+// is the no-op default — the run itself is identical either way, and the
+// accounting is a handful of atomic adds per execution, off the per-step
+// hot loop.
+func ExecuteObserved(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, env *minic.Env, limit int64, o *obs.Metrics) (*Result, error) {
 	if limit <= 0 {
 		limit = DefaultStepLimit
 	}
@@ -308,14 +318,61 @@ func ExecuteCtx(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Functio
 	}
 	m.regs[m.sp()] = StackTop
 	if err := faultinject.Fire(faultinject.ExecTrap, dis.Image.LibName+":"+fn.Name); err != nil {
+		observeExec(o, tr, err)
 		return &Result{Trace: tr, Mem: m.mem.data}, err
 	}
 	if err := m.run(); err != nil {
+		observeExec(o, tr, err)
 		// Partial result: the trace up to the fault is the truncated
 		// profile the fault-tolerant dynamic stage ranks with.
 		return &Result{Ret: m.regs[0], Trace: tr, Mem: m.mem.data}, err
 	}
+	observeExec(o, tr, nil)
 	return &Result{Ret: m.regs[0], Trace: tr, Mem: m.mem.data}, nil
+}
+
+// observeExec records one execution's accounting: the execution itself, its
+// instruction count, and — when it trapped — the trap kind. Cancellation is
+// not a trap and counts only as an execution.
+func observeExec(o *obs.Metrics, tr *Trace, err error) {
+	if o == nil {
+		return
+	}
+	o.Add(obs.CtrExecutions, 1)
+	if tr != nil {
+		o.Add(obs.CtrExecSteps, tr.Instrs)
+	}
+	if err == nil {
+		return
+	}
+	if t, ok := minic.IsTrap(err); ok {
+		o.Add(obs.CtrExecTrapped, 1)
+		if c, ok := trapCounter(t.Kind); ok {
+			o.Add(c, 1)
+		}
+	}
+}
+
+// trapCounter maps a trap kind to its per-kind counter.
+func trapCounter(k minic.TrapKind) (obs.Counter, bool) {
+	switch k {
+	case minic.TrapOOB:
+		return obs.CtrTrapOOB, true
+	case minic.TrapDivZero:
+		return obs.CtrTrapDivZero, true
+	case minic.TrapBadCall:
+		return obs.CtrTrapBadCall, true
+	case minic.TrapStepLimit:
+		return obs.CtrTrapStepLimit, true
+	case minic.TrapStack:
+		return obs.CtrTrapStack, true
+	case minic.TrapDecode:
+		return obs.CtrTrapDecode, true
+	case minic.TrapBudget:
+		return obs.CtrTrapBudget, true
+	default:
+		return 0, false
+	}
 }
 
 func (m *Machine) sp() int { return m.dis.Arch.NumRegs - 1 }

@@ -99,6 +99,7 @@ func (s *Suite) scansForDevice(device string) (map[string]*patchecko.CVEScan, ma
 		if err != nil {
 			return nil, nil, err
 		}
+		s.Analyzer.EmitScanEvents(scan)
 		scans[id] = scan
 		truths[id] = truth.Addr
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/detector"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/patchecko"
 )
 
@@ -31,6 +32,9 @@ type Config struct {
 	// firmware preparation during setup. Every experiment artifact is
 	// bit-identical at any worker count; <= 0 keeps scanning sequential.
 	Workers int
+	// Obs, when non-nil, receives the analyzer's pipeline counters and
+	// trace events; experiment artifacts are byte-identical either way.
+	Obs *obs.Metrics
 	// Log, when non-nil, receives progress lines during setup.
 	Log func(string)
 }
@@ -94,6 +98,7 @@ func NewSuite(cfg Config) (*Suite, error) {
 	}
 	s.Analyzer = patchecko.NewAnalyzer(s.Model, s.DB)
 	s.Analyzer.Workers = cfg.Workers
+	s.Analyzer.Obs = cfg.Obs
 
 	prepWorkers := cfg.Workers
 	if prepWorkers <= 0 {

@@ -59,6 +59,7 @@ func (s *Suite) Table3(device, cveID string) (Table3Result, error) {
 	if err != nil {
 		return Table3Result{}, err
 	}
+	s.Analyzer.EmitScanEvents(scan)
 	res := Table3Result{CVE: cveID, Device: device}
 	for _, r := range scan.Ranking {
 		res.Rows = append(res.Rows, Table3Row{
@@ -134,6 +135,7 @@ func (s *Suite) Ranking(device, cveID string, mode patchecko.QueryMode, topN int
 	if err != nil {
 		return RankResult{}, err
 	}
+	s.Analyzer.EmitScanEvents(scan)
 	res := RankResult{CVE: cveID, Device: device, Mode: mode}
 	for i, r := range scan.Ranking {
 		if topN > 0 && i >= topN {
@@ -207,6 +209,7 @@ func (s *Suite) Pipeline(device string, mode patchecko.QueryMode) (PipelineResul
 		if err != nil {
 			return PipelineResult{}, err
 		}
+		s.Analyzer.EmitScanEvents(scan)
 		row := PipelineRow{
 			CVE:         id,
 			Total:       scan.TotalFuncs,
@@ -329,11 +332,13 @@ func (s *Suite) verdictsWith(an *patchecko.Analyzer, device string) (VerdictResu
 		if err != nil {
 			return VerdictResult{}, err
 		}
+		an.EmitScanEvents(scan)
 		if !scan.Matched || scan.Match.Addr != truth.Addr {
 			pscan, err := an.ScanImage(context.Background(), p, id, patchecko.QueryPatched)
 			if err != nil {
 				return VerdictResult{}, err
 			}
+			an.EmitScanEvents(pscan)
 			if pscan.Matched && (pscan.Match.Addr == truth.Addr || !scan.Matched) {
 				scan = pscan
 			}

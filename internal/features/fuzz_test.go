@@ -1,0 +1,60 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/binimg"
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// FuzzExtract hardens static feature extraction against whatever the
+// stripped-image disassembler recovers from arbitrary bytes: the first
+// input byte selects the architecture, the rest is the .text section.
+// Extraction must never panic, and every one of the 48 Table I features
+// must come out finite — NaN or Inf here would poison normalization and
+// the similarity network downstream.
+func FuzzExtract(f *testing.F) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 11, Name: "libfeat", NumFuncs: 4})
+	for ai, arch := range isa.All() {
+		im, err := compiler.Compile(mod, arch, compiler.O2)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte{byte(ai)}, im.Text...))
+	}
+	f.Add([]byte{1})
+	f.Add([]byte{2, 0x00, 0xff, 0x55, 0xaa})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		archs := isa.All()
+		arch := archs[int(data[0])%len(archs)]
+		im := &binimg.Image{
+			Arch:     arch.Name,
+			LibName:  "libfeat",
+			OptLevel: "O2",
+			Text:     data[1:],
+			Stripped: true,
+		}
+		dis, err := disasm.Disassemble(im)
+		if err != nil {
+			return
+		}
+		for fi, fn := range dis.Funcs {
+			v := Extract(dis, fn)
+			for i, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("func %d: feature %d (%s) = %v, want finite", fi, i, Names[i], x)
+				}
+			}
+		}
+	})
+}

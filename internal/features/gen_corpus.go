@@ -1,0 +1,54 @@
+//go:build ignore
+
+// Regenerates the crafted entries of the FuzzExtract seed corpus in
+// testdata/fuzz/FuzzExtract. Run from this directory:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/isa"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzExtract")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range seeds() {
+		var buf bytes.Buffer
+		buf.WriteString("go test fuzz v1\n")
+		fmt.Fprintf(&buf, "[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// seeds returns the crafted corpus: degenerate recovered functions that
+// stress the feature ratios — a bare one-instruction function (minimal
+// counts, zero-heavy denominators) and prologue-dense text that recovers
+// into many tiny merged functions. The first byte selects the architecture,
+// matching the fuzz target's input scheme.
+func seeds() map[string][]byte {
+	out := make(map[string][]byte)
+	for ai, arch := range isa.All() {
+		p := arch.PrologueBytes()
+
+		bare := append([]byte{byte(ai)}, p...)
+		out["bare-prologue-"+arch.Name] = bare
+
+		dense := []byte{byte(ai)}
+		for len(dense) < 512 {
+			dense = append(dense, p...)
+		}
+		out["prologue-dense-"+arch.Name] = dense
+	}
+	return out
+}

@@ -303,6 +303,15 @@ func (a *Arch) Decode(b []byte) (Instr, int, error) {
 		shift := uint(64 - 8*n)
 		in.Imm = int64(u<<shift) >> shift
 		pos += n
+		// The encoder only ever emits the canonical width for the decoded
+		// value (fixed for branches/Call/CallI/Ldi, smallest-fit otherwise),
+		// and InstrSize reports that width. Rejecting the non-canonical
+		// encodings keeps consumed bytes equal to InstrSize on everything
+		// Decode accepts, which DecodeAll offset math relies on.
+		if want := a.ciscImmLen(op, in.Imm); n != want {
+			return Instr{}, 0, fmt.Errorf("isa: %s: non-canonical immediate width %d for %s (want %d)",
+				a.Name, n, op, want)
+		}
 	}
 	return in, pos, nil
 }

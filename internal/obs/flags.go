@@ -1,0 +1,77 @@
+// Flag plumbing for the CLIs, mirroring internal/profiling: commands call
+// AddFlags, attach Collector() to their analyzer, and Write the artifacts
+// on exit. When neither flag is given, Collector returns nil — the no-op
+// sink — and Write does nothing.
+
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags holds the observability output paths registered by AddFlags.
+type Flags struct {
+	Metrics string // run-manifest JSON path
+	Trace   string // trace-event JSONL path
+
+	m *Metrics
+}
+
+// AddFlags registers -metrics and -trace on the flag set.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "", "write a run-manifest JSON (per-stage counters + wall-clock) to `file`")
+	fs.StringVar(&f.Trace, "trace", "", "write structured trace events as JSONL to `file`")
+	return f
+}
+
+// Enabled reports whether any observability output was requested.
+func (f *Flags) Enabled() bool { return f.Metrics != "" || f.Trace != "" }
+
+// Collector returns the sink to thread through the pipeline: a traced sink
+// when -trace was given, a counters-only sink for -metrics alone, and nil
+// (the no-op sink) when observability is off. The same sink is returned on
+// every call.
+func (f *Flags) Collector() *Metrics {
+	if !f.Enabled() {
+		return nil
+	}
+	if f.m == nil {
+		if f.Trace != "" {
+			f.m = NewTraced(0)
+		} else {
+			f.m = New()
+		}
+	}
+	return f.m
+}
+
+// Write emits the requested artifacts: the run manifest to -metrics and the
+// event JSONL to -trace. Safe to call when observability is off.
+func (f *Flags) Write(info RunInfo) error {
+	if !f.Enabled() {
+		return nil
+	}
+	m := f.Collector()
+	if f.Metrics != "" {
+		if err := m.WriteManifest(f.Metrics, info); err != nil {
+			return err
+		}
+	}
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		werr := m.WriteJSONL(file)
+		if cerr := file.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("obs: %s: %w", f.Trace, werr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Run manifests: a single JSON artifact identifying one scan or experiment
+// run — what ran (tool, seed, scale, workers, model hash, VCS revision) and
+// what it did (every counter, per-stage wall-clock totals, event-ring
+// statistics). Later perf and robustness PRs diff these artifacts instead
+// of re-deriving numbers from logs.
+
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// RunInfo identifies the run a manifest describes. Zero fields are omitted
+// from the artifact (a scan of on-disk artifacts has no seed or scale).
+type RunInfo struct {
+	Tool      string // e.g. "patchecko scan", "experiments"
+	Seed      int64
+	Scale     string
+	Workers   int
+	ModelHash string // content hash of the trained model (see ModelHash)
+}
+
+// StageTotal is one stage's accumulated wall-clock time.
+type StageTotal struct {
+	Stage  string `json:"stage"`
+	WallNs int64  `json:"wall_ns"`
+}
+
+// Manifest is the run-manifest artifact.
+type Manifest struct {
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"` // VCS revision baked into the binary, or "unknown"
+	Dirty     bool   `json:"dirty,omitempty"`
+
+	Seed      int64  `json:"seed,omitempty"`
+	Scale     string `json:"scale,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	ModelHash string `json:"model_hash,omitempty"`
+
+	Counters      map[string]int64 `json:"counters"`
+	Stages        []StageTotal     `json:"stages"`
+	Events        int              `json:"events"`
+	EventsDropped uint64           `json:"events_dropped,omitempty"`
+}
+
+// Manifest snapshots the sink into a run manifest. Safe on a nil receiver
+// (all counters zero).
+func (m *Metrics) Manifest(info RunInfo) Manifest {
+	rev, dirty := Revision()
+	man := Manifest{
+		Tool:      info.Tool,
+		GoVersion: runtime.Version(),
+		Revision:  rev,
+		Dirty:     dirty,
+		Seed:      info.Seed,
+		Scale:     info.Scale,
+		Workers:   info.Workers,
+		ModelHash: info.ModelHash,
+		Counters:  m.Counters(),
+		Events:    len(m.Events()),
+	}
+	if m != nil {
+		man.EventsDropped = m.Dropped()
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		man.Stages = append(man.Stages, StageTotal{Stage: s.String(), WallNs: m.StageNs(s)})
+	}
+	return man
+}
+
+// WriteManifest writes the manifest as indented JSON to path.
+func (m *Metrics) WriteManifest(path string, info RunInfo) error {
+	raw, err := json.MarshalIndent(m.Manifest(info), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
+}
+
+// Revision returns the VCS revision stamped into the running binary by the
+// Go toolchain (the `git describe` stand-in: test binaries and `go run`
+// builds carry no stamp and report "unknown").
+func Revision() (rev string, dirty bool) {
+	rev = "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return rev, false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}
+
+// ModelHash is the canonical content hash recorded in manifests for a
+// serialized model (or any other artifact bytes).
+func ModelHash(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}

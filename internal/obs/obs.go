@@ -1,0 +1,226 @@
+// Package obs is the pipeline's observability layer: per-stage counters and
+// wall-clock totals, a bounded structured-event sink with a JSONL writer,
+// and a run-manifest artifact. It is stdlib-only and safe for concurrent
+// use.
+//
+// The paper's evaluation (§V) is all about WHERE candidates die — static
+// ranking, dynamic pruning, differential verdict — so every pipeline layer
+// reports through this package: functions disassembled, pairs scored,
+// candidates surviving the static cutoff, environments executed and
+// trapped, dynamic exclusions by reason, emulator traps by kind, and patch
+// verdicts by outcome.
+//
+// # Disabled-by-default contract
+//
+// A nil *Metrics is the no-op sink: every method is nil-receiver safe and
+// returns immediately, so instrumented hot paths cost one predicted branch
+// and zero allocations when observability is off. Instrumentation must
+// never change results — a Report produced with metrics enabled is
+// byte-identical to one produced with metrics disabled (the golden-report
+// suite in package patchecko pins this).
+//
+// # Determinism
+//
+// All counters are deterministic in the scan inputs: they count work items,
+// not scheduling, so totals are identical at any worker count. Stage
+// wall-clock totals are the only nondeterministic values. Events are
+// emitted from deterministic reduction points in the engine, so the event
+// stream is reproducible too; only its interleaving with reference-side
+// counters varies.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one pipeline counter.
+type Counter int
+
+// Pipeline counters, grouped by stage. Keep counterNames in sync.
+const (
+	// Prepare stage.
+	CtrImagesPrepared    Counter = iota // library images that prepared cleanly
+	CtrImagesFailed                     // images whose preparation failed (isolated)
+	CtrFuncsDisassembled                // functions recovered across prepared images
+
+	// Static stage.
+	CtrPairsScored      // (query, target) similarity pairs pushed through the network
+	CtrStaticCandidates // pairs surviving the model's static cutoff
+
+	// Dynamic stage.
+	CtrEnvsExecuted        // per-environment executions (candidates and references)
+	CtrEnvsTrapped         // executions that ended in a trap
+	CtrCandidatesValidated // candidates surviving input validation
+	CtrCandidatesExcluded  // candidates excluded during validation (all reasons)
+	CtrExcludedNoEnv       // excluded: no environment ran to completion
+	CtrExcludedPanic       // excluded: the profiling worker panicked
+	CtrExcludedError       // excluded: emulator-level failure
+
+	// Emulator traps by kind.
+	CtrExecutions    // emulator executions started
+	CtrExecTrapped   // executions that returned a trap
+	CtrExecSteps     // instructions executed, summed over executions
+	CtrTrapOOB       // out-of-bounds access
+	CtrTrapDivZero   // division by zero
+	CtrTrapBadCall   // call to an unknown function or wrong arity
+	CtrTrapStepLimit // instruction budget exhausted
+	CtrTrapStack     // machine stack fault
+	CtrTrapDecode    // undecodable instruction
+	CtrTrapBudget    // wall-clock watchdog expired
+
+	// Differential stage.
+	CtrVerdicts          // differential verdicts reached
+	CtrVerdictPatched    // ... of which: patched
+	CtrVerdictVulnerable // ... of which: still vulnerable
+
+	// Scan grid.
+	CtrCellsCompleted // (image, CVE, mode) grid cells that completed
+	CtrCellsFailed    // grid cells recorded as ScanErrors
+	CtrRefHits        // reference-profile consults answered from cache
+	CtrRefMisses      // reference-profile consults that computed
+
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	CtrImagesPrepared:      "images_prepared",
+	CtrImagesFailed:        "images_failed",
+	CtrFuncsDisassembled:   "funcs_disassembled",
+	CtrPairsScored:         "pairs_scored",
+	CtrStaticCandidates:    "static_candidates",
+	CtrEnvsExecuted:        "envs_executed",
+	CtrEnvsTrapped:         "envs_trapped",
+	CtrCandidatesValidated: "candidates_validated",
+	CtrCandidatesExcluded:  "candidates_excluded",
+	CtrExcludedNoEnv:       "excluded_no_env_completed",
+	CtrExcludedPanic:       "excluded_panic",
+	CtrExcludedError:       "excluded_error",
+	CtrExecutions:          "executions",
+	CtrExecTrapped:         "executions_trapped",
+	CtrExecSteps:           "exec_steps",
+	CtrTrapOOB:             "trap_oob",
+	CtrTrapDivZero:         "trap_div_zero",
+	CtrTrapBadCall:         "trap_bad_call",
+	CtrTrapStepLimit:       "trap_step_limit",
+	CtrTrapStack:           "trap_stack",
+	CtrTrapDecode:          "trap_decode",
+	CtrTrapBudget:          "trap_budget",
+	CtrVerdicts:            "verdicts",
+	CtrVerdictPatched:      "verdict_patched",
+	CtrVerdictVulnerable:   "verdict_vulnerable",
+	CtrCellsCompleted:      "cells_completed",
+	CtrCellsFailed:         "cells_failed",
+	CtrRefHits:             "ref_cache_hits",
+	CtrRefMisses:           "ref_cache_misses",
+}
+
+func (c Counter) String() string {
+	if c < 0 || c >= NumCounters {
+		return "counter(?)"
+	}
+	return counterNames[c]
+}
+
+// Stage identifies one pipeline stage for wall-clock accounting.
+type Stage int
+
+// Pipeline stages. Keep stageNames in sync.
+const (
+	StagePrepare      Stage = iota // image disassembly + feature extraction
+	StageStatic                    // deep-learning candidate scoring
+	StageDynamic                   // validation, profiling, ranking
+	StageDifferential              // patch verdict on the top match
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	StagePrepare:      "prepare",
+	StageStatic:       "static",
+	StageDynamic:      "dynamic",
+	StageDifferential: "differential",
+}
+
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "stage(?)"
+	}
+	return stageNames[s]
+}
+
+// Metrics is the live sink: counters, per-stage wall-clock totals and an
+// optional bounded event ring. The zero value is usable; a nil *Metrics is
+// the no-op sink. All methods are safe for concurrent use.
+type Metrics struct {
+	counters [NumCounters]atomic.Int64
+	stageNs  [NumStages]atomic.Int64
+	ring     *ring
+}
+
+// New returns a counters-only sink (events are discarded).
+func New() *Metrics { return &Metrics{} }
+
+// NewTraced returns a sink that also retains the last cap events in a
+// bounded ring buffer (DefaultTraceCap when cap <= 0). Older events are
+// overwritten, never blocking the pipeline; Dropped reports how many were
+// lost.
+func NewTraced(cap int) *Metrics {
+	if cap <= 0 {
+		cap = DefaultTraceCap
+	}
+	return &Metrics{ring: newRing(cap)}
+}
+
+// DefaultTraceCap is the event ring capacity used when none is given.
+const DefaultTraceCap = 1 << 14
+
+// Enabled reports whether the sink is live. Instrumentation sites may use
+// it to skip building expensive arguments; plain Add/Emit calls are already
+// nil-safe.
+func (m *Metrics) Enabled() bool { return m != nil }
+
+// Add increments counter c by n. No-op on a nil receiver.
+func (m *Metrics) Add(c Counter, n int64) {
+	if m == nil {
+		return
+	}
+	m.counters[c].Add(n)
+}
+
+// Get returns counter c's current value (0 on a nil receiver).
+func (m *Metrics) Get(c Counter) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.counters[c].Load()
+}
+
+// AddStage accumulates wall-clock time into a stage total. No-op on nil.
+func (m *Metrics) AddStage(s Stage, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stageNs[s].Add(int64(d))
+}
+
+// StageNs returns the accumulated wall-clock nanoseconds of a stage.
+func (m *Metrics) StageNs(s Stage) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.stageNs[s].Load()
+}
+
+// Counters snapshots every counter by name, zeros included, so consumers
+// can sum and cross-check without knowing the Counter enum.
+func (m *Metrics) Counters() map[string]int64 {
+	out := make(map[string]int64, NumCounters)
+	for c := Counter(0); c < NumCounters; c++ {
+		var v int64
+		if m != nil {
+			v = m.counters[c].Load()
+		}
+		out[counterNames[c]] = v
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/minic"
+	"repro/internal/obs"
 )
 
 // TestScanFirmwareChaos is the fault-injection acceptance test: with faults
@@ -80,14 +81,20 @@ func TestScanFirmwareChaos(t *testing.T) {
 
 	healthy := len(fw.Images) - 1
 	var base *Report
-	// The final two runs pin the static stage to the scalar path: batched
-	// and scalar scans must produce byte-identical reports even with every
-	// fault armed.
+	var baseCounters map[string]int64
+	// The scalar runs pin the static stage to the reference path, the traced
+	// runs arm full observability: batched, scalar, observed and unobserved
+	// scans must all produce byte-identical reports even with every fault
+	// armed, and the deterministic pipeline counters must not depend on the
+	// worker count either.
 	for _, cfg := range []struct {
 		workers int
 		scalar  bool
+		traced  bool
 	}{
-		{1, false}, {4, false}, {16, false}, {1, true}, {4, true},
+		{1, false, false}, {4, false, false}, {16, false, false},
+		{1, true, false}, {4, true, false},
+		{1, false, true}, {4, false, true}, {16, false, true},
 	} {
 		workers := cfg.workers
 		// A fresh analyzer per run: reference failures memoize per analyzer,
@@ -95,9 +102,25 @@ func TestScanFirmwareChaos(t *testing.T) {
 		an := NewAnalyzer(model, db)
 		an.Workers = workers
 		an.StaticScalar = cfg.scalar
+		if cfg.traced {
+			an.Obs = obs.NewTraced(0)
+		}
 		report, err := an.ScanFirmware(context.Background(), fw)
 		if err != nil {
 			t.Fatalf("workers=%d: chaos scan aborted: %v", workers, err)
+		}
+		if cfg.traced {
+			counters := an.Obs.Counters()
+			if baseCounters == nil {
+				baseCounters = counters
+			} else {
+				for name, want := range baseCounters {
+					if got := counters[name]; got != want {
+						t.Errorf("workers=%d: chaos counter %s = %d, want %d (first traced run)",
+							workers, name, got, want)
+					}
+				}
+			}
 		}
 
 		// Every cell the faults did not touch completed: no CVE lost its

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/faultinject"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/vulndb"
 )
 
@@ -323,16 +325,38 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 		workers = 1
 	}
 
+	ids := a.db.IDs()
+	a.Obs.Emit(obs.Event{
+		Kind:   obs.EvScanStarted,
+		Device: fw.Device,
+		Arch:   fw.Arch,
+		Images: len(fw.Images),
+		CVEs:   len(ids),
+	})
+
 	prepStart := time.Now()
 	prepared, prepErrs := prepareImagesIsolated(ctx, fw.Images, workers)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	prepWall := time.Since(prepStart)
+	a.Obs.AddStage(obs.StagePrepare, prepWall)
+	a.Obs.Add(obs.CtrImagesFailed, int64(len(prepErrs)))
+	for _, p := range prepared {
+		if p == nil {
+			continue
+		}
+		a.Obs.Add(obs.CtrImagesPrepared, 1)
+		a.Obs.Add(obs.CtrFuncsDisassembled, int64(p.NumFuncs()))
+		a.Obs.Emit(obs.Event{
+			Kind:    obs.EvImagePrepared,
+			Library: p.Image.LibName,
+			Funcs:   p.NumFuncs(),
+		})
+	}
 
 	// The scan grid. Task index encodes the sequential iteration order
 	// (CVE, then image, then mode), which the reduction below relies on.
-	ids := a.db.IDs()
 	modes := [2]QueryMode{QueryVulnerable, QueryPatched}
 	nTasks := len(ids) * len(prepared) * len(modes)
 	if workers > nTasks {
@@ -401,6 +425,9 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	// reference observed from every image collapses to one ScanError.
 	report := &Report{Device: fw.Device, Arch: fw.Arch, Results: make(map[string]*CVEScan, len(ids))}
 	report.Errors = append(report.Errors, prepErrs...)
+	for _, se := range prepErrs {
+		a.emitScanError(se)
+	}
 	stats := ScanStats{ImagesFailed: len(prepErrs)}
 	seen := make(map[ScanError]bool)
 	for ci, id := range ids {
@@ -410,10 +437,12 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 				i := (ci*len(prepared)+pi)*len(modes) + mi
 				if err := errs[i]; err != nil {
 					stats.CellsFailed++
+					a.Obs.Add(obs.CtrCellsFailed, 1)
 					se := cellError(id, prepared[pi].Image.LibName, modes[mi], err)
 					if !seen[se] {
 						seen[se] = true
 						report.Errors = append(report.Errors, se)
+						a.emitScanError(se)
 					}
 					continue
 				}
@@ -423,12 +452,25 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 				}
 				stats.CandidatesExcluded += len(scan.Excluded)
 				stats.PartialSurvivors += scan.NumPartial
+				a.Obs.Add(obs.CtrCellsCompleted, 1)
+				a.emitCellEvents(scan)
 				if best == nil || better(scan, best) {
 					best = scan
 				}
 			}
 		}
 		report.Results[id] = best
+		if best != nil && best.Matched {
+			a.Obs.Emit(obs.Event{
+				Kind:       obs.EvVerdictReached,
+				CVE:        best.CVE,
+				Library:    best.Library,
+				Mode:       best.Mode.String(),
+				Addr:       best.Match.Addr,
+				Patched:    best.Verdict.Patched,
+				Confidence: best.Verdict.Confidence,
+			})
+		}
 	}
 	hits1, misses1 := a.cache.counts()
 	stats.Workers = workers
@@ -440,5 +482,86 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	stats.PrepareWall = prepWall
 	stats.ScanWall = time.Since(scanStart)
 	report.Stats = stats
+	a.Obs.Add(obs.CtrRefHits, stats.CacheHits)
+	a.Obs.Add(obs.CtrRefMisses, stats.CacheMisses)
 	return report, nil
+}
+
+// EmitScanEvents mirrors one completed CVEScan into the analyzer's
+// trace-event stream: a cell_completed event, one candidate_excluded event
+// per pruned candidate (ascending address order) and, when the scan reached
+// a verdict, a verdict_reached event. ScanFirmware emits these itself from
+// its deterministic reduction; standalone ScanImage callers that want the
+// same trace call this once per scan, in scan order.
+func (a *Analyzer) EmitScanEvents(scan *CVEScan) {
+	if !a.Obs.Enabled() || scan == nil {
+		return
+	}
+	a.emitCellEvents(scan)
+	if scan.Matched {
+		a.Obs.Emit(obs.Event{
+			Kind:       obs.EvVerdictReached,
+			CVE:        scan.CVE,
+			Library:    scan.Library,
+			Mode:       scan.Mode.String(),
+			Addr:       scan.Match.Addr,
+			Patched:    scan.Verdict.Patched,
+			Confidence: scan.Verdict.Confidence,
+		})
+	}
+}
+
+// emitCellEvents emits one cell_completed event for a finished grid cell
+// plus one candidate_excluded event per pruned candidate, in ascending
+// address order. Called only from the sequential reduction, so the event
+// stream is identical for any worker count.
+func (a *Analyzer) emitCellEvents(scan *CVEScan) {
+	if !a.Obs.Enabled() {
+		return
+	}
+	a.Obs.Emit(obs.Event{
+		Kind:       obs.EvCellCompleted,
+		CVE:        scan.CVE,
+		Library:    scan.Library,
+		Mode:       scan.Mode.String(),
+		Pairs:      scan.TotalFuncs,
+		Candidates: scan.NumCandidates,
+		Survivors:  scan.NumExecuted,
+		Matched:    scan.Matched,
+	})
+	if len(scan.Excluded) == 0 {
+		return
+	}
+	addrs := make([]uint64, 0, len(scan.Excluded))
+	for addr := range scan.Excluded {
+		addrs = append(addrs, addr)
+	}
+	slices.Sort(addrs)
+	for _, addr := range addrs {
+		a.Obs.Emit(obs.Event{
+			Kind:    obs.EvCandidateExcluded,
+			CVE:     scan.CVE,
+			Library: scan.Library,
+			Mode:    scan.Mode.String(),
+			Addr:    addr,
+			Reason:  scan.Excluded[addr],
+		})
+	}
+}
+
+// emitScanError mirrors a recorded ScanError into the trace-event stream.
+// The mode coordinate is meaningless on image-level failures and stays
+// blank there, matching ScanError's own scoping rules.
+func (a *Analyzer) emitScanError(se ScanError) {
+	ev := obs.Event{
+		Kind:    obs.EvScanError,
+		CVE:     se.CVE,
+		Library: se.Library,
+		Fail:    se.Kind.String(),
+		Reason:  se.Msg,
+	}
+	if se.CVE != "" {
+		ev.Mode = se.Mode.String()
+	}
+	a.Obs.Emit(ev)
 }

@@ -1,0 +1,183 @@
+package patchecko
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/binimg"
+	"repro/internal/minic"
+)
+
+func TestFailKindString(t *testing.T) {
+	for _, tc := range []struct {
+		kind FailKind
+		want string
+	}{
+		{FailDecode, "decode"},
+		{FailPrepare, "prepare"},
+		{FailReference, "reference"},
+		{FailTrap, "trap"},
+		{FailPanic, "panic"},
+		{FailCancelled, "cancelled"},
+		{FailInternal, "internal"},
+		{FailKind(0), "failkind(0)"},
+		{FailKind(99), "failkind(99)"},
+	} {
+		if got := tc.kind.String(); got != tc.want {
+			t.Errorf("FailKind(%d).String() = %q, want %q", int(tc.kind), got, tc.want)
+		}
+	}
+}
+
+// TestClassify pins the cause-over-stage precedence of the error-chain
+// classifier: specific recognized causes (cancellation, traps, image rot,
+// panics) win over the stage fallback no matter how deeply they are wrapped.
+func TestClassify(t *testing.T) {
+	trap := &minic.TrapError{Kind: minic.TrapOOB, Addr: 0x20}
+	for _, tc := range []struct {
+		name  string
+		err   error
+		stage FailKind
+		want  FailKind
+	}{
+		{"nil", nil, FailPrepare, 0},
+		{"canceled", context.Canceled, FailInternal, FailCancelled},
+		{"deadline", context.DeadlineExceeded, FailInternal, FailCancelled},
+		{"wrapped canceled", fmt.Errorf("scan: %w", context.Canceled), FailReference, FailCancelled},
+		{"trap", trap, FailInternal, FailTrap},
+		{"wrapped trap", fmt.Errorf("profiling: %w", trap), FailReference, FailTrap},
+		{"trap inside refError", &refError{err: trap}, FailReference, FailTrap},
+		{"bad image", binimg.ErrBadImage, FailInternal, FailDecode},
+		{"wrapped bad image", fmt.Errorf("load: %w", binimg.ErrBadImage), FailPrepare, FailDecode},
+		{"panic", &panicError{v: "boom"}, FailInternal, FailPanic},
+		{"wrapped panic", fmt.Errorf("cell: %w", &panicError{v: 42}), FailReference, FailPanic},
+		{"plain falls back to stage", errors.New("no candidates"), FailReference, FailReference},
+		{"plain internal", errors.New("whatever"), FailInternal, FailInternal},
+		// Cancellation is checked before traps: a trap that surfaced because
+		// the context died still reads as cancellation.
+		{"canceled beats trap", fmt.Errorf("%w after %w", context.Canceled, trap), FailInternal, FailCancelled},
+	} {
+		if got := classify(tc.err, tc.stage); got != tc.want {
+			t.Errorf("%s: classify(%v, %v) = %v, want %v", tc.name, tc.err, tc.stage, got, tc.want)
+		}
+	}
+}
+
+// TestCellError pins the scope encoding: reference-side failures blank the
+// library coordinate (the reference is broken independently of any target
+// image) and default to FailReference, while everything else keeps all three
+// cell coordinates.
+func TestCellError(t *testing.T) {
+	trap := &minic.TrapError{Kind: minic.TrapDivZero}
+	for _, tc := range []struct {
+		name string
+		err  error
+		want ScanError
+	}{
+		{
+			"plain cell failure",
+			errors.New("mystery"),
+			ScanError{CVE: "CVE-1", Library: "libx", Mode: QueryVulnerable, Kind: FailInternal, Msg: "mystery"},
+		},
+		{
+			"reference failure drops library",
+			&refError{err: errors.New("reference rot")},
+			ScanError{CVE: "CVE-1", Mode: QueryVulnerable, Kind: FailReference, Msg: "reference rot"},
+		},
+		{
+			"trap beats reference stage, still reference-scoped",
+			&refError{err: trap},
+			ScanError{CVE: "CVE-1", Mode: QueryVulnerable, Kind: FailTrap, Msg: trap.Error()},
+		},
+		{
+			"panic keeps cell scope",
+			&panicError{v: "boom"},
+			ScanError{CVE: "CVE-1", Library: "libx", Mode: QueryVulnerable, Kind: FailPanic, Msg: "panic in scan worker: boom"},
+		},
+		{
+			"decode rot in cell work keeps cell scope",
+			fmt.Errorf("target: %w", binimg.ErrBadImage),
+			ScanError{CVE: "CVE-1", Library: "libx", Mode: QueryVulnerable, Kind: FailDecode,
+				Msg: "target: " + binimg.ErrBadImage.Error()},
+		},
+	} {
+		got := cellError("CVE-1", "libx", QueryVulnerable, tc.err)
+		if got != tc.want {
+			t.Errorf("%s:\n got %+v\nwant %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestScanErrorRendering checks the three scope renderings that field
+// presence encodes.
+func TestScanErrorRendering(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		se   ScanError
+		want string
+	}{
+		{
+			"image scope",
+			ScanError{Library: "libx", Kind: FailPrepare, Msg: "bad bytes"},
+			"image libx: prepare: bad bytes",
+		},
+		{
+			"reference scope",
+			ScanError{CVE: "CVE-9", Mode: QueryPatched, Kind: FailTrap, Msg: "oob"},
+			"CVE-9 [patched]: trap: oob",
+		},
+		{
+			"cell scope",
+			ScanError{CVE: "CVE-9", Library: "libx", Mode: QueryVulnerable, Kind: FailPanic, Msg: "boom"},
+			"CVE-9 [vulnerable] on libx: panic: boom",
+		},
+	} {
+		if got := tc.se.Error(); got != tc.want {
+			t.Errorf("%s: Error() = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestScanErrorDedupEquality pins the property the engine's dedup relies on:
+// ScanError is a plain comparable value, so independently-constructed records
+// of the same failure are equal (and usable as map keys), while any differing
+// coordinate keeps records distinct.
+func TestScanErrorDedupEquality(t *testing.T) {
+	mk := func() ScanError {
+		return cellError("CVE-1", "libx", QueryVulnerable, &refError{err: errors.New("reference rot")})
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("identical failures not equal: %+v vs %+v", a, b)
+	}
+	seen := map[ScanError]bool{a: true}
+	if !seen[b] {
+		t.Fatal("equal ScanError missed as map key")
+	}
+	for _, other := range []ScanError{
+		cellError("CVE-2", "libx", QueryVulnerable, &refError{err: errors.New("reference rot")}),
+		cellError("CVE-1", "libx", QueryPatched, &refError{err: errors.New("reference rot")}),
+		cellError("CVE-1", "libx", QueryVulnerable, &refError{err: errors.New("different rot")}),
+		cellError("CVE-1", "libx", QueryVulnerable, errors.New("reference rot")),
+	} {
+		if other == a {
+			t.Errorf("distinct failure compares equal: %+v", other)
+		}
+	}
+}
+
+// TestPanicErrorMessage keeps the recovered-panic rendering stable; the
+// chaos suite matches on it when asserting worker-panic isolation.
+func TestPanicErrorMessage(t *testing.T) {
+	err := &panicError{v: errors.New("inner")}
+	if got := err.Error(); !strings.Contains(got, "panic in scan worker") || !strings.Contains(got, "inner") {
+		t.Errorf("panicError rendering = %q", got)
+	}
+	var pe *panicError
+	if !errors.As(fmt.Errorf("wrap: %w", err), &pe) {
+		t.Error("panicError lost through wrapping")
+	}
+}

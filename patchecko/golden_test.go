@@ -1,0 +1,262 @@
+package patchecko
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The golden-report suite pins two contracts at once:
+//
+//  1. Reproducibility: ScanFirmware at seed 42 / ScaleTiny produces the
+//     byte-identical Report JSON committed in testdata, so any change to
+//     scoring, ranking, verdicts or error recording shows up as a golden
+//     diff instead of sliding by silently.
+//  2. Observation is free of side effects: the Report is the same bytes at
+//     every worker count, with metrics disabled, counters-only, or full
+//     event tracing. Instrumentation may only watch.
+//
+// Regenerate after an intentional pipeline change with:
+//
+//	PATCHECKO_UPDATE_GOLDEN=1 go test ./patchecko/ -run TestGoldenReport
+
+const goldenPath = "testdata/golden_report_seed42.json"
+
+var (
+	goldenOnce  sync.Once
+	goldenModel *Model
+	goldenDB    *DB
+	goldenFw    *Firmware
+	goldenErr   error
+)
+
+// goldenFixtures builds the seed-42 tiny-scale pipeline inputs shared by
+// the golden and metrics-consistency tests. Everything is deterministic in
+// (scale, seed), which is what makes a committed golden file possible.
+func goldenFixtures(t *testing.T) (*Model, *DB, *Firmware) {
+	t.Helper()
+	goldenOnce.Do(func() {
+		groups, err := TrainingCorpus(ScaleTiny, 42)
+		if err != nil {
+			goldenErr = err
+			return
+		}
+		cfg := DefaultTrainConfig()
+		cfg.Seed = 42
+		cfg.Epochs = ScaleTiny.Epochs
+		cfg.MaxPosPerFunc = ScaleTiny.MaxPosPerFunc
+		goldenModel, _, _, goldenErr = TrainDetector(groups, cfg)
+		if goldenErr != nil {
+			return
+		}
+		goldenDB, goldenErr = BuildVulnDB(ScaleTiny, 42)
+		if goldenErr != nil {
+			return
+		}
+		goldenFw, goldenErr = BuildFirmware(ThingOS, ScaleTiny)
+	})
+	if goldenErr != nil {
+		t.Fatal(goldenErr)
+	}
+	return goldenModel, goldenDB, goldenFw
+}
+
+// goldenReportJSON runs a full firmware scan and marshals the normalized
+// Report. Wall-clock timings and the configured worker count are the only
+// fields that legitimately vary across runs; normalizeReport zeroes them,
+// and encoding/json sorts all map keys, so equal Reports marshal to equal
+// bytes.
+func goldenReportJSON(t *testing.T, workers int, sink *obs.Metrics) []byte {
+	t.Helper()
+	model, db, fw := goldenFixtures(t)
+	an := NewAnalyzer(model, db)
+	an.Workers = workers
+	an.Obs = sink
+	report, err := an.ScanFirmware(context.Background(), fw)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	normalizeReport(report)
+	// Compact marshaling keeps the committed fixture small; the profile
+	// arrays dominate the report and indentation would triple their size.
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(raw, '\n')
+}
+
+func TestGoldenReport(t *testing.T) {
+	base := goldenReportJSON(t, 1, nil)
+	if os.Getenv("PATCHECKO_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, base, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(base))
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with PATCHECKO_UPDATE_GOLDEN=1 to create it): %v", err)
+	}
+	if !bytes.Equal(base, want) {
+		t.Fatalf("seed-42 report diverged from %s (%d vs %d bytes); "+
+			"if the pipeline change is intentional, regenerate with PATCHECKO_UPDATE_GOLDEN=1",
+			goldenPath, len(base), len(want))
+	}
+
+	// Every worker count and every observability mode must reproduce the
+	// same bytes: nil (no-op sink), counters-only, and full event tracing.
+	sinks := []struct {
+		name string
+		mk   func() *obs.Metrics
+	}{
+		{"metrics-off", func() *obs.Metrics { return nil }},
+		{"counters", obs.New},
+		{"traced", func() *obs.Metrics { return obs.NewTraced(0) }},
+	}
+	for _, workers := range []int{1, 4, 16} {
+		for _, s := range sinks {
+			got := goldenReportJSON(t, workers, s.mk())
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d %s: report bytes diverge from golden", workers, s.name)
+			}
+		}
+	}
+}
+
+// TestScanMetricsConsistency cross-checks the manifest counters against the
+// Report and the trace-event stream, and pins counter determinism across
+// worker counts: counters count work items, not scheduling.
+func TestScanMetricsConsistency(t *testing.T) {
+	model, db, fw := goldenFixtures(t)
+	var baseCounters map[string]int64
+	for _, workers := range []int{1, 4, 16} {
+		sink := obs.NewTraced(0)
+		an := NewAnalyzer(model, db)
+		an.Workers = workers
+		an.Obs = sink
+		report, err := an.ScanFirmware(context.Background(), fw)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+
+		// Counters vs the Report's own stats.
+		checks := []struct {
+			name string
+			ctr  obs.Counter
+			want int64
+		}{
+			{"cells completed", obs.CtrCellsCompleted, int64(report.Stats.ScansRun)},
+			{"ref cache hits", obs.CtrRefHits, report.Stats.CacheHits},
+			{"ref cache misses", obs.CtrRefMisses, report.Stats.CacheMisses},
+			{"images prepared", obs.CtrImagesPrepared, int64(report.Stats.Images - report.Stats.ImagesFailed)},
+			{"images failed", obs.CtrImagesFailed, int64(report.Stats.ImagesFailed)},
+			{"cells failed", obs.CtrCellsFailed, int64(report.Stats.CellsFailed)},
+			{"candidates excluded", obs.CtrCandidatesExcluded, int64(report.Stats.CandidatesExcluded)},
+		}
+		for _, c := range checks {
+			if got := sink.Get(c.ctr); got != c.want {
+				t.Errorf("workers=%d: %s counter = %d, want %d", workers, c.name, got, c.want)
+			}
+		}
+
+		// Partition invariants: every scored candidate is either validated
+		// or excluded, and every exclusion has exactly one recorded reason.
+		if v, e, s := sink.Get(obs.CtrCandidatesValidated), sink.Get(obs.CtrCandidatesExcluded),
+			sink.Get(obs.CtrStaticCandidates); v+e != s {
+			t.Errorf("workers=%d: validated %d + excluded %d != static candidates %d", workers, v, e, s)
+		}
+		if n, p, er, tot := sink.Get(obs.CtrExcludedNoEnv), sink.Get(obs.CtrExcludedPanic),
+			sink.Get(obs.CtrExcludedError), sink.Get(obs.CtrCandidatesExcluded); n+p+er != tot {
+			t.Errorf("workers=%d: exclusion reasons %d+%d+%d do not partition %d", workers, n, p, er, tot)
+		}
+		if v, p, tot := sink.Get(obs.CtrVerdictPatched), sink.Get(obs.CtrVerdictVulnerable),
+			sink.Get(obs.CtrVerdicts); v+p != tot {
+			t.Errorf("workers=%d: verdict outcomes %d+%d do not partition %d", workers, v, p, tot)
+		}
+
+		// Counters vs the event stream: pairs scored must equal the sum of
+		// per-cell pair counts, and cell/exclusion events must match their
+		// counters one-to-one.
+		var evPairs, evCells, evExcluded int64
+		for _, ev := range sink.Events() {
+			switch ev.Kind {
+			case obs.EvCellCompleted:
+				evCells++
+				evPairs += int64(ev.Pairs)
+			case obs.EvCandidateExcluded:
+				evExcluded++
+			}
+		}
+		if dropped := sink.Dropped(); dropped != 0 {
+			t.Fatalf("workers=%d: ring dropped %d events; grow the cap for this fixture", workers, dropped)
+		}
+		if got := sink.Get(obs.CtrPairsScored); got != evPairs {
+			t.Errorf("workers=%d: pairs_scored = %d, want Σ cell events = %d", workers, got, evPairs)
+		}
+		if got := sink.Get(obs.CtrCellsCompleted); got != evCells {
+			t.Errorf("workers=%d: cells_completed = %d, want %d cell events", workers, got, evCells)
+		}
+		if got := sink.Get(obs.CtrCandidatesExcluded); got != evExcluded {
+			t.Errorf("workers=%d: candidates_excluded = %d, want %d exclusion events", workers, got, evExcluded)
+		}
+
+		// Determinism across worker counts.
+		counters := sink.Counters()
+		if baseCounters == nil {
+			baseCounters = counters
+			continue
+		}
+		for name, want := range baseCounters {
+			if got := counters[name]; got != want {
+				t.Errorf("workers=%d: counter %s = %d, want %d (workers=1)", workers, name, got, want)
+			}
+		}
+	}
+}
+
+// TestManifestFromScan exercises the full artifact path: a live scan's sink
+// renders a manifest whose counters survive a JSON round trip.
+func TestManifestFromScan(t *testing.T) {
+	model, db, fw := goldenFixtures(t)
+	sink := obs.NewTraced(0)
+	an := NewAnalyzer(model, db)
+	an.Workers = 4
+	an.Obs = sink
+	if _, err := an.ScanFirmware(context.Background(), fw); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	info := obs.RunInfo{Tool: "golden-test", Seed: 42, Scale: "tiny", Workers: 4}
+	if err := sink.WriteManifest(path, info); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man obs.Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "golden-test" || man.Seed != 42 || man.Scale != "tiny" || man.Workers != 4 {
+		t.Errorf("manifest run info mangled: %+v", man)
+	}
+	for name, want := range sink.Counters() {
+		if got := man.Counters[name]; got != want {
+			t.Errorf("manifest counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if man.Events != len(sink.Events()) {
+		t.Errorf("manifest events = %d, want %d", man.Events, len(sink.Events()))
+	}
+}

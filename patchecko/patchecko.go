@@ -44,6 +44,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/minic"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/vulndb"
 )
 
@@ -163,6 +164,11 @@ type Analyzer struct {
 	// flag exists so equivalence is testable and the batched machinery is
 	// bypassable when debugging.
 	StaticScalar bool
+	// Obs receives pipeline counters, per-stage wall-clock totals and (when
+	// built with obs.NewTraced) structured trace events. Nil — the default —
+	// is the no-op sink: instrumented paths cost one predicted branch and
+	// zero allocations, and reports are byte-identical either way.
+	Obs *obs.Metrics
 
 	// cache memoizes per-CVE reference work (decoded references and their
 	// dynamic profiles) across images, query modes and goroutines.
@@ -297,7 +303,7 @@ func (a *Analyzer) newScorer() *detector.Scorer {
 	if a.StaticScalar {
 		return nil
 	}
-	return a.model.NewScorer()
+	return a.model.NewScorer().Observe(a.Obs)
 }
 
 // scanImage is ScanImage with an explicit candidate-validation pool size —
@@ -337,6 +343,10 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	var cands []detector.Candidate
 	if sc == nil {
 		cands = a.model.Candidates(queryRef.StaticVec(), p.Vecs)
+		// The batched Scorer counts its own pairs; the scalar path counts
+		// here so both report the same totals.
+		a.Obs.Add(obs.CtrPairsScored, int64(len(p.Vecs)))
+		a.Obs.Add(obs.CtrStaticCandidates, int64(len(cands)))
 	} else {
 		qh, qerr := a.cachedQueryHalves(entry, arch, mode)
 		if qerr != nil {
@@ -345,6 +355,7 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 		cands = sc.Candidates(qh, p.Targets(a.model))
 	}
 	scan.StaticTime = time.Since(start)
+	a.Obs.AddStage(obs.StageStatic, scan.StaticTime)
 	scan.NumCandidates = len(cands)
 	for _, c := range cands {
 		scan.CandidateAddr = append(scan.CandidateAddr, p.Dis.Funcs[c.Index].Addr)
@@ -401,6 +412,7 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 		})
 	}
 	scan.DynamicTime = time.Since(start)
+	a.Obs.AddStage(obs.StageDynamic, scan.DynamicTime)
 	if len(ranked) == 0 {
 		return scan, nil
 	}
@@ -419,7 +431,9 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	scan.Matched = true
 	scan.Match = scan.Ranking[0]
 	topFn := candFuncs[top.Index]
+	start = time.Now()
 	verdict, err := a.patchVerdict(ctx, entry, arch, p, topFn, dynamic.Vectors(profiles[top.Index]), envs)
+	a.Obs.AddStage(obs.StageDifferential, time.Since(start))
 	if err != nil {
 		return nil, err
 	}
@@ -429,7 +443,7 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 
 // exec bundles the analyzer's per-execution bounds for the dynamic stage.
 func (a *Analyzer) exec() dynamic.Exec {
-	return dynamic.Exec{Steps: a.StepLimit, Budget: a.ExecBudget}
+	return dynamic.Exec{Steps: a.StepLimit, Budget: a.ExecBudget, Obs: a.Obs}
 }
 
 // patchVerdict runs the differential engine on a matched target function.
@@ -470,6 +484,7 @@ func (a *Analyzer) patchVerdict(ctx context.Context, entry *vulndb.Entry, arch s
 		VulnSig:         diffengine.SigOf(vref.Fn),
 		PatchedSig:      diffengine.SigOf(pref.Fn),
 		TargetSig:       diffengine.SigOf(target),
+		Obs:             a.Obs,
 	})
 	if a.ExploitReplay && verdict.Confidence < 0.75 {
 		vulnExec := diffengine.Exec{Dis: vref.Dis, Fn: vref.Fn}
