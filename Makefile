@@ -15,8 +15,11 @@ test:
 # the parallel scan grid, the single-flight reference cache, the worker-pool
 # validator, the context watchdog, the fault-injection registry, and the
 # batched static-stage scorer all run under the race detector.
+# The golden equivalence matrix alone is minutes of scanning; under the
+# race detector on one core it overruns go test's default 10m deadline,
+# so give the gate an explicit budget.
 race:
-	$(GO) test -race ./patchecko/ ./internal/dynamic/ ./internal/emu/ ./internal/faultinject/ ./internal/detector/ ./internal/nn/
+	$(GO) test -race -timeout 45m ./patchecko/ ./internal/dynamic/ ./internal/emu/ ./internal/faultinject/ ./internal/detector/ ./internal/nn/ ./internal/cas/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -38,12 +41,14 @@ fuzz-smoke:
 	$(GO) test ./internal/binimg/ -run=Fuzz -fuzz=FuzzImageDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/disasm/ -run=Fuzz -fuzz=FuzzDisassemble -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/features/ -run=Fuzz -fuzz=FuzzExtract -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/cas/ -run=Fuzz -fuzz=FuzzNormalize -fuzztime=$(FUZZTIME)
 
 # Statement-coverage floor for the packages the observability layer leans
-# on hardest: the metrics/trace layer itself, the static-stage scorer, and
-# the scan engine. The floor is asserted per package, so a regression in one
-# cannot hide behind the others. CI runs this.
-COVER_PKGS  = ./internal/obs/ ./internal/detector/ ./patchecko/
+# on hardest: the metrics/trace layer itself, the static-stage scorer, the
+# scan engine, and the content-address/delta-store layer. The floor is
+# asserted per package, so a regression in one cannot hide behind the
+# others. CI runs this.
+COVER_PKGS  = ./internal/obs/ ./internal/detector/ ./patchecko/ ./internal/cas/
 COVER_FLOOR = 70
 cover:
 	@set -e; for pkg in $(COVER_PKGS); do \

@@ -30,6 +30,8 @@ func run() (err error) {
 		scaleName = flag.String("scale", "medium", "corpus scale: tiny|small|medium|large")
 		seed      = flag.Int64("seed", 42, "seed")
 		workers   = flag.Int("workers", runtime.NumCPU(), "scan worker pool size (results are identical at any count; timing columns vary)")
+		dedup     = flag.Bool("dedup", true, "share scoring across content-identical functions (results are identical either way)")
+		noDedup   = flag.Bool("no-dedup", false, "force every pair to be scored independently (overrides -dedup)")
 		all       = flag.Bool("all", false, "run every experiment")
 		fig7      = flag.Bool("fig7", false, "Fig. 7: static-stage FP rates")
 		fig8      = flag.Bool("fig8", false, "Fig. 8: training curves")
@@ -74,6 +76,7 @@ func run() (err error) {
 		Seed:    *seed,
 		Workers: *workers,
 		Obs:     of.Collector(),
+		NoDedup: *noDedup || !*dedup,
 		Log:     func(s string) { fmt.Println(s) },
 	})
 	if err != nil {

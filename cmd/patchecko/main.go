@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/binimg"
+	"repro/internal/cas"
 	"repro/internal/compiler"
 	"repro/internal/corpus"
 	"repro/internal/detector"
@@ -75,8 +76,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   patchecko train  -scale <tiny|small|medium|large> -seed N -out model.json
   patchecko scan   -model model.json -db vulndb.json -image lib.img [-cve CVE-...] [-workers N]
+                   [-no-dedup] [-store DIR [-store-max BYTES]]
   (train and scan also take -cpuprofile file / -memprofile file for go tool pprof;
-   scan also takes -metrics manifest.json / -trace events.jsonl for run observability)
+   scan also takes -metrics manifest.json / -trace events.jsonl for run observability;
+   -store keeps static scores on disk keyed by function content address, so
+   rescanning a firmware update only re-scores functions that changed)
   patchecko disasm -image lib.img [-func name|-addr 0x...]
   patchecko compile -src file.mc [-arch amd64 -level O2 -out lib.img -strip]
   patchecko run -src file.mc -func f [-args 4096,8 -data "bytes"]
@@ -188,6 +192,10 @@ func runScan(args []string) (err error) {
 		imagePath = fs.String("image", "", "library image to scan")
 		cveID     = fs.String("cve", "", "scan a single CVE (default: all)")
 		workers   = fs.Int("workers", runtime.NumCPU(), "scan worker pool size (results are identical at any count)")
+		dedup     = fs.Bool("dedup", true, "share work between functions with equal content addresses (results are identical either way)")
+		noDedup   = fs.Bool("no-dedup", false, "force the every-pair reference path (overrides -dedup)")
+		storeDir  = fs.String("store", "", "persistent score-store directory for incremental delta scans (implies -dedup)")
+		storeMax  = fs.Int64("store-max", 0, "score-store on-disk byte budget (0 = default 64MiB)")
 	)
 	prof := profiling.AddFlags(fs)
 	of := obs.AddFlags(fs)
@@ -236,6 +244,19 @@ func runScan(args []string) (err error) {
 	an := patchecko.NewAnalyzer(model, db)
 	an.Workers = *workers
 	an.Obs = of.Collector()
+	an.Dedup = *dedup && !*noDedup
+	if *storeDir != "" {
+		if !an.Dedup {
+			return fmt.Errorf("-store requires the dedup path (drop -no-dedup)")
+		}
+		// The store is versioned by the model content hash: entries written
+		// by any other model answer as invalidated, never as hits.
+		store, err := cas.Open(*storeDir, obs.ModelHash(rawModel), *storeMax)
+		if err != nil {
+			return err
+		}
+		an.Store = store
+	}
 	prepared, err := patchecko.Prepare(im)
 	if err != nil {
 		return err
@@ -275,6 +296,15 @@ func runScan(args []string) (err error) {
 		fmt.Printf("%-16s match at %#x (sim %.3f, %d candidates -> %d executed) verdict: %s (confidence %.2f)\n",
 			id, scan.Match.Addr, scan.Match.Sim, scan.NumCandidates, scan.NumExecuted,
 			status, scan.Verdict.Confidence)
+	}
+	if an.Dedup {
+		dc := an.DedupCounts()
+		fmt.Printf("dedup: %d unique of %d functions; scored %d pairs, reused %d, from store %d\n",
+			prepared.NumUnique(), prepared.NumFuncs(), dc.PairsScored, dc.PairsDeduped, dc.PairsFromStore)
+		if an.Store != nil {
+			fmt.Printf("store: %d hits, %d misses, %d invalidated (%d bytes in %s)\n",
+				dc.StoreHits, dc.StoreMisses, dc.StoreInvalidated, an.Store.Size(), an.Store.Dir())
+		}
 	}
 	if werr := of.Write(obs.RunInfo{
 		Tool:      "patchecko scan",

@@ -1,0 +1,408 @@
+// Package cas assigns content addresses to disassembled functions so the
+// scan engine can recognize that two functions — in the same image or in
+// different images of a fleet — are behaviorally the same work item and
+// score them once.
+//
+// Real firmware fleets share enormous function overlap (the same libc, the
+// same vendor SDK, across device models and firmware updates), but the
+// copies are not byte-identical: the linker relocates every call target, so
+// the same function linked at two different text offsets differs exactly in
+// its call immediates. The content address therefore hashes a *normalized*
+// encoding of the function's whole call closure:
+//
+//   - Instruction streams are encoded field by field (op, registers,
+//     immediate) in a fixed unambiguous binary record.
+//   - Call immediates that resolve to a function in the image are replaced
+//     by position: a closure-local index for callees inside the function's
+//     own strongly-connected component, or the callee's own content address
+//     (Merkle-style) for callees in downstream components. Unresolved call
+//     immediates — calls into unmapped memory — are kept raw, because the
+//     emulator's trap message embeds the raw target and resolution status is
+//     itself semantic.
+//   - Every other immediate is kept raw. Branch immediates are
+//     function-local byte offsets and import-call immediates index a global
+//     builtin table, so none of them move under relocation.
+//   - If any instruction in the function's component can observe rodata —
+//     a load or store through a base register other than FP/SP, an import
+//     call into a memory-accessing builtin such as strlen or memcmp, or
+//     any violation of the compiler's frame discipline (FP/SP-relative
+//     accesses are register spills only while FP/SP provably stay
+//     stack-valued) — a digest of the image's rodata section is folded in:
+//     computed addresses can reach interned constants, so behavior depends
+//     on rodata content. Callee rodata dependence flows through the callee
+//     hashes.
+//   - The function's own 48-dimensional static feature vector is folded in
+//     bit for bit, so a shared content address always implies bit-identical
+//     static scores.
+//
+// Two functions with equal addresses produce bit-identical static scores
+// and bit-identical dynamic profiles under any execution environment; the
+// engine's dedup path relies on exactly that.
+//
+// The package also provides a small persistent score store keyed by content
+// address (see store.go) for incremental delta scans across firmware
+// updates.
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"repro/internal/disasm"
+	"repro/internal/features"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// Addr is a function content address: a SHA-256 over the normalized
+// closure encoding.
+type Addr [sha256.Size]byte
+
+// String renders the address as lowercase hex.
+func (a Addr) String() string { return hex.EncodeToString(a[:]) }
+
+// version tags the canonical encoding; bump it whenever the normalization
+// rules change so stale persisted scores can never be misread as current.
+const version = "patchecko-cas/v1"
+
+// Immediate tags of the canonical instruction record. The tag byte makes
+// the three immediate interpretations unambiguous: a raw value can never
+// collide with a local index or an external-reference position.
+const (
+	immRaw    = 0 // immediate kept verbatim (incl. unresolved call targets)
+	immExtern = 1 // call resolved outside the component: external-ref position
+	immLocal  = 2 // call resolved inside the component: closure-local index
+)
+
+// ImageAddrs computes the content address of every function in the image.
+// vecs must hold the function's static feature vectors aligned with
+// dis.Funcs (as produced during image preparation). The result is
+// deterministic in the disassembly and vectors alone.
+//
+// Cost is linear: the call graph is condensed into strongly-connected
+// components (callees first), each function's encoding covers only its own
+// component plus one 32-byte digest per external callee, and components are
+// almost always singletons in compiled code.
+func ImageAddrs(dis *disasm.Disassembly, vecs []features.Vector) []Addr {
+	n := len(dis.Funcs)
+	callees, resolved := callGraph(dis)
+	comp, sccs := condense(callees)
+	sccMem := sccTouchesMem(dis, sccs)
+	rodata := rodataDigest(dis.Image.Rodata)
+
+	addrs := make([]Addr, n)
+	var buf [16]byte
+	// Tarjan emits components callees-first, so every external callee's
+	// address is final before any caller encodes it.
+	for _, scc := range sccs {
+		for _, root := range scc {
+			addrs[root] = hashRoot(dis, vecs, root, comp, callees, resolved, sccMem, rodata, addrs, buf[:])
+		}
+	}
+	return addrs
+}
+
+// MemoryTouching reports, per function, whether the function's call closure
+// can observe rodata: a load or store through a non-FP/SP base register, an
+// import call into a memory-accessing builtin, or a frame-discipline
+// violation (see sccTouchesMem). Functions for which this is false cannot
+// observe rodata, so their content address is independent of the image's
+// rodata section; the property suite uses this to predict exactly which
+// addresses a rodata edit may change.
+func MemoryTouching(dis *disasm.Disassembly) []bool {
+	callees, _ := callGraph(dis)
+	comp, sccs := condense(callees)
+	own := sccTouchesMem(dis, sccs)
+	closure := make([]bool, len(sccs))
+	// Callee-first component order makes the closure flag a single pass.
+	for ci, scc := range sccs {
+		closure[ci] = own[ci]
+		for _, fi := range scc {
+			for _, ti := range callees[fi] {
+				if comp[ti] != ci && closure[comp[ti]] {
+					closure[ci] = true
+				}
+			}
+		}
+	}
+	out := make([]bool, len(dis.Funcs))
+	for i := range out {
+		out[i] = closure[comp[i]]
+	}
+	return out
+}
+
+// callGraph resolves every Call immediate against the image's recovered
+// function starts. callees[i] lists the resolved target indices of function
+// i in instruction order (duplicates kept — the encoder needs first-reference
+// order); resolved[i] maps the instruction index of each resolved Call to
+// its target function index.
+func callGraph(dis *disasm.Disassembly) (callees [][]int, resolved []map[int]int) {
+	idxOf := make(map[uint64]int, len(dis.Funcs))
+	for i, fn := range dis.Funcs {
+		idxOf[fn.Addr] = i
+	}
+	callees = make([][]int, len(dis.Funcs))
+	resolved = make([]map[int]int, len(dis.Funcs))
+	for i, fn := range dis.Funcs {
+		for k, in := range fn.Instrs {
+			if in.Op != isa.Call {
+				continue
+			}
+			ti, ok := idxOf[uint64(in.Imm)]
+			if !ok {
+				continue
+			}
+			if resolved[i] == nil {
+				resolved[i] = make(map[int]int)
+			}
+			resolved[i][k] = ti
+			callees[i] = append(callees[i], ti)
+		}
+	}
+	return callees, resolved
+}
+
+// condense runs an iterative Tarjan SCC pass over the call graph. comp maps
+// each function to its component id; sccs lists components in completion
+// order, which for Tarjan is reverse-topological: every component a member
+// calls into is emitted before the component itself.
+func condense(adj [][]int) (comp []int, sccs [][]int) {
+	n := len(adj)
+	comp = make([]int, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	type frame struct{ v, ei int }
+	var frames []frame
+	for s := 0; s < n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		index[s], low[s] = next, next
+		next++
+		stack = append(stack, s)
+		onStack[s] = true
+		frames = append(frames[:0], frame{s, 0})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := &frames[len(frames)-1]; low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(sccs)
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return comp, sccs
+}
+
+// sccTouchesMem flags components that can observe image-dependent memory,
+// which in this machine model means exactly the rodata section: the stack
+// starts zeroed and the data region is seeded by the (image-independent)
+// execution environment. A component is flagged when any member
+//
+//   - loads or stores through a base register other than FP/SP — a computed
+//     address can reach rodata;
+//   - imports a builtin whose implementation accesses memory (strlen,
+//     memcmp, ... — marked minic.Builtin.Mem);
+//   - breaks the frame discipline (see frameDisciplined), in which case
+//     FP/SP-relative accesses can no longer be assumed to stay on the
+//     stack and the component is flagged conservatively.
+//
+// FP/SP-relative loads and stores in disciplined functions are register
+// spills; Push/Pop address only the stack. Neither can observe rodata,
+// because every value that could carry rodata content into a stack slot
+// must first pass through one of the flagged ingress points above.
+func sccTouchesMem(dis *disasm.Disassembly, sccs [][]int) []bool {
+	fp, sp := dis.Arch.FP(), dis.Arch.SP()
+	out := make([]bool, len(sccs))
+	for ci, scc := range sccs {
+		for _, fi := range scc {
+			fn := dis.Funcs[fi]
+			if !frameDisciplined(fn, fp, sp) {
+				out[ci] = true
+				break
+			}
+			for _, in := range fn.Instrs {
+				switch in.Op {
+				case isa.Ldb, isa.Ldw, isa.Stb, isa.Stw:
+					if in.Rs1 != fp && in.Rs1 != sp {
+						out[ci] = true
+					}
+				case isa.CallI:
+					if b, ok := minic.BuiltinByIndex(int(in.Imm)); ok && b.Mem {
+						out[ci] = true
+					}
+				}
+			}
+			if out[ci] {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// frameDisciplined reports whether every write to the frame and stack
+// pointers keeps them stack-valued: moves between FP and SP, the implicit
+// Push/Pop/AddSp adjustments, and the epilogue's Pop-FP — accepted only when
+// immediately followed by Ret, so a popped value (which may be any pushed
+// word) is never live at a load or store. Compiler output always satisfies
+// this; arbitrary bytes that do not are conservatively treated as
+// memory-touching by sccTouchesMem.
+func frameDisciplined(fn *disasm.Function, fp, sp isa.Reg) bool {
+	for k, in := range fn.Instrs {
+		if !writesRd(in.Op) || (in.Rd != fp && in.Rd != sp) {
+			continue
+		}
+		switch {
+		case in.Op == isa.Mov && (in.Rs1 == fp || in.Rs1 == sp):
+		case in.Op == isa.Pop && in.Rd == fp &&
+			k+1 < len(fn.Instrs) && fn.Instrs[k+1].Op == isa.Ret:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// writesRd reports whether op writes its Rd operand.
+func writesRd(op isa.Op) bool {
+	switch {
+	case op == isa.Ldi || op == isa.Mov || op == isa.Ldb || op == isa.Ldw || op == isa.Pop:
+		return true
+	case op >= isa.Add && op <= isa.Inv: // RISC ALU, compares, unaries
+		return true
+	case op >= isa.Add2 && op <= isa.ShrI: // CISC ALU and immediates
+		return true
+	case op >= isa.Sete && op <= isa.Setge: // CISC flag materialization
+		return true
+	}
+	return false
+}
+
+// rodataDigest hashes the rodata section with its length, so an empty
+// section and a missing one digest differently from any non-empty one.
+func rodataDigest(rodata []byte) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(rodata)))
+	h.Write(buf[:])
+	h.Write(rodata)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// hashRoot encodes the closure of one function, rooted at root, and hashes
+// it. Members of root's component are walked breadth-first in first-call
+// order starting at root, so each member of a cycle still gets its own
+// root-relative address.
+func hashRoot(dis *disasm.Disassembly, vecs []features.Vector, root int,
+	comp []int, callees [][]int, resolved []map[int]int,
+	sccMem []bool, rodata [sha256.Size]byte, addrs []Addr, buf []byte) Addr {
+
+	h := sha256.New()
+	h.Write([]byte(version))
+	h.Write([]byte(dis.Arch.Name))
+	h.Write([]byte{0})
+
+	local := map[int]int{root: 0}
+	order := []int{root}
+	var extRefs []int
+	extPos := map[int]int{}
+
+	for qi := 0; qi < len(order); qi++ {
+		fi := order[qi]
+		fn := dis.Funcs[fi]
+		writeU64(h, buf, uint64(len(fn.Instrs)))
+		for k, in := range fn.Instrs {
+			tag, val := byte(immRaw), uint64(in.Imm)
+			if in.Op == isa.Call {
+				if ti, ok := resolved[fi][k]; ok {
+					if comp[ti] == comp[root] {
+						li, seen := local[ti]
+						if !seen {
+							li = len(order)
+							local[ti] = li
+							order = append(order, ti)
+						}
+						tag, val = immLocal, uint64(li)
+					} else {
+						ei, seen := extPos[ti]
+						if !seen {
+							ei = len(extRefs)
+							extPos[ti] = ei
+							extRefs = append(extRefs, ti)
+						}
+						tag, val = immExtern, uint64(ei)
+					}
+				}
+			}
+			buf[0], buf[1], buf[2], buf[3], buf[4] = byte(in.Op), byte(in.Rd), byte(in.Rs1), byte(in.Rs2), tag
+			binary.LittleEndian.PutUint64(buf[5:13], val)
+			h.Write(buf[:13])
+		}
+	}
+
+	writeU64(h, buf, uint64(len(extRefs)))
+	for _, ti := range extRefs {
+		h.Write(addrs[ti][:])
+	}
+	if sccMem[comp[root]] {
+		h.Write([]byte{1})
+		h.Write(rodata[:])
+	} else {
+		h.Write([]byte{0})
+	}
+	for _, x := range vecs[root] {
+		writeU64(h, buf, math.Float64bits(x))
+	}
+
+	var out Addr
+	h.Sum(out[:0])
+	return out
+}
+
+func writeU64(h hash.Hash, buf []byte, v uint64) {
+	binary.LittleEndian.PutUint64(buf[:8], v)
+	h.Write(buf[:8])
+}

@@ -1,0 +1,235 @@
+package cas
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/features"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// The property suite pins the two halves of the content-address contract:
+//
+//   - Collision where required: relocating a function (compiling the same
+//     bodies at different text offsets) must not change its address, and
+//     byte-identical bodies must collide even inside one image.
+//   - Separation where required: one semantic change — a different
+//     constant, a different callee, a different rodata byte reaching a
+//     memory-touching closure — must change the address, and must change
+//     ONLY the addresses whose closures can observe it.
+//
+// srcBase covers every interesting call-graph shape: a pure leaf, a
+// self-recursive function (singleton SCC with a self-loop), a mutually
+// recursive pair (non-trivial SCC), an explicit memory reader, a function
+// whose only memory access happens inside the strlen builtin, and a caller
+// that stitches the pure ones together.
+const srcBase = `
+func mix(a, b) { return a * 31 + b ^ 7; }
+func fact(n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+func sum(p, n) { s = 0; i = 0; while (i < n) { s = s + p[i]; i = i + 1; } return s; }
+func taglen(a) { return strlen("cas-property-tag") + a; }
+func chain(x) { return mix(x, fact(3)) + even(x); }
+`
+
+// srcPermuted declares the identical function bodies in a different order,
+// so the compiler lays them out at different text offsets and relocates
+// every cross-function call immediate.
+const srcPermuted = `
+func chain(x) { return mix(x, fact(3)) + even(x); }
+func taglen(a) { return strlen("cas-property-tag") + a; }
+func sum(p, n) { s = 0; i = 0; while (i < n) { s = s + p[i]; i = i + 1; } return s; }
+func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+func fact(n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+func mix(a, b) { return a * 31 + b ^ 7; }
+`
+
+// srcConstFlip is srcBase with one semantic byte changed: mix multiplies by
+// 37 instead of 31. Only mix itself and its transitive callers may diverge.
+const srcConstFlip = `
+func mix(a, b) { return a * 37 + b ^ 7; }
+func fact(n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+func sum(p, n) { s = 0; i = 0; while (i < n) { s = s + p[i]; i = i + 1; } return s; }
+func taglen(a) { return strlen("cas-property-tag") + a; }
+func chain(x) { return mix(x, fact(3)) + even(x); }
+`
+
+type compiled struct {
+	dis   *disasm.Disassembly
+	vecs  []features.Vector
+	addrs []Addr
+	idx   map[string]int // function name -> index in dis.Funcs
+}
+
+func (c *compiled) addr(t *testing.T, name string) Addr {
+	t.Helper()
+	i, ok := c.idx[name]
+	if !ok {
+		t.Fatalf("function %q not in disassembly", name)
+	}
+	return c.addrs[i]
+}
+
+func compileFor(t *testing.T, arch *isa.Arch, src string) *compiled {
+	t.Helper()
+	mod, err := minic.Parse("libcas", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := compiler.Compile(mod, arch, compiler.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := disasm.Disassemble(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return address(t, dis)
+}
+
+func address(t *testing.T, dis *disasm.Disassembly) *compiled {
+	t.Helper()
+	vecs := make([]features.Vector, len(dis.Funcs))
+	for i, fn := range dis.Funcs {
+		vecs[i] = features.Extract(dis, fn)
+	}
+	c := &compiled{dis: dis, vecs: vecs, addrs: ImageAddrs(dis, vecs), idx: make(map[string]int)}
+	for i, fn := range dis.Funcs {
+		if fn.Name == "" {
+			t.Fatal("property fixtures need unstripped images (function names)")
+		}
+		c.idx[fn.Name] = i
+	}
+	return c
+}
+
+var baseFuncs = []string{"mix", "fact", "even", "odd", "sum", "taglen", "chain"}
+
+// TestAddrRelocationInvariant: the same function bodies compiled in a
+// permuted layout — every function at a different text offset, every
+// cross-function call relocated — keep their content addresses.
+func TestAddrRelocationInvariant(t *testing.T) {
+	for _, arch := range isa.All() {
+		a := compileFor(t, arch, srcBase)
+		b := compileFor(t, arch, srcPermuted)
+		// The premise must hold or the test is vacuous: the layouts differ.
+		moved := false
+		for _, name := range baseFuncs {
+			if a.dis.Funcs[a.idx[name]].Addr != b.dis.Funcs[b.idx[name]].Addr {
+				moved = true
+			}
+		}
+		if !moved {
+			t.Fatalf("%s: permuted source compiled to identical layout; fixture is vacuous", arch.Name)
+		}
+		for _, name := range baseFuncs {
+			if a.addr(t, name) != b.addr(t, name) {
+				t.Errorf("%s: %s: content address changed under relocation", arch.Name, name)
+			}
+		}
+	}
+}
+
+// TestAddrSemanticSensitivity: one changed constant in a leaf diverges the
+// leaf and, Merkle-style, exactly its transitive callers.
+func TestAddrSemanticSensitivity(t *testing.T) {
+	for _, arch := range isa.All() {
+		a := compileFor(t, arch, srcBase)
+		b := compileFor(t, arch, srcConstFlip)
+		changed := map[string]bool{"mix": true, "chain": true} // chain calls mix
+		for _, name := range baseFuncs {
+			same := a.addr(t, name) == b.addr(t, name)
+			if changed[name] && same {
+				t.Errorf("%s: %s: semantic change did not change the content address", arch.Name, name)
+			}
+			if !changed[name] && !same {
+				t.Errorf("%s: %s: content address changed without a semantic change", arch.Name, name)
+			}
+		}
+	}
+}
+
+// TestAddrRodataSensitivity: flipping one rodata byte changes exactly the
+// addresses of memory-touching closures — including taglen, whose only
+// memory access happens inside the strlen builtin — and no others.
+func TestAddrRodataSensitivity(t *testing.T) {
+	for _, arch := range isa.All() {
+		a := compileFor(t, arch, srcBase)
+		if len(a.dis.Image.Rodata) == 0 {
+			t.Fatalf("%s: fixture interned no rodata; test is vacuous", arch.Name)
+		}
+
+		im := *a.dis.Image
+		im.Rodata = append([]byte(nil), a.dis.Image.Rodata...)
+		im.Rodata[0] ^= 0x01
+		dis2, err := disasm.Disassemble(&im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := address(t, dis2)
+
+		mem := MemoryTouching(a.dis)
+		wantMem := map[string]bool{"sum": true, "taglen": true}
+		for _, name := range baseFuncs {
+			if got := mem[a.idx[name]]; got != wantMem[name] {
+				t.Errorf("%s: MemoryTouching(%s) = %v, want %v", arch.Name, name, got, wantMem[name])
+			}
+			same := a.addr(t, name) == b.addr(t, name)
+			if wantMem[name] && same {
+				t.Errorf("%s: %s: rodata flip did not change a memory-touching address", arch.Name, name)
+			}
+			if !wantMem[name] && !same {
+				t.Errorf("%s: %s: rodata flip changed a memory-blind address", arch.Name, name)
+			}
+		}
+	}
+}
+
+// TestAddrIntraImageDuplicates: byte-identical bodies inside one image
+// collide, and the collision propagates to their (otherwise identical)
+// callers; a one-constant variant separates both levels.
+func TestAddrIntraImageDuplicates(t *testing.T) {
+	const src = `
+func f(a) { return a * 3 + 1; }
+func g(a) { return a * 3 + 1; }
+func h(a) { return a * 3 + 2; }
+func callf(x) { return f(x) + 5; }
+func callg(x) { return g(x) + 5; }
+func callh(x) { return h(x) + 5; }
+`
+	for _, arch := range isa.All() {
+		c := compileFor(t, arch, src)
+		if c.addr(t, "f") != c.addr(t, "g") {
+			t.Errorf("%s: identical bodies f and g got distinct addresses", arch.Name)
+		}
+		if c.addr(t, "f") == c.addr(t, "h") {
+			t.Errorf("%s: distinct bodies f and h collided", arch.Name)
+		}
+		if c.addr(t, "callf") != c.addr(t, "callg") {
+			t.Errorf("%s: callers of behaviorally equal callees got distinct addresses", arch.Name)
+		}
+		if c.addr(t, "callf") == c.addr(t, "callh") {
+			t.Errorf("%s: callers of behaviorally distinct callees collided", arch.Name)
+		}
+	}
+}
+
+// TestImageAddrsDeterministic: addressing is a pure function of the
+// disassembly and vectors.
+func TestImageAddrsDeterministic(t *testing.T) {
+	for _, arch := range isa.All() {
+		c := compileFor(t, arch, srcBase)
+		again := ImageAddrs(c.dis, c.vecs)
+		for i := range c.addrs {
+			if c.addrs[i] != again[i] {
+				t.Fatalf("%s: ImageAddrs not deterministic at func %d", arch.Name, i)
+			}
+		}
+	}
+}

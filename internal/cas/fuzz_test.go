@@ -1,0 +1,76 @@
+package cas
+
+import (
+	"testing"
+
+	"repro/internal/binimg"
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/features"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// FuzzNormalize hardens the content-address normalizer against whatever the
+// stripped-image disassembler recovers from arbitrary bytes: the first
+// input byte selects the architecture, the second seeds a tiny rodata
+// section, the rest is the .text section. Normalization must never panic —
+// arbitrary call graphs, self-calls, cycles, frame-discipline violations —
+// and must be a pure function of the disassembly: a second pass over the
+// same input yields byte-identical addresses. MemoryTouching must stay
+// consistent with ImageAddrs on the same input.
+func FuzzNormalize(f *testing.F) {
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 23, Name: "libcas", NumFuncs: 4})
+	for ai, arch := range isa.All() {
+		im, err := compiler.Compile(mod, arch, compiler.O2)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte{byte(ai), 0x61}, im.Text...))
+	}
+	f.Add([]byte{0, 0})
+	f.Add([]byte{3, 0xfe, 0x00, 0xff, 0x55, 0xaa})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		archs := isa.All()
+		arch := archs[int(data[0])%len(archs)]
+		var rodata []byte
+		if data[1] != 0 {
+			rodata = []byte{data[1], 0}
+		}
+		im := &binimg.Image{
+			Arch:     arch.Name,
+			LibName:  "libcas",
+			OptLevel: "O2",
+			Text:     data[2:],
+			Rodata:   rodata,
+			Stripped: true,
+		}
+		dis, err := disasm.Disassemble(im)
+		if err != nil {
+			return
+		}
+		vecs := make([]features.Vector, len(dis.Funcs))
+		for i, fn := range dis.Funcs {
+			vecs[i] = features.Extract(dis, fn)
+		}
+		addrs := ImageAddrs(dis, vecs)
+		if len(addrs) != len(dis.Funcs) {
+			t.Fatalf("ImageAddrs returned %d addresses for %d functions", len(addrs), len(dis.Funcs))
+		}
+		again := ImageAddrs(dis, vecs)
+		for i := range addrs {
+			if addrs[i] != again[i] {
+				t.Fatalf("func %d: address not deterministic: %s vs %s", i, addrs[i], again[i])
+			}
+		}
+		if mem := MemoryTouching(dis); len(mem) != len(dis.Funcs) {
+			t.Fatalf("MemoryTouching returned %d flags for %d functions", len(mem), len(dis.Funcs))
+		}
+	})
+}

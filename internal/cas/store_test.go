@@ -1,0 +1,222 @@
+package cas
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openStore(t *testing.T, dir, model string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, model, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStoreHitMissInvalidation pins the consult classification: absent is a
+// miss, a current entry is a hit with the exact score, an entry written
+// under another model hash is an invalidation, and a Put under the current
+// model repairs both.
+func TestStoreHitMissInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	const key = "CVE-0|vulnerable|aabb"
+	s1 := openStore(t, dir, "sha256:m1", 0)
+
+	if v, st := s1.GetScore(key); st != StatusMiss || v != 0 {
+		t.Fatalf("empty store: got (%v, %v), want (0, miss)", v, st)
+	}
+	s1.PutScore(key, 0.625)
+	if v, st := s1.GetScore(key); st != StatusHit || v != 0.625 {
+		t.Fatalf("after put: got (%v, %v), want (0.625, hit)", v, st)
+	}
+
+	// A second store on the same directory under another model hash sees
+	// the entry but must not use it.
+	s2 := openStore(t, dir, "sha256:m2", 0)
+	if v, st := s2.GetScore(key); st != StatusInvalidated || v != 0 {
+		t.Fatalf("other model: got (%v, %v), want (0, invalidated)", v, st)
+	}
+	// Overwriting under m2 flips the invalidation direction.
+	s2.PutScore(key, 0.25)
+	if v, st := s2.GetScore(key); st != StatusHit || v != 0.25 {
+		t.Fatalf("m2 after put: got (%v, %v), want (0.25, hit)", v, st)
+	}
+	if _, st := openStore(t, dir, "sha256:m1", 0).GetScore(key); st != StatusInvalidated {
+		t.Fatalf("m1 after m2 overwrite: got %v, want invalidated", st)
+	}
+}
+
+// TestStoreCorruptionIsMiss: every way an entry file can rot must read as a
+// miss — never a wrong score, never an error — and a fresh Put repairs it.
+func TestStoreCorruptionIsMiss(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		content string
+	}{
+		{"empty file", ""},
+		{"garbage", "\x00\xff\x17not json"},
+		{"truncated json", `{"model":"sha256:m1","key":"the-key","sco`},
+		{"key mismatch", `{"model":"sha256:m1","key":"some-other-key","score":0.5}`},
+		{"score wrong type", `{"model":"sha256:m1","key":"the-key","score":"high"}`},
+		{"score nan", `{"model":"sha256:m1","key":"the-key","score":1e999}`},
+		{"wrong shape", `[1,2,3]`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openStore(t, t.TempDir(), "sha256:m1", 0)
+			const key = "the-key"
+			if err := os.WriteFile(s.path(key), []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if v, st := s.GetScore(key); st != StatusMiss || v != 0 {
+				t.Fatalf("corrupt entry: got (%v, %v), want (0, miss)", v, st)
+			}
+			s.PutScore(key, 0.75)
+			if v, st := s.GetScore(key); st != StatusHit || v != 0.75 {
+				t.Fatalf("after repair: got (%v, %v), want (0.75, hit)", v, st)
+			}
+		})
+	}
+}
+
+// TestStoreBound: the store never holds more entry bytes than its budget;
+// old entries are evicted to make room and the most recent write survives.
+func TestStoreBound(t *testing.T) {
+	dir := t.TempDir()
+	probe := openStore(t, dir, "sha256:m1", 0)
+	probe.PutScore("probe", 0.5)
+	entrySize := probe.Size()
+	if entrySize == 0 {
+		t.Fatal("probe entry not written")
+	}
+	if err := os.Remove(probe.path("probe")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Budget for three entries; write ten.
+	s := openStore(t, dir, "sha256:m1", 3*entrySize)
+	var lastKey string
+	for i := 0; i < 10; i++ {
+		lastKey = fmt.Sprintf("key-%02d", i)
+		s.PutScore(lastKey, float64(i)/16)
+	}
+	if got := s.Size(); got > 3*entrySize {
+		t.Errorf("store size %d exceeds budget %d", got, 3*entrySize)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) > 3 {
+		t.Errorf("%d entry files on disk, budget holds 3", len(files))
+	}
+	if len(files) == 0 {
+		t.Fatal("eviction removed everything, including the entry being written")
+	}
+	if v, st := s.GetScore(lastKey); st != StatusHit || v != 9.0/16 {
+		t.Errorf("most recent write evicted: got (%v, %v)", v, st)
+	}
+	// Disk truth matches the accounted size.
+	var onDisk int64
+	for _, f := range files {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk += info.Size()
+	}
+	if onDisk != s.Size() {
+		t.Errorf("accounted size %d != on-disk size %d", s.Size(), onDisk)
+	}
+
+	// An entry that can never fit is skipped silently.
+	tiny := openStore(t, t.TempDir(), "sha256:m1", 8)
+	tiny.PutScore(strings.Repeat("k", 100), 0.5)
+	if got := tiny.Size(); got != 0 {
+		t.Errorf("oversized entry written anyway (%d bytes)", got)
+	}
+}
+
+// TestStoreOpenAccountsExistingEntries: reopening a directory picks up the
+// bytes already on disk, so the bound holds across processes.
+func TestStoreOpenAccountsExistingEntries(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openStore(t, dir, "sha256:m1", 0)
+	s1.PutScore("a", 0.1)
+	s1.PutScore("b", 0.2)
+	s2 := openStore(t, dir, "sha256:m1", 0)
+	if s2.Size() != s1.Size() || s2.Size() == 0 {
+		t.Errorf("reopened size %d, want %d", s2.Size(), s1.Size())
+	}
+	if v, st := s2.GetScore("b"); st != StatusHit || v != 0.2 {
+		t.Errorf("reopened store lost an entry: got (%v, %v)", v, st)
+	}
+}
+
+// TestStoreNonFiniteNeverPersisted: NaN and Inf scores are dropped on Put,
+// so they can never come back as hits.
+func TestStoreNonFiniteNeverPersisted(t *testing.T) {
+	s := openStore(t, t.TempDir(), "sha256:m1", 0)
+	s.PutScore("k", math.NaN())
+	s.PutScore("k", math.Inf(1))
+	if _, st := s.GetScore("k"); st != StatusMiss {
+		t.Fatalf("non-finite score persisted: %v", st)
+	}
+	if s.Size() != 0 {
+		t.Fatalf("non-finite put left %d bytes", s.Size())
+	}
+}
+
+// TestStoreConcurrent hammers one directory from two Store instances —
+// writers racing writers on the same keys, readers racing the writers —
+// and checks that a hit only ever carries a value some writer actually
+// wrote for that key. Run under -race this also pins the locking.
+func TestStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	w := openStore(t, dir, "sha256:m1", 0)
+	r := openStore(t, dir, "sha256:m1", 0)
+	const keys = 16
+	score := func(k, gen int) float64 { return float64(k) + float64(gen)/8 }
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(gen int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				w.PutScore(fmt.Sprintf("key-%d", k), score(k, gen))
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("key-%d", k)
+				v, st := r.GetScore(key)
+				if st == StatusInvalidated {
+					t.Errorf("same-model read invalidated for %s", key)
+				}
+				if st != StatusHit {
+					continue
+				}
+				ok := false
+				for gen := 0; gen < 4; gen++ {
+					ok = ok || v == score(k, gen)
+				}
+				if !ok {
+					t.Errorf("hit for %s returned %v, never written", key, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if _, st := r.GetScore(fmt.Sprintf("key-%d", k)); st != StatusHit {
+			t.Errorf("key-%d unreadable after writers finished: %v", k, st)
+		}
+	}
+}

@@ -72,6 +72,70 @@ func BenchmarkCandidatesObserved(b *testing.B) {
 	reportPairMetrics(b, len(targets))
 }
 
+// benchOverlapUnique sizes the content-dedup fixture: benchTargets (400)
+// target slots share benchOverlapUnique (80) distinct bodies, five copies
+// each — the fleet-scan shape where one vendor library ships on several
+// device images.
+const benchOverlapUnique = 80
+
+func benchOverlapFixture(b *testing.B) (m *Model, query features.Vector, targets, unique []features.Vector, idx []int) {
+	b.Helper()
+	m, rng := syntheticModel(1, 100)
+	unique = make([]features.Vector, benchOverlapUnique)
+	for i := range unique {
+		unique[i] = syntheticVector(rng)
+	}
+	targets = make([]features.Vector, benchTargets)
+	idx = make([]int, benchTargets)
+	for i := range targets {
+		idx[i] = i % benchOverlapUnique
+		targets[i] = unique[idx[i]]
+	}
+	return m, syntheticVector(rng), targets, unique, idx
+}
+
+// BenchmarkCandidatesOverlapBatched is the dedup baseline: the batched path
+// scoring all 400 target slots, blind to the fact that only 80 bodies are
+// distinct. This is what every scan paid before content addressing.
+func BenchmarkCandidatesOverlapBatched(b *testing.B) {
+	m, query, targets, _, _ := benchOverlapFixture(b)
+	ts := m.PrepareTargets(targets)
+	qh := m.PrepareQuery(query)
+	sc := m.NewScorer()
+	sc.Candidates(qh, ts) // warm the candidate buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sc.Candidates(qh, ts)
+	}
+	reportPairMetrics(b, len(targets))
+}
+
+// BenchmarkCandidatesDeduped is the content-addressed path: score each of
+// the 80 unique bodies once, then fan the scores out to all 400 slots
+// through the address→slot index — the same shape patchecko's dedup layer
+// uses. ns/pair is reported over the 400 effective pairs, so the speedup
+// against OverlapBatched is the measured dedup win at 5x duplication.
+func BenchmarkCandidatesDeduped(b *testing.B) {
+	m, query, _, unique, idx := benchOverlapFixture(b)
+	ts := m.PrepareTargets(unique)
+	qh := m.PrepareQuery(query)
+	sc := m.NewScorer()
+	scores := make([]float64, benchOverlapUnique)
+	fanned := make([]float64, benchTargets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for u := 0; u < benchOverlapUnique; u++ {
+			scores[u] = sc.Pair(qh, ts, u)
+		}
+		for slot, u := range idx {
+			fanned[slot] = scores[u]
+		}
+	}
+	reportPairMetrics(b, benchTargets)
+}
+
 // BenchmarkPrepareTargets prices the per-image precomputation the batched
 // path amortizes across the scan grid.
 func BenchmarkPrepareTargets(b *testing.B) {
@@ -102,6 +166,15 @@ type benchArtifact struct {
 	// ObservedOverheadPct is the batched path's ns/pair cost of a live
 	// metrics sink, in percent (negative values are measurement noise).
 	ObservedOverheadPct float64 `json:"observed_overhead_pct"`
+	// Content-dedup rows: 400 target slots sharing 80 unique bodies
+	// (DedupRatio 5x). Deduped scores each body once and fans the result
+	// out; DedupSpeedup is its measured win over the duplication-blind
+	// batched path on the same fleet.
+	UniqueTargets  int              `json:"unique_targets"`
+	OverlapBatched benchArtifactRow `json:"overlap_batched"`
+	Deduped        benchArtifactRow `json:"deduped"`
+	DedupRatio     float64          `json:"dedup_ratio"`
+	DedupSpeedup   float64          `json:"dedup_speedup"`
 }
 
 type benchArtifactRow struct {
@@ -130,6 +203,8 @@ func TestWriteStaticBenchArtifact(t *testing.T) {
 	scalar := testing.Benchmark(BenchmarkCandidatesScalar)
 	batched := testing.Benchmark(BenchmarkCandidatesBatched)
 	observed := testing.Benchmark(BenchmarkCandidatesObserved)
+	overlap := testing.Benchmark(BenchmarkCandidatesOverlapBatched)
+	deduped := testing.Benchmark(BenchmarkCandidatesDeduped)
 	art := benchArtifact{
 		Benchmark: "internal/detector Candidates: paper network, symmetrized pairs, small-scale image",
 		Targets:   benchTargets,
@@ -139,6 +214,11 @@ func TestWriteStaticBenchArtifact(t *testing.T) {
 		Speedup:   float64(scalar.NsPerOp()) / float64(batched.NsPerOp()),
 		ObservedOverheadPct: 100 * (float64(observed.NsPerOp()) -
 			float64(batched.NsPerOp())) / float64(batched.NsPerOp()),
+		UniqueTargets:  benchOverlapUnique,
+		OverlapBatched: row(overlap),
+		Deduped:        row(deduped),
+		DedupRatio:     float64(benchTargets) / benchOverlapUnique,
+		DedupSpeedup:   float64(overlap.NsPerOp()) / float64(deduped.NsPerOp()),
 	}
 	raw, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -151,6 +231,10 @@ func TestWriteStaticBenchArtifact(t *testing.T) {
 		"speedup %.2fx, metrics overhead %+.2f%%, batched allocs/op %d",
 		art.Scalar.NsPerPair, art.Batched.NsPerPair, art.Observed.NsPerPair,
 		art.Speedup, art.ObservedOverheadPct, art.Batched.AllocsPerOp)
+	t.Logf("dedup fixture (%d slots, %d unique, %.0fx duplication): "+
+		"blind %.0f ns/pair, deduped %.0f ns/pair, dedup speedup %.2fx",
+		benchTargets, art.UniqueTargets, art.DedupRatio,
+		art.OverlapBatched.NsPerPair, art.Deduped.NsPerPair, art.DedupSpeedup)
 	if art.Speedup < 3 {
 		t.Errorf("batched speedup %.2fx below the 3x acceptance floor", art.Speedup)
 	}
@@ -163,5 +247,12 @@ func TestWriteStaticBenchArtifact(t *testing.T) {
 	if art.ObservedOverheadPct >= 2 {
 		t.Errorf("live metrics sink costs %+.2f%% ns/pair on the batched path, want < 2%%",
 			art.ObservedOverheadPct)
+	}
+	if art.Deduped.AllocsPerOp != 0 {
+		t.Errorf("deduped path allocates %d objects/op in steady state, want 0", art.Deduped.AllocsPerOp)
+	}
+	if art.DedupSpeedup < 3 {
+		t.Errorf("dedup speedup %.2fx at %.0fx duplication, below the 3x acceptance floor",
+			art.DedupSpeedup, art.DedupRatio)
 	}
 }

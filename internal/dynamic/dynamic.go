@@ -314,13 +314,13 @@ func ValidateParallel(ctx context.Context, dis *disasm.Disassembly, cands []*dis
 	if workers > len(cands) {
 		workers = len(cands)
 	}
-	results := make([]candResult, len(cands))
+	results := make([]ProfileOutcome, len(cands))
 	if workers <= 1 || len(cands) <= 1 {
 		for i, fn := range cands {
 			if ctx.Err() != nil {
 				break
 			}
-			results[i] = profileCandidate(ctx, dis, fn, envs, ex)
+			results[i] = ProfileCandidate(ctx, dis, fn, envs, ex)
 		}
 	} else {
 		var next atomic.Int64
@@ -334,65 +334,78 @@ func ValidateParallel(ctx context.Context, dis *disasm.Disassembly, cands []*dis
 					if i >= len(cands) || ctx.Err() != nil {
 						return
 					}
-					results[i] = profileCandidate(ctx, dis, cands[i], envs, ex)
+					results[i] = ProfileCandidate(ctx, dis, cands[i], envs, ex)
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	return ClassifyOutcomes(results, ex.Obs)
+}
 
+// ClassifyOutcomes reduces per-candidate outcomes into the validation
+// result exactly as Validate does: errors and fully-trapping candidates are
+// excluded with a reason, the rest survive with their profiles. Counters
+// are recorded per outcome, so a caller that shares profiling work across
+// duplicate candidates (the engine's dedup path) still reports the same
+// validation totals as an unshared run.
+func ClassifyOutcomes(results []ProfileOutcome, ob *obs.Metrics) ([]int, map[int][]EnvProfile, map[int]error) {
 	var survivors []int
 	profiles := make(map[int][]EnvProfile)
 	excluded := make(map[int]error)
 	for i, r := range results {
 		switch {
-		case !r.ran:
+		case !r.Ran:
 			// Skipped by cancellation; the caller discards the set.
-		case r.err != nil:
-			excluded[i] = r.err
-			ex.Obs.Add(obs.CtrCandidatesExcluded, 1)
-			if r.panicked {
-				ex.Obs.Add(obs.CtrExcludedPanic, 1)
+		case r.Err != nil:
+			excluded[i] = r.Err
+			ob.Add(obs.CtrCandidatesExcluded, 1)
+			if r.Panicked {
+				ob.Add(obs.CtrExcludedPanic, 1)
 			} else {
-				ex.Obs.Add(obs.CtrExcludedError, 1)
+				ob.Add(obs.CtrExcludedError, 1)
 			}
-		case Completion(r.eps) == 0:
-			excluded[i] = exclusionReason(r.eps)
-			ex.Obs.Add(obs.CtrCandidatesExcluded, 1)
-			ex.Obs.Add(obs.CtrExcludedNoEnv, 1)
+		case Completion(r.Profiles) == 0:
+			excluded[i] = exclusionReason(r.Profiles)
+			ob.Add(obs.CtrCandidatesExcluded, 1)
+			ob.Add(obs.CtrExcludedNoEnv, 1)
 		default:
 			survivors = append(survivors, i)
-			profiles[i] = r.eps
-			ex.Obs.Add(obs.CtrCandidatesValidated, 1)
+			profiles[i] = r.Profiles
+			ob.Add(obs.CtrCandidatesValidated, 1)
 		}
 	}
 	return survivors, profiles, excluded
 }
 
-type candResult struct {
-	eps      []EnvProfile
-	err      error
-	ran      bool
-	panicked bool
+// ProfileOutcome is one candidate's profiling outcome. Ran is false only
+// when the context ended the run before (or while) the candidate executed;
+// such outcomes carry no information and must not be cached or classified
+// as exclusions.
+type ProfileOutcome struct {
+	Profiles []EnvProfile
+	Err      error
+	Ran      bool
+	Panicked bool
 }
 
-// profileCandidate profiles one candidate, converting panics and
+// ProfileCandidate profiles one candidate, converting panics and
 // cancellation into a recorded outcome so one hostile candidate cannot
 // take down the pool.
-func profileCandidate(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, envs []*minic.Env, ex Exec) (r candResult) {
+func ProfileCandidate(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, envs []*minic.Env, ex Exec) (r ProfileOutcome) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			r = candResult{err: fmt.Errorf("dynamic: panic while profiling candidate: %v", rec), ran: true, panicked: true}
+			r = ProfileOutcome{Err: fmt.Errorf("dynamic: panic while profiling candidate: %v", rec), Ran: true, Panicked: true}
 		}
 	}()
 	eps, err := ProfileFunc(ctx, dis, fn, envs, ex)
 	if err != nil {
 		if ctx != nil && ctx.Err() != nil {
-			return candResult{} // context ended the run mid-candidate
+			return ProfileOutcome{} // context ended the run mid-candidate
 		}
-		return candResult{err: err, ran: true} // emulator-level failure: exclude with reason
+		return ProfileOutcome{Err: err, Ran: true} // emulator-level failure: exclude with reason
 	}
-	return candResult{eps: eps, ran: true}
+	return ProfileOutcome{Profiles: eps, Ran: true}
 }
 
 // exclusionReason summarizes why a fully-trapping candidate was excluded:

@@ -381,8 +381,12 @@ func (m *Machine) fp() int { return m.dis.Arch.NumRegs - 2 }
 func (m *Machine) run() error {
 	for {
 		if m.pc < 0 || m.pc >= len(m.fn.Instrs) {
+			// The message deliberately omits the function's address: trap
+			// text must be relocation-invariant so identical function copies
+			// at different link addresses fail identically (the dedup
+			// engine's sharing contract).
 			return &minic.TrapError{Kind: minic.TrapDecode,
-				Msg: fmt.Sprintf("pc %d outside function %#x", m.pc, m.fn.Addr)}
+				Msg: fmt.Sprintf("pc %d outside function", m.pc)}
 		}
 		in := m.fn.Instrs[m.pc]
 		pcAddr := m.fn.Addr + uint64(in.Offset)

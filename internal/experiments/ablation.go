@@ -87,7 +87,14 @@ func rankWith(scan *patchecko.CVEScan, trueAddr uint64, k int,
 }
 
 // scansForDevice runs vulnerable-query scans for every CVE on a device.
+// The sweep is memoized per device: AblateDistance, AblateEnvironments and
+// AblateHybrid all re-rank the same stored profiles, so one scan feeds all
+// three (the scans themselves are deterministic, so reuse never changes a
+// row).
 func (s *Suite) scansForDevice(device string) (map[string]*patchecko.CVEScan, map[string]uint64, error) {
+	if cached, ok := s.scanCache[device]; ok {
+		return cached.scans, cached.truths, nil
+	}
 	scans := make(map[string]*patchecko.CVEScan)
 	truths := make(map[string]uint64)
 	for _, id := range s.DB.IDs() {
@@ -103,6 +110,7 @@ func (s *Suite) scansForDevice(device string) (map[string]*patchecko.CVEScan, ma
 		scans[id] = scan
 		truths[id] = truth.Addr
 	}
+	s.scanCache[device] = deviceScans{scans: scans, truths: truths}
 	return scans, truths, nil
 }
 

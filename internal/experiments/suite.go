@@ -15,6 +15,7 @@ import (
 	"io"
 	"runtime"
 
+	"repro/internal/cas"
 	"repro/internal/corpus"
 	"repro/internal/detector"
 	"repro/internal/nn"
@@ -35,6 +36,10 @@ type Config struct {
 	// Obs, when non-nil, receives the analyzer's pipeline counters and
 	// trace events; experiment artifacts are byte-identical either way.
 	Obs *obs.Metrics
+	// NoDedup disables the analyzer's content-addressed dedup path,
+	// forcing every (query, function) pair to be scored and validated
+	// independently. Experiment artifacts are byte-identical either way.
+	NoDedup bool
 	// Log, when non-nil, receives progress lines during setup.
 	Log func(string)
 }
@@ -51,6 +56,15 @@ type Suite struct {
 
 	Firmware map[string]*patchecko.Firmware // by device name
 	prepared map[string]map[string]*patchecko.PreparedImage
+	// scanCache memoizes scansForDevice so the three ranking ablations
+	// share one vulnerable-query sweep per device instead of re-scanning.
+	scanCache map[string]deviceScans
+}
+
+// deviceScans is one device's memoized vulnerable-query sweep.
+type deviceScans struct {
+	scans  map[string]*patchecko.CVEScan
+	truths map[string]uint64
 }
 
 // Devices returns the evaluation devices in presentation order.
@@ -66,9 +80,10 @@ func NewSuite(cfg Config) (*Suite, error) {
 		logf = func(string) {}
 	}
 	s := &Suite{
-		Cfg:      cfg,
-		Firmware: make(map[string]*patchecko.Firmware),
-		prepared: make(map[string]map[string]*patchecko.PreparedImage),
+		Cfg:       cfg,
+		Firmware:  make(map[string]*patchecko.Firmware),
+		prepared:  make(map[string]map[string]*patchecko.PreparedImage),
+		scanCache: make(map[string]deviceScans),
 	}
 	logf(fmt.Sprintf("building Dataset I (%s scale)...", cfg.Scale.Name))
 	groups, err := corpus.TrainingGroups(cfg.Scale, cfg.Seed)
@@ -99,6 +114,7 @@ func NewSuite(cfg Config) (*Suite, error) {
 	s.Analyzer = patchecko.NewAnalyzer(s.Model, s.DB)
 	s.Analyzer.Workers = cfg.Workers
 	s.Analyzer.Obs = cfg.Obs
+	s.Analyzer.Dedup = !cfg.NoDedup
 
 	prepWorkers := cfg.Workers
 	if prepWorkers <= 0 {
@@ -118,8 +134,18 @@ func NewSuite(cfg Config) (*Suite, error) {
 			return nil, err
 		}
 		prep := make(map[string]*patchecko.PreparedImage, len(preparedImages))
+		uniq := make(map[cas.Addr]struct{})
+		total := 0
 		for _, p := range preparedImages {
 			prep[p.Image.LibName] = p
+			total += p.NumFuncs()
+			for _, a := range p.CAS {
+				uniq[a] = struct{}{}
+			}
+		}
+		if total > 0 && len(uniq) > 0 {
+			logf(fmt.Sprintf("  %d functions, %d unique bodies (dedup ratio %.2fx)",
+				total, len(uniq), float64(total)/float64(len(uniq))))
 		}
 		s.prepared[dev.Name] = prep
 	}

@@ -136,16 +136,22 @@ type Builtin struct {
 	// emulator. It doubles as the "which library function" identity used
 	// by the differential engine's semantic signature.
 	Index int
-	Fn    func(m Memory, st *BuiltinState, args []int64) (int64, error)
+	// Mem marks builtins whose implementation reads or writes data memory
+	// through the Memory interface. Callers of such builtins can observe
+	// memory content without any load/store of their own, which matters to
+	// anything reasoning about memory dependence from the instruction
+	// stream (the content-address normalizer in internal/cas).
+	Mem bool
+	Fn  func(m Memory, st *BuiltinState, args []int64) (int64, error)
 }
 
 // builtinList fixes the stable ordering of the import table.
 var builtinList = []*Builtin{
-	{Name: "memmove", NArgs: 3, Kind: KindLib, Fn: bMemmove},
-	{Name: "memset", NArgs: 3, Kind: KindLib, Fn: bMemset},
-	{Name: "memcmp", NArgs: 3, Kind: KindLib, Fn: bMemcmp},
-	{Name: "strlen", NArgs: 1, Kind: KindLib, Fn: bStrlen},
-	{Name: "checksum", NArgs: 2, Kind: KindLib, Fn: bChecksum},
+	{Name: "memmove", NArgs: 3, Kind: KindLib, Mem: true, Fn: bMemmove},
+	{Name: "memset", NArgs: 3, Kind: KindLib, Mem: true, Fn: bMemset},
+	{Name: "memcmp", NArgs: 3, Kind: KindLib, Mem: true, Fn: bMemcmp},
+	{Name: "strlen", NArgs: 1, Kind: KindLib, Mem: true, Fn: bStrlen},
+	{Name: "checksum", NArgs: 2, Kind: KindLib, Mem: true, Fn: bChecksum},
 	{Name: "abs", NArgs: 1, Kind: KindLib, Fn: bAbs},
 	{Name: "min", NArgs: 2, Kind: KindLib, Fn: bMin},
 	{Name: "max", NArgs: 2, Kind: KindLib, Fn: bMax},

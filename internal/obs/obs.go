@@ -80,6 +80,17 @@ const (
 	CtrRefHits        // reference-profile consults answered from cache
 	CtrRefMisses      // reference-profile consults that computed
 
+	// Dedup / delta scan. pairs_scored + pairs_deduped + pairs_from_store
+	// partitions the static pair total; the store counters classify every
+	// persistent-store consult.
+	CtrFuncsUnique        // distinct function content addresses across prepared images
+	CtrPairsDeduped       // static scores reused from the in-memory dedup cache
+	CtrPairsFromStore     // static scores answered by the persistent store
+	CtrValidationsDeduped // candidate validations reused from the in-memory dedup cache
+	CtrStoreHits          // persistent-store consults answered with a current score
+	CtrStoreMisses        // persistent-store consults with no usable entry
+	CtrStoreInvalidated   // persistent-store consults invalidated by a model-hash mismatch
+
 	NumCounters
 )
 
@@ -113,6 +124,13 @@ var counterNames = [NumCounters]string{
 	CtrCellsFailed:         "cells_failed",
 	CtrRefHits:             "ref_cache_hits",
 	CtrRefMisses:           "ref_cache_misses",
+	CtrFuncsUnique:         "funcs_unique",
+	CtrPairsDeduped:        "pairs_deduped",
+	CtrPairsFromStore:      "pairs_from_store",
+	CtrValidationsDeduped:  "validations_deduped",
+	CtrStoreHits:           "store_hits",
+	CtrStoreMisses:         "store_misses",
+	CtrStoreInvalidated:    "store_invalidated",
 }
 
 func (c Counter) String() string {

@@ -81,20 +81,27 @@ func TestScanFirmwareChaos(t *testing.T) {
 
 	healthy := len(fw.Images) - 1
 	var base *Report
-	var baseCounters map[string]int64
+	// Deterministic counters depend on the dedup setting (shared work is
+	// counted as deduped, not scored), so each setting keeps its own
+	// worker-count-invariant baseline.
+	baseCounters := make(map[bool]map[string]int64)
 	// The scalar runs pin the static stage to the reference path, the traced
-	// runs arm full observability: batched, scalar, observed and unobserved
-	// scans must all produce byte-identical reports even with every fault
-	// armed, and the deterministic pipeline counters must not depend on the
-	// worker count either.
+	// runs arm full observability, and the noDedup runs disable the
+	// content-addressed fast path: batched, scalar, observed, unobserved,
+	// deduped and every-pair scans must all produce byte-identical reports
+	// even with every fault armed, and the deterministic pipeline counters
+	// must not depend on the worker count either.
 	for _, cfg := range []struct {
 		workers int
 		scalar  bool
 		traced  bool
+		noDedup bool
 	}{
-		{1, false, false}, {4, false, false}, {16, false, false},
-		{1, true, false}, {4, true, false},
-		{1, false, true}, {4, false, true}, {16, false, true},
+		{1, false, false, false}, {4, false, false, false}, {16, false, false, false},
+		{1, true, false, false}, {4, true, false, false},
+		{1, false, true, false}, {4, false, true, false}, {16, false, true, false},
+		{1, false, false, true}, {16, false, false, true},
+		{4, true, false, true}, {1, false, true, true}, {16, false, true, true},
 	} {
 		workers := cfg.workers
 		// A fresh analyzer per run: reference failures memoize per analyzer,
@@ -102,6 +109,7 @@ func TestScanFirmwareChaos(t *testing.T) {
 		an := NewAnalyzer(model, db)
 		an.Workers = workers
 		an.StaticScalar = cfg.scalar
+		an.Dedup = !cfg.noDedup
 		if cfg.traced {
 			an.Obs = obs.NewTraced(0)
 		}
@@ -111,13 +119,13 @@ func TestScanFirmwareChaos(t *testing.T) {
 		}
 		if cfg.traced {
 			counters := an.Obs.Counters()
-			if baseCounters == nil {
-				baseCounters = counters
+			if baseCounters[cfg.noDedup] == nil {
+				baseCounters[cfg.noDedup] = counters
 			} else {
-				for name, want := range baseCounters {
+				for name, want := range baseCounters[cfg.noDedup] {
 					if got := counters[name]; got != want {
-						t.Errorf("workers=%d: chaos counter %s = %d, want %d (first traced run)",
-							workers, name, got, want)
+						t.Errorf("workers=%d dedup=%v: chaos counter %s = %d, want %d (first traced run)",
+							workers, !cfg.noDedup, name, got, want)
 					}
 				}
 			}

@@ -1,0 +1,319 @@
+// Content-addressed dedup: the scan grid's per-function work keyed by
+// content address instead of by (image, function index), so duplicated
+// function bodies — within one image or across a whole fleet — are scored
+// and validated once and the results fanned out.
+//
+// Sharing is sound because equal content addresses imply bit-identical
+// behavior for everything the shared results capture (see internal/cas):
+// the static feature vector is folded into the address, so static scores
+// match bit for bit; instruction streams, resolved-call structure and
+// reachable rodata are folded in, so dynamic profiles and trap messages
+// match under every execution environment and step limit. Per-occurrence
+// accounting (candidate lists, exclusion records, validation counters) is
+// kept per cell, which is what makes reports byte-identical with dedup on
+// or off.
+//
+// One caveat, relevant only to tests: fault injection keyed on an image
+// name (faultinject.ExecTrap on a candidate image) deliberately breaks the
+// "same content, same behavior" premise. The chaos suite arms execution
+// faults on reference images only, which the dedup caches never serve.
+
+package patchecko
+
+import (
+	"context"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cas"
+	"repro/internal/detector"
+	"repro/internal/disasm"
+	"repro/internal/dynamic"
+	"repro/internal/minic"
+	"repro/internal/obs"
+	"repro/internal/vulndb"
+)
+
+// scoreKey identifies one shared static score: a CVE query (one mode)
+// against one function body.
+type scoreKey struct {
+	cve  string
+	mode QueryMode
+	fn   cas.Addr
+}
+
+// scoreEntry memoizes one static score under a mutex; holding the mutex
+// across the computation single-flights concurrent consults, exactly like
+// the reference cache.
+type scoreEntry struct {
+	mu    sync.Mutex
+	done  bool
+	score float64
+}
+
+// scoreCache memoizes static scores by content address. The atomic counters
+// classify every consult — computed, reused in memory, or answered by the
+// persistent store — and are the source of the Report's dedup statistics,
+// so they work with a nil Obs sink too.
+type scoreCache struct {
+	mu      sync.Mutex
+	entries map[scoreKey]*scoreEntry
+
+	scored      atomic.Int64
+	deduped     atomic.Int64
+	fromStore   atomic.Int64
+	storeHits   atomic.Int64
+	storeMisses atomic.Int64
+	storeStale  atomic.Int64
+}
+
+func (c *scoreCache) entry(k scoreKey) *scoreEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[scoreKey]*scoreEntry)
+	}
+	e, ok := c.entries[k]
+	if !ok {
+		e = &scoreEntry{}
+		c.entries[k] = e
+	}
+	return e
+}
+
+// dynKey identifies one shared validation outcome: one function body
+// profiled under one CVE's environments at one step limit. The query mode
+// is deliberately absent — environments depend only on the CVE entry, so
+// vulnerable- and patched-mode cells share the same execution.
+type dynKey struct {
+	cve   string
+	limit int64
+	fn    cas.Addr
+}
+
+// dynEntry memoizes one profiling outcome under a single-flight mutex.
+type dynEntry struct {
+	mu       sync.Mutex
+	done     bool
+	eps      []dynamic.EnvProfile
+	err      error
+	panicked bool
+}
+
+// dynCache memoizes candidate validation outcomes by content address.
+type dynCache struct {
+	mu      sync.Mutex
+	entries map[dynKey]*dynEntry
+	shared  atomic.Int64
+}
+
+func (c *dynCache) entry(k dynKey) *dynEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[dynKey]*dynEntry)
+	}
+	e, ok := c.entries[k]
+	if !ok {
+		e = &dynEntry{}
+		c.entries[k] = e
+	}
+	return e
+}
+
+// DedupCounts are the analyzer-lifetime dedup and delta-scan totals, the
+// same classification the obs counters report. ScanFirmware snapshots them
+// around the grid to fill the Report's stats; CLI callers read them after
+// standalone ScanImage loops.
+type DedupCounts struct {
+	PairsScored        int64 // static scores computed
+	PairsDeduped       int64 // static scores reused from the in-memory cache
+	PairsFromStore     int64 // static scores answered by the persistent store
+	ValidationsDeduped int64 // candidate validations reused from the in-memory cache
+	StoreHits          int64
+	StoreMisses        int64
+	StoreInvalidated   int64
+}
+
+// DedupCounts returns the analyzer's dedup totals so far.
+func (a *Analyzer) DedupCounts() DedupCounts {
+	return DedupCounts{
+		PairsScored:        a.scores.scored.Load(),
+		PairsDeduped:       a.scores.deduped.Load(),
+		PairsFromStore:     a.scores.fromStore.Load(),
+		ValidationsDeduped: a.dyn.shared.Load(),
+		StoreHits:          a.scores.storeHits.Load(),
+		StoreMisses:        a.scores.storeMisses.Load(),
+		StoreInvalidated:   a.scores.storeStale.Load(),
+	}
+}
+
+// storeKey renders a score key for the persistent store. The rendered form
+// is stable — it is the on-disk contract — and collision-free: CVE ids and
+// mode names cannot contain '|' and the address is fixed-width hex.
+func storeKey(k scoreKey) string {
+	return k.cve + "|" + k.mode.String() + "|" + k.fn.String()
+}
+
+// dedupCandidates is the static stage with per-unique-body scoring: every
+// function consults the shared score for its content address, computing —
+// through the caller's batched scorer or the scalar reference path — only
+// on first sight. Candidate selection, ordering and observability then run
+// per occurrence, so the candidate list is exactly the every-pair list.
+func (a *Analyzer) dedupCandidates(entry *vulndb.Entry, arch string, mode QueryMode, p *PreparedImage, sc *detector.Scorer) ([]detector.Candidate, error) {
+	var compute func(i int) float64
+	if sc == nil {
+		ref, err := a.cachedRef(entry, arch, mode)
+		if err != nil {
+			return nil, err
+		}
+		qv := ref.StaticVec()
+		compute = func(i int) float64 { return a.model.Similarity(qv, p.Vecs[i]) }
+	} else {
+		qh, err := a.cachedQueryHalves(entry, arch, mode)
+		if err != nil {
+			return nil, err
+		}
+		uts := p.UniqueTargets(a.model)
+		compute = func(i int) float64 { return sc.Pair(qh, uts, p.uniqPos[i]) }
+	}
+	var out []detector.Candidate
+	for i := range p.Vecs {
+		s := a.sharedScore(scoreKey{cve: entry.ID, mode: mode, fn: p.CAS[i]}, i, compute)
+		if s >= a.model.Threshold {
+			out = append(out, detector.Candidate{Index: i, Score: s})
+		}
+	}
+	// Same total order as both every-pair paths: score descending, index
+	// ascending. Shared scores are bit-identical to computed ones, so the
+	// permutation matches too.
+	slices.SortFunc(out, func(x, y detector.Candidate) int {
+		if x.Score != y.Score {
+			if x.Score > y.Score {
+				return -1
+			}
+			return 1
+		}
+		return x.Index - y.Index
+	})
+	a.Obs.Add(obs.CtrStaticCandidates, int64(len(out)))
+	return out, nil
+}
+
+// sharedScore returns the static score for key k, serving it from the
+// in-memory cache, then the persistent store, then computing via
+// compute(i). Exactly one consult per key computes (single-flight under the
+// entry mutex), so the scored/deduped/store counters are deterministic for
+// any worker count.
+func (a *Analyzer) sharedScore(k scoreKey, i int, compute func(i int) float64) float64 {
+	e := a.scores.entry(k)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		a.scores.deduped.Add(1)
+		a.Obs.Add(obs.CtrPairsDeduped, 1)
+		return e.score
+	}
+	var sk string
+	if a.Store != nil {
+		sk = storeKey(k)
+		switch v, st := a.Store.GetScore(sk); st {
+		case cas.StatusHit:
+			a.scores.storeHits.Add(1)
+			a.scores.fromStore.Add(1)
+			a.Obs.Add(obs.CtrStoreHits, 1)
+			a.Obs.Add(obs.CtrPairsFromStore, 1)
+			e.done, e.score = true, v
+			return v
+		case cas.StatusInvalidated:
+			a.scores.storeStale.Add(1)
+			a.Obs.Add(obs.CtrStoreInvalidated, 1)
+		default:
+			a.scores.storeMisses.Add(1)
+			a.Obs.Add(obs.CtrStoreMisses, 1)
+		}
+	}
+	v := compute(i)
+	a.scores.scored.Add(1)
+	a.Obs.Add(obs.CtrPairsScored, 1)
+	e.done, e.score = true, v
+	if a.Store != nil {
+		a.Store.PutScore(sk, v)
+	}
+	return v
+}
+
+// dedupValidate is the dynamic stage's validation step with per-unique-body
+// profiling: the pool shape and outcome classification mirror
+// dynamic.ValidateParallel exactly, but each candidate's profiling is
+// single-flighted by content address, so a body duplicated across cells and
+// images executes once per (CVE, step limit). Classification and its
+// counters stay per occurrence.
+func (a *Analyzer) dedupValidate(ctx context.Context, p *PreparedImage, entry *vulndb.Entry,
+	cands []detector.Candidate, candFuncs []*disasm.Function, envs []*minic.Env, workers int) ([]int, map[int][]EnvProfile, map[int]error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]dynamic.ProfileOutcome, len(cands))
+	run := func(i int) {
+		k := dynKey{cve: entry.ID, limit: a.StepLimit, fn: p.CAS[cands[i].Index]}
+		results[i] = a.sharedProfile(ctx, p.Dis, candFuncs[i], k, envs)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 || len(cands) <= 1 {
+		for i := range cands {
+			if ctx.Err() != nil {
+				break
+			}
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(cands) || ctx.Err() != nil {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	survivors, profiles, excluded := dynamic.ClassifyOutcomes(results, a.Obs)
+	// Unalias the memoized profile slices before they are published on a
+	// CVEScan: several cells may share one outcome.
+	for idx, eps := range profiles {
+		profiles[idx] = append([]dynamic.EnvProfile(nil), eps...)
+	}
+	return survivors, profiles, excluded
+}
+
+// sharedProfile profiles one candidate through the dedup cache. A cancelled
+// outcome (Ran false) carries no information and is never memoized — the
+// same rule the reference cache follows — so a later scan with a live
+// context retries.
+func (a *Analyzer) sharedProfile(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Function, k dynKey, envs []*minic.Env) dynamic.ProfileOutcome {
+	e := a.dyn.entry(k)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		a.dyn.shared.Add(1)
+		a.Obs.Add(obs.CtrValidationsDeduped, 1)
+		return dynamic.ProfileOutcome{Profiles: e.eps, Err: e.err, Ran: true, Panicked: e.panicked}
+	}
+	r := dynamic.ProfileCandidate(ctx, dis, fn, envs, a.exec())
+	if !r.Ran {
+		return r
+	}
+	e.done, e.eps, e.err, e.panicked = true, r.Profiles, r.Err, r.Panicked
+	return r
+}

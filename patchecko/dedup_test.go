@@ -1,0 +1,215 @@
+package patchecko
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/binimg"
+	"repro/internal/cas"
+)
+
+// dedupFleet builds the delta-scan fixture: the seed-42 firmware plus a
+// byte-identical clone of one library under another name, the way a real
+// fleet ships the same vendor library on several device models. The clone
+// guarantees genuine cross-image duplication, so the in-memory dedup path
+// is exercised and measurable.
+func dedupFleet(t *testing.T) (*Model, *DB, *Firmware, *binimg.Image) {
+	t.Helper()
+	model, db, fw := goldenFixtures(t)
+	clone := *fw.Images[0]
+	clone.LibName = fw.Images[0].LibName + "clone"
+	fleet := *fw
+	fleet.Images = append(append([]*binimg.Image{}, fw.Images...), &clone)
+	return model, db, &fleet, &clone
+}
+
+// uniqueAddrs prepares a fleet's images and returns its set of function
+// content addresses — the ground truth the store counters are checked
+// against.
+func uniqueAddrs(t *testing.T, fw *Firmware) map[cas.Addr]struct{} {
+	t.Helper()
+	prepared, err := PrepareImages(context.Background(), fw.Images, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[cas.Addr]struct{})
+	for _, p := range prepared {
+		for _, a := range p.CAS {
+			set[a] = struct{}{}
+		}
+	}
+	return set
+}
+
+// TestDeltaScanStore pins the incremental-scan contract end to end:
+//
+//   - a cold store misses once per (CVE, mode, unique function) and is
+//     fully populated by the scan;
+//   - a warm rescan of the identical fleet answers every consult from disk
+//     and recomputes nothing;
+//   - after a mutation, a warm rescan re-scores exactly the functions whose
+//     content actually changed;
+//   - a store written under another model hash invalidates everything;
+//   - and in every configuration the Report bytes equal the store-less scan.
+func TestDeltaScanStore(t *testing.T) {
+	model, db, fleet, clone := dedupFleet(t)
+	hash := goldenModelHash(t)
+	dir := t.TempDir()
+
+	// scan returns the pre-normalization stats (the dedup/store counters
+	// under test) alongside the normalized report bytes (the equivalence
+	// half of the contract).
+	scan := func(st *cas.Store, fw *Firmware) (ScanStats, []byte) {
+		t.Helper()
+		an := NewAnalyzer(model, db)
+		an.Workers = 4
+		an.Store = st
+		report, err := an.ScanFirmware(context.Background(), fw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := report.Stats
+		normalizeReport(report)
+		raw, err := json.Marshal(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, raw
+	}
+	open := func(dir, hash string) *cas.Store {
+		t.Helper()
+		st, err := cas.Open(dir, hash, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	// consults = one store lookup per (CVE, query mode, unique function).
+	consults := func(r ScanStats) int64 {
+		return int64(r.CVEs) * 2 * int64(r.UniqueFuncs)
+	}
+
+	// Baseline without a store: the store must never change the bytes.
+	_, baseRaw := scan(nil, fleet)
+
+	cold, coldRaw := scan(open(dir, hash), fleet)
+	if !bytes.Equal(coldRaw, baseRaw) {
+		t.Error("cold-store report bytes diverge from store-less scan")
+	}
+	if cold.StoreHits != 0 || cold.StoreInvalidated != 0 {
+		t.Errorf("cold scan: hits %d, invalidated %d, want 0/0",
+			cold.StoreHits, cold.StoreInvalidated)
+	}
+	if cold.StoreMisses != consults(cold) {
+		t.Errorf("cold scan: misses %d, want %d (CVEs %d × 2 × unique %d)",
+			cold.StoreMisses, consults(cold), cold.CVEs, cold.UniqueFuncs)
+	}
+	// The cloned library makes duplication real: shared work must show up.
+	if cold.PairsDeduped == 0 || cold.ValidationsDeduped == 0 {
+		t.Errorf("cloned fleet shared no work: pairs deduped %d, validations deduped %d",
+			cold.PairsDeduped, cold.ValidationsDeduped)
+	}
+
+	// Warm rescan, fresh analyzer and fresh store handle: all disk, no
+	// recompute, identical bytes.
+	warm, warmRaw := scan(open(dir, hash), fleet)
+	if !bytes.Equal(warmRaw, baseRaw) {
+		t.Error("warm-store report bytes diverge from store-less scan")
+	}
+	if warm.StoreMisses != 0 || warm.StoreInvalidated != 0 {
+		t.Errorf("warm scan: misses %d, invalidated %d, want 0/0",
+			warm.StoreMisses, warm.StoreInvalidated)
+	}
+	if warm.StoreHits != consults(warm) {
+		t.Errorf("warm scan: hits %d, want %d", warm.StoreHits, consults(warm))
+	}
+
+	// Mutate the fleet: flip one rodata byte in the clone. Only the clone's
+	// memory-touching closures get new content addresses; the warm store
+	// answers everything else.
+	mutated := *clone
+	mutated.Rodata = append([]byte(nil), clone.Rodata...)
+	if len(mutated.Rodata) == 0 {
+		t.Fatal("fixture image has no rodata; mutation fixture is vacuous")
+	}
+	mutated.Rodata[0] ^= 0x01
+	mfleet := *fleet
+	mfleet.Images = append(append([]*binimg.Image{}, fleet.Images[:len(fleet.Images)-1]...), &mutated)
+
+	before := uniqueAddrs(t, fleet)
+	after := uniqueAddrs(t, &mfleet)
+	var changed int64
+	for a := range after {
+		if _, ok := before[a]; !ok {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("rodata mutation changed no content address; fixture is vacuous")
+	}
+	if changed >= int64(len(after)) {
+		t.Fatalf("rodata mutation changed every address (%d); delta assertion is vacuous", changed)
+	}
+
+	delta, _ := scan(open(dir, hash), &mfleet)
+	wantMisses := int64(delta.CVEs) * 2 * changed
+	if delta.StoreMisses != wantMisses {
+		t.Errorf("delta scan: misses %d, want %d (changed unique funcs %d)",
+			delta.StoreMisses, wantMisses, changed)
+	}
+	if delta.StoreHits != consults(delta)-wantMisses {
+		t.Errorf("delta scan: hits %d, want %d", delta.StoreHits, consults(delta)-wantMisses)
+	}
+	if delta.StoreInvalidated != 0 {
+		t.Errorf("delta scan: invalidated %d, want 0", delta.StoreInvalidated)
+	}
+
+	// A store written by another model version answers nothing: every
+	// consult is an invalidation, every score is recomputed, and the bytes
+	// still match.
+	stale, staleRaw := scan(open(dir, "sha256:other-model"), fleet)
+	if !bytes.Equal(staleRaw, baseRaw) {
+		t.Error("stale-store report bytes diverge from store-less scan")
+	}
+	if stale.StoreInvalidated != consults(stale) {
+		t.Errorf("stale scan: invalidated %d, want %d", stale.StoreInvalidated, consults(stale))
+	}
+	if stale.StoreHits != 0 {
+		t.Errorf("stale scan: hits %d, want 0", stale.StoreHits)
+	}
+}
+
+// TestDedupOffMatchesOn pins the dedup equivalence on a fleet with real
+// duplication (the golden fixture has none): the cloned-library fleet must
+// produce byte-identical reports with the content-addressed path on and
+// off, while the dedup path measurably shares work.
+func TestDedupOffMatchesOn(t *testing.T) {
+	model, db, fleet, _ := dedupFleet(t)
+	var raws [][]byte
+	for _, dedup := range []bool{true, false} {
+		an := NewAnalyzer(model, db)
+		an.Workers = 4
+		an.Dedup = dedup
+		report, err := an.ScanFirmware(context.Background(), fleet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dedup && report.Stats.PairsDeduped == 0 {
+			t.Error("dedup-on scan of cloned fleet deduped nothing")
+		}
+		if !dedup && (report.Stats.PairsDeduped != 0 || report.Stats.ValidationsDeduped != 0) {
+			t.Errorf("dedup-off scan reported shared work: %+v", report.Stats)
+		}
+		normalizeReport(report)
+		raw, err := json.Marshal(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws = append(raws, raw)
+	}
+	if !bytes.Equal(raws[0], raws[1]) {
+		t.Error("cloned-fleet report bytes differ between dedup on and off")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/binimg"
+	"repro/internal/cas"
 	"repro/internal/detector"
 	"repro/internal/dynamic"
 	"repro/internal/faultinject"
@@ -191,6 +192,19 @@ type ScanStats struct {
 	CellsFailed        int // grid cells that failed (before deduplication)
 	CandidatesExcluded int // dynamic-stage candidates excluded with a recorded reason
 	PartialSurvivors   int // survivors ranked from truncated profiles
+
+	// Dedup / delta-scan counters. UniqueFuncs is deterministic in the
+	// inputs (content addresses are computed whether or not dedup runs);
+	// the rest measure the work the dedup caches and the persistent store
+	// saved this run, so they legitimately vary with the Dedup flag and the
+	// store's warmth — the equivalence suites zero them before comparing.
+	UniqueFuncs        int   // distinct function content addresses across prepared images
+	PairsDeduped       int64 // static scores reused from the in-memory dedup cache
+	PairsFromStore     int64 // static scores answered by the persistent store
+	ValidationsDeduped int64 // candidate validations reused from the in-memory dedup cache
+	StoreHits          int64 // persistent-store consults answered with a current score
+	StoreMisses        int64 // persistent-store consults with no usable entry
+	StoreInvalidated   int64 // persistent-store consults stale under the current model hash
 }
 
 // PrepareImages disassembles and feature-extracts a set of library images
@@ -342,18 +356,23 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	prepWall := time.Since(prepStart)
 	a.Obs.AddStage(obs.StagePrepare, prepWall)
 	a.Obs.Add(obs.CtrImagesFailed, int64(len(prepErrs)))
+	uniqAddrs := make(map[cas.Addr]struct{})
 	for _, p := range prepared {
 		if p == nil {
 			continue
 		}
 		a.Obs.Add(obs.CtrImagesPrepared, 1)
 		a.Obs.Add(obs.CtrFuncsDisassembled, int64(p.NumFuncs()))
+		for _, addr := range p.CAS {
+			uniqAddrs[addr] = struct{}{}
+		}
 		a.Obs.Emit(obs.Event{
 			Kind:    obs.EvImagePrepared,
 			Library: p.Image.LibName,
 			Funcs:   p.NumFuncs(),
 		})
 	}
+	a.Obs.Add(obs.CtrFuncsUnique, int64(len(uniqAddrs)))
 
 	// The scan grid. Task index encodes the sequential iteration order
 	// (CVE, then image, then mode), which the reduction below relies on.
@@ -374,6 +393,7 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	}
 
 	hits0, misses0 := a.cache.counts()
+	dedup0 := a.DedupCounts()
 	scanStart := time.Now()
 	scans := make([]*CVEScan, nTasks)
 	errs := make([]error, nTasks)
@@ -473,6 +493,7 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 		}
 	}
 	hits1, misses1 := a.cache.counts()
+	dedup1 := a.DedupCounts()
 	stats.Workers = workers
 	stats.Images = len(prepared)
 	stats.CVEs = len(ids)
@@ -481,6 +502,13 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	stats.CacheMisses = misses1 - misses0
 	stats.PrepareWall = prepWall
 	stats.ScanWall = time.Since(scanStart)
+	stats.UniqueFuncs = len(uniqAddrs)
+	stats.PairsDeduped = dedup1.PairsDeduped - dedup0.PairsDeduped
+	stats.PairsFromStore = dedup1.PairsFromStore - dedup0.PairsFromStore
+	stats.ValidationsDeduped = dedup1.ValidationsDeduped - dedup0.ValidationsDeduped
+	stats.StoreHits = dedup1.StoreHits - dedup0.StoreHits
+	stats.StoreMisses = dedup1.StoreMisses - dedup0.StoreMisses
+	stats.StoreInvalidated = dedup1.StoreInvalidated - dedup0.StoreInvalidated
 	report.Stats = stats
 	a.Obs.Add(obs.CtrRefHits, stats.CacheHits)
 	a.Obs.Add(obs.CtrRefMisses, stats.CacheMisses)

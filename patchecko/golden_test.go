@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/cas"
 	"repro/internal/obs"
 )
 
@@ -67,20 +68,32 @@ func goldenFixtures(t *testing.T) (*Model, *DB, *Firmware) {
 	return goldenModel, goldenDB, goldenFw
 }
 
-// goldenReportJSON runs a full firmware scan and marshals the normalized
-// Report. Wall-clock timings and the configured worker count are the only
-// fields that legitimately vary across runs; normalizeReport zeroes them,
-// and encoding/json sorts all map keys, so equal Reports marshal to equal
-// bytes.
-func goldenReportJSON(t *testing.T, workers int, sink *obs.Metrics) []byte {
+// goldenConfig selects one analyzer configuration for a golden run. The
+// zero value is the default scan: dedup on, no persistent store.
+type goldenConfig struct {
+	workers int
+	sink    *obs.Metrics
+	noDedup bool
+	store   *cas.Store
+}
+
+// goldenReportConfigJSON runs a full firmware scan under one configuration
+// and marshals the normalized Report. Wall-clock timings, the configured
+// worker count, and the dedup/store work-saved statistics are the only
+// fields that legitimately vary across configurations; normalizeReport
+// zeroes them, and encoding/json sorts all map keys, so equal Reports
+// marshal to equal bytes.
+func goldenReportConfigJSON(t *testing.T, cfg goldenConfig) []byte {
 	t.Helper()
 	model, db, fw := goldenFixtures(t)
 	an := NewAnalyzer(model, db)
-	an.Workers = workers
-	an.Obs = sink
+	an.Workers = cfg.workers
+	an.Obs = cfg.sink
+	an.Dedup = !cfg.noDedup
+	an.Store = cfg.store
 	report, err := an.ScanFirmware(context.Background(), fw)
 	if err != nil {
-		t.Fatalf("workers=%d: %v", workers, err)
+		t.Fatalf("workers=%d: %v", cfg.workers, err)
 	}
 	normalizeReport(report)
 	// Compact marshaling keeps the committed fixture small; the profile
@@ -90,6 +103,23 @@ func goldenReportJSON(t *testing.T, workers int, sink *obs.Metrics) []byte {
 		t.Fatal(err)
 	}
 	return append(raw, '\n')
+}
+
+func goldenReportJSON(t *testing.T, workers int, sink *obs.Metrics) []byte {
+	t.Helper()
+	return goldenReportConfigJSON(t, goldenConfig{workers: workers, sink: sink})
+}
+
+// goldenModelHash returns the fixture model's content hash, the store
+// version key a real run derives from the serialized model.
+func goldenModelHash(t *testing.T) string {
+	t.Helper()
+	model, _, _ := goldenFixtures(t)
+	raw, err := model.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs.ModelHash(raw)
 }
 
 func TestGoldenReport(t *testing.T) {
@@ -131,6 +161,34 @@ func TestGoldenReport(t *testing.T) {
 			}
 		}
 	}
+
+	// Dedup equivalence: the content-addressed fast path and the every-pair
+	// reference path must produce the same bytes at every worker count.
+	for _, workers := range []int{1, 4, 16} {
+		got := goldenReportConfigJSON(t, goldenConfig{workers: workers, noDedup: true})
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d dedup-off: report bytes diverge from golden", workers)
+		}
+	}
+
+	// Store equivalence: a cold persistent store (every consult misses and
+	// populates) and a warm one (every consult hits) must both reproduce the
+	// golden bytes. A fresh Store handle on the same directory separates the
+	// warm run from in-memory caching.
+	hash := goldenModelHash(t)
+	for _, workers := range []int{1, 4, 16} {
+		dir := t.TempDir()
+		for _, phase := range []string{"cold", "warm"} {
+			st, err := cas.Open(dir, hash, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenReportConfigJSON(t, goldenConfig{workers: workers, store: st})
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d store-%s: report bytes diverge from golden", workers, phase)
+			}
+		}
+	}
 }
 
 // TestScanMetricsConsistency cross-checks the manifest counters against the
@@ -162,6 +220,15 @@ func TestScanMetricsConsistency(t *testing.T) {
 			{"images failed", obs.CtrImagesFailed, int64(report.Stats.ImagesFailed)},
 			{"cells failed", obs.CtrCellsFailed, int64(report.Stats.CellsFailed)},
 			{"candidates excluded", obs.CtrCandidatesExcluded, int64(report.Stats.CandidatesExcluded)},
+			{"unique functions", obs.CtrFuncsUnique, int64(report.Stats.UniqueFuncs)},
+			{"pairs deduped", obs.CtrPairsDeduped, report.Stats.PairsDeduped},
+			{"validations deduped", obs.CtrValidationsDeduped, report.Stats.ValidationsDeduped},
+			// No persistent store is configured, so every store-path counter
+			// must stay zero.
+			{"pairs from store", obs.CtrPairsFromStore, 0},
+			{"store hits", obs.CtrStoreHits, 0},
+			{"store misses", obs.CtrStoreMisses, 0},
+			{"store invalidated", obs.CtrStoreInvalidated, 0},
 		}
 		for _, c := range checks {
 			if got := sink.Get(c.ctr); got != c.want {
@@ -200,8 +267,14 @@ func TestScanMetricsConsistency(t *testing.T) {
 		if dropped := sink.Dropped(); dropped != 0 {
 			t.Fatalf("workers=%d: ring dropped %d events; grow the cap for this fixture", workers, dropped)
 		}
-		if got := sink.Get(obs.CtrPairsScored); got != evPairs {
-			t.Errorf("workers=%d: pairs_scored = %d, want Σ cell events = %d", workers, got, evPairs)
+		// With dedup on, each static pair is either computed, reused from
+		// the in-memory cache, or answered by the store; the three classes
+		// partition the per-cell pair totals exactly.
+		scored, deduped, fromStore := sink.Get(obs.CtrPairsScored),
+			sink.Get(obs.CtrPairsDeduped), sink.Get(obs.CtrPairsFromStore)
+		if scored+deduped+fromStore != evPairs {
+			t.Errorf("workers=%d: pairs scored %d + deduped %d + from store %d != Σ cell events %d",
+				workers, scored, deduped, fromStore, evPairs)
 		}
 		if got := sink.Get(obs.CtrCellsCompleted); got != evCells {
 			t.Errorf("workers=%d: cells_completed = %d, want %d cell events", workers, got, evCells)

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/binimg"
+	"repro/internal/cas"
 	"repro/internal/corpus"
 	"repro/internal/detector"
 	"repro/internal/diffengine"
@@ -169,15 +170,36 @@ type Analyzer struct {
 	// is the no-op sink: instrumented paths cost one predicted branch and
 	// zero allocations, and reports are byte-identical either way.
 	Obs *obs.Metrics
+	// Dedup — on by default via NewAnalyzer — shares per-function work by
+	// content address: each unique function body is statically scored once
+	// per CVE×mode and dynamically validated once per CVE×step-limit, with
+	// the result reused for every duplicate across all images the analyzer
+	// scans. Reports are byte-identical with dedup on or off; only work is
+	// saved. Turn it off to force the reference every-pair path (the
+	// equivalence suites compare both).
+	Dedup bool
+	// Store, when non-nil and Dedup is on, persists static scores by content
+	// address across analyzer lifetimes — the delta-scan path: rescanning a
+	// firmware update only recomputes functions whose content changed. The
+	// store is versioned by model hash and corruption-tolerant; a bad or
+	// stale entry is a miss, never a wrong score. Ignored when Dedup is off.
+	Store *cas.Store
 
 	// cache memoizes per-CVE reference work (decoded references and their
 	// dynamic profiles) across images, query modes and goroutines.
 	cache refCache
+	// scores and dyn memoize per-unique-function work (static scores and
+	// validation outcomes) across images, cells and goroutines when Dedup
+	// is on.
+	scores scoreCache
+	dyn    dynCache
 }
 
 // NewAnalyzer builds an analyzer from a trained model and a CVE database.
+// Content-addressed dedup is on by default; results are byte-identical to a
+// dedup-off analyzer.
 func NewAnalyzer(model *Model, db *DB) *Analyzer {
-	return &Analyzer{model: model, db: db, StepLimit: 1 << 20}
+	return &Analyzer{model: model, db: db, StepLimit: 1 << 20, Dedup: true}
 }
 
 // DB returns the analyzer's vulnerability database.
@@ -189,14 +211,29 @@ type PreparedImage struct {
 	Image *Image
 	Dis   *disasm.Disassembly
 	Vecs  []features.Vector
+	// CAS holds each function's content address, aligned with Dis.Funcs.
+	// Computed unconditionally by Prepare — the addresses are cheap next to
+	// feature extraction and the dedup-ratio statistics must not depend on
+	// whether dedup is enabled.
+	CAS []cas.Addr
+
+	// uniq lists one representative function index per distinct content
+	// address, in first-occurrence order; uniqPos maps every function to its
+	// representative's position in uniq. Together they let the dedup path
+	// score only unique bodies and fan the results out.
+	uniq    []int
+	uniqPos []int
 
 	// Batched static stage: every function vector normalized and pushed
 	// through the model's first layer once, then reused across all CVEs,
 	// both query modes and every worker. Built lazily under mu by the first
-	// cell that scores this image.
-	mu      sync.Mutex
-	tsModel *Model
-	ts      *detector.TargetSet
+	// cell that scores this image. uts is the dedup variant covering only
+	// the unique representatives.
+	mu       sync.Mutex
+	tsModel  *Model
+	ts       *detector.TargetSet
+	utsModel *Model
+	uts      *detector.TargetSet
 }
 
 // Targets returns the image's precomputed first-layer target halves for the
@@ -212,6 +249,25 @@ func (p *PreparedImage) Targets(m *Model) *detector.TargetSet {
 	return p.ts
 }
 
+// UniqueTargets is Targets restricted to the unique-representative vectors:
+// the dedup path pushes each distinct function body through the model's
+// first layer once. Per-vector preparation is independent, so a
+// representative's halves here are bit-identical to its halves in the full
+// set — which is what keeps dedup scores equal to every-pair scores.
+func (p *PreparedImage) UniqueTargets(m *Model) *detector.TargetSet {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.utsModel != m {
+		uv := make([]features.Vector, len(p.uniq))
+		for k, i := range p.uniq {
+			uv[k] = p.Vecs[i]
+		}
+		p.uts = m.PrepareTargets(uv)
+		p.utsModel = m
+	}
+	return p.uts
+}
+
 // Prepare disassembles the image and extracts per-function features.
 func Prepare(im *Image) (*PreparedImage, error) {
 	dis, err := disasm.Disassemble(im)
@@ -223,11 +279,27 @@ func Prepare(im *Image) (*PreparedImage, error) {
 	for i, f := range dis.Funcs {
 		p.Vecs[i] = features.Extract(dis, f)
 	}
+	p.CAS = cas.ImageAddrs(dis, p.Vecs)
+	pos := make(map[cas.Addr]int, len(p.CAS))
+	p.uniqPos = make([]int, len(p.CAS))
+	for i, addr := range p.CAS {
+		k, ok := pos[addr]
+		if !ok {
+			k = len(p.uniq)
+			pos[addr] = k
+			p.uniq = append(p.uniq, i)
+		}
+		p.uniqPos[i] = k
+	}
 	return p, nil
 }
 
 // NumFuncs returns the number of recovered functions.
 func (p *PreparedImage) NumFuncs() int { return len(p.Dis.Funcs) }
+
+// NumUnique returns the number of distinct function content addresses in
+// the image.
+func (p *PreparedImage) NumUnique() int { return len(p.uniq) }
 
 // RankedMatch is one dynamically-ranked candidate.
 type RankedMatch struct {
@@ -341,7 +413,13 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	// candidates — indices, exact scores, order — are identical.
 	start := time.Now()
 	var cands []detector.Candidate
-	if sc == nil {
+	if a.Dedup {
+		var derr error
+		cands, derr = a.dedupCandidates(entry, arch, mode, p, sc)
+		if derr != nil {
+			return nil, &refError{derr}
+		}
+	} else if sc == nil {
 		cands = a.model.Candidates(queryRef.StaticVec(), p.Vecs)
 		// The batched Scorer counts its own pairs; the scalar path counts
 		// here so both report the same totals.
@@ -374,7 +452,14 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	for i, c := range cands {
 		candFuncs[i] = p.Dis.Funcs[c.Index]
 	}
-	survivors, profiles, excluded := dynamic.ValidateParallel(ctx, p.Dis, candFuncs, envs, a.exec(), validateWorkers)
+	var survivors []int
+	var profiles map[int][]EnvProfile
+	var excluded map[int]error
+	if a.Dedup {
+		survivors, profiles, excluded = a.dedupValidate(ctx, p, entry, cands, candFuncs, envs, validateWorkers)
+	} else {
+		survivors, profiles, excluded = dynamic.ValidateParallel(ctx, p.Dis, candFuncs, envs, a.exec(), validateWorkers)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
