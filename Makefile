@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-static fuzz-smoke cover experiments
+.PHONY: build test race bench bench-static fuzz-smoke cover experiments service-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 # race detector on one core it overruns go test's default 10m deadline,
 # so give the gate an explicit budget.
 race:
-	$(GO) test -race -timeout 45m ./patchecko/ ./internal/dynamic/ ./internal/emu/ ./internal/faultinject/ ./internal/detector/ ./internal/nn/ ./internal/cas/
+	$(GO) test -race -timeout 45m ./patchecko/ ./internal/dynamic/ ./internal/emu/ ./internal/faultinject/ ./internal/detector/ ./internal/nn/ ./internal/cas/ ./internal/server/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -63,3 +63,9 @@ cover:
 
 experiments:
 	$(GO) run ./cmd/experiments -scale medium -seed 42 -all
+
+# End-to-end service smoke: start patcheckod over the seed-42 tiny fixture,
+# submit thingos-1.0 through patcheckoctl, and require the served normalized
+# Report to be byte-identical to the committed golden report. CI runs this.
+service-smoke:
+	./scripts/service_smoke.sh

@@ -65,13 +65,23 @@ func run() error {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
+		var manifest []byte
 		for _, im := range fw.Images {
 			p := filepath.Join(dir, im.LibName+".img")
 			if err := os.WriteFile(p, binimg.Encode(im), 0o644); err != nil {
 				return err
 			}
+			manifest = append(manifest, im.LibName+".img\n"...)
 		}
-		fmt.Printf("  wrote %d stripped library images to %s\n", len(fw.Images), dir)
+		// images.txt records the firmware's image order (CVE-declaration
+		// order, NOT alphabetical). Scan clients that re-assemble the image
+		// set — the patcheckod service submits images as a list — must follow
+		// it: the engine's deterministic reduction tie-breaks on image order,
+		// so byte-identical reports need byte-identical ordering.
+		if err := os.WriteFile(filepath.Join(dir, "images.txt"), manifest, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %d stripped library images + images.txt to %s\n", len(fw.Images), dir)
 	}
 	return nil
 }

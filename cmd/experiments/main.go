@@ -9,7 +9,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"repro/internal/corpus"
 	"repro/internal/experiments"
@@ -82,15 +84,33 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	defer func() {
-		if werr := of.Write(obs.RunInfo{
+	flushObs := func() error {
+		return of.Write(obs.RunInfo{
 			Tool:    "experiments",
 			Seed:    *seed,
 			Scale:   scale.Name,
 			Workers: *workers,
-		}); werr != nil && err == nil {
+		})
+	}
+	defer func() {
+		if werr := flushObs(); werr != nil && err == nil {
 			err = werr
 		}
+	}()
+	// A signal exit must not lose the sinks either: flush what the suite has
+	// collected so far, then exit with the conventional interrupted status.
+	// The sink is concurrency-safe, so flushing mid-experiment is sound.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		flushObs()
+		fmt.Fprintf(os.Stderr, "experiments: %v: partial observability artifacts flushed\n", sig)
+		os.Exit(130)
 	}()
 	out := os.Stdout
 	caseDevice := corpus.ThingOS.Name

@@ -21,10 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/baseline"
 	"repro/internal/binimg"
@@ -216,10 +218,28 @@ func runScan(args []string) (err error) {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
+	if *storeMax < 0 {
+		return fmt.Errorf("-store-max must be >= 0 bytes (0 = default), got %d", *storeMax)
+	}
+	// Flush the observability sinks on EVERY exit path — error returns and
+	// signal exits included. A partially-completed scan's counters and trace
+	// are exactly what a post-mortem needs; losing them to an early return
+	// defeats the point of collecting them.
+	var modelHash string
+	defer func() {
+		if werr := of.Write(obs.RunInfo{
+			Tool:      "patchecko scan",
+			Workers:   *workers,
+			ModelHash: modelHash,
+		}); werr != nil && err == nil {
+			err = werr
+		}
+	}()
 	rawModel, err := os.ReadFile(*modelPath)
 	if err != nil {
 		return err
 	}
+	modelHash = obs.ModelHash(rawModel)
 	model, err := detector.Unmarshal(rawModel)
 	if err != nil {
 		return err
@@ -251,7 +271,7 @@ func runScan(args []string) (err error) {
 		}
 		// The store is versioned by the model content hash: entries written
 		// by any other model answer as invalidated, never as hits.
-		store, err := cas.Open(*storeDir, obs.ModelHash(rawModel), *storeMax)
+		store, err := cas.Open(*storeDir, modelHash, *storeMax)
 		if err != nil {
 			return err
 		}
@@ -273,12 +293,20 @@ func runScan(args []string) (err error) {
 	}
 	// Scan failures are isolated per CVE, mirroring the firmware engine: a
 	// broken reference must not cost the scans of the remaining CVEs. Any
-	// failure still exits non-zero after the loop.
-	ctx := context.Background()
+	// failure still exits non-zero after the loop. SIGINT/SIGTERM cancel the
+	// context so an interrupted run still reaches the deferred sink flush.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	failed := 0
-	for _, id := range ids {
+	for i, id := range ids {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted after %d of %d CVE scans", i, len(ids))
+		}
 		scan, err := an.ScanImage(ctx, prepared, id, patchecko.QueryVulnerable)
 		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("interrupted: %w", err)
+			}
 			failed++
 			fmt.Fprintf(os.Stderr, "patchecko: %-16s scan failed: %v\n", id, err)
 			continue
@@ -305,13 +333,6 @@ func runScan(args []string) (err error) {
 			fmt.Printf("store: %d hits, %d misses, %d invalidated (%d bytes in %s)\n",
 				dc.StoreHits, dc.StoreMisses, dc.StoreInvalidated, an.Store.Size(), an.Store.Dir())
 		}
-	}
-	if werr := of.Write(obs.RunInfo{
-		Tool:      "patchecko scan",
-		Workers:   *workers,
-		ModelHash: obs.ModelHash(rawModel),
-	}); werr != nil {
-		return werr
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d CVE scans failed", failed, len(ids))

@@ -26,6 +26,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // Status classifies one store consult.
@@ -124,6 +126,9 @@ func (s *Store) path(key string) string {
 // non-finite score — is StatusMiss, and a well-formed entry written by a
 // different model is StatusInvalidated.
 func (s *Store) GetScore(key string) (float64, Status) {
+	if faultinject.Fire(faultinject.StoreReadFail, key) != nil {
+		return 0, StatusMiss
+	}
 	raw, err := os.ReadFile(s.path(key))
 	if err != nil {
 		return 0, StatusMiss

@@ -43,6 +43,20 @@ const (
 	// "<libname>|<cve>|<mode>". Arming it panics the worker for exactly
 	// that grid cell, exercising the engine's panic recovery.
 	ScanPanic Point = "patchecko.scanworker"
+	// AdmitFail fires in the scan service's admission path, keyed by
+	// tenant. Arming it simulates an admission-layer outage: the submission
+	// must be rejected with a typed error, never accepted half-way or hung.
+	AdmitFail Point = "server.admit"
+	// JournalFail fires on every job-journal append, keyed by the record
+	// kind ("submitted", "started", ...). Arming it simulates journal-disk
+	// failure: jobs must keep completing with crash-safety degraded and the
+	// failure counted, never fail because their bookkeeping did.
+	JournalFail Point = "server.journal"
+	// StoreReadFail fires in cas.Store.GetScore, keyed by the entry key.
+	// Arming it simulates unreadable store files: every read degrades to a
+	// miss (recompute), so armed store faults may slow a scan but can never
+	// change its report.
+	StoreReadFail Point = "cas.storeread"
 )
 
 var (

@@ -24,6 +24,16 @@ const (
 	EvCandidateExcluded                      // dynamic validation excluded a candidate
 	EvVerdictReached                         // the differential stage decided a cell's verdict
 	EvScanError                              // a typed ScanError was recorded (passthrough)
+
+	// Scan-service job lifecycle. Emitted into the job's own traced sink,
+	// interleaved with the scan events above, so /jobs/{id}/events streams
+	// the whole story of one submission.
+	EvJobQueued  // the submission was admitted into the job queue
+	EvJobStarted // a worker picked the job up (one per attempt)
+	EvJobRetried // a retryable attempt failed; backing off before the next
+	EvJobShed    // the job was degraded to the static-only pipeline
+	EvJobResumed // the job was re-enqueued from the journal after a restart
+	EvJobDone    // the job terminated (State says how)
 )
 
 var eventNames = map[EventKind]string{
@@ -33,6 +43,12 @@ var eventNames = map[EventKind]string{
 	EvCandidateExcluded: "candidate_excluded",
 	EvVerdictReached:    "verdict_reached",
 	EvScanError:         "scan_error",
+	EvJobQueued:         "job_queued",
+	EvJobStarted:        "job_started",
+	EvJobRetried:        "job_retried",
+	EvJobShed:           "job_shed",
+	EvJobResumed:        "job_resumed",
+	EvJobDone:           "job_done",
 }
 
 func (k EventKind) String() string {
@@ -95,6 +111,12 @@ type Event struct {
 
 	Fail   string `json:"fail,omitempty"`   // ScanError kind name
 	Reason string `json:"reason,omitempty"` // exclusion reason / error message
+
+	// Scan-service job coordinates (job_* kinds only).
+	Job     string `json:"job,omitempty"`     // job id
+	Tenant  string `json:"tenant,omitempty"`  // submitting tenant
+	Attempt int    `json:"attempt,omitempty"` // 1-based attempt number
+	State   string `json:"state,omitempty"`   // terminal state on job_done
 }
 
 // ring is a bounded overwrite-oldest event buffer. Pushing never blocks the

@@ -91,6 +91,21 @@ const (
 	CtrStoreMisses        // persistent-store consults with no usable entry
 	CtrStoreInvalidated   // persistent-store consults invalidated by a model-hash mismatch
 
+	// Scan service (resident server). Jobs partition at admission into
+	// admitted + rejected; admitted jobs partition at termination into
+	// completed + failed + cancelled. Shed/retried/resumed annotate admitted
+	// jobs and may overlap. The journal counters classify every append.
+	CtrJobsAdmitted  // submissions accepted into the job queue
+	CtrJobsRejected  // submissions rejected (queue full, tenant cap, draining, admission fault)
+	CtrJobsCompleted // jobs that finished with a report
+	CtrJobsFailed    // jobs that terminated without a report
+	CtrJobsCancelled // jobs cancelled by the client or shutdown
+	CtrJobsShed      // jobs degraded to the static-only pipeline
+	CtrJobsRetried   // retry attempts across all jobs (attempts - jobs)
+	CtrJobsResumed   // jobs re-enqueued from the journal after a restart
+	CtrJournalOK     // journal appends that reached disk
+	CtrJournalErrors // journal appends that failed (crash-safety degraded)
+
 	NumCounters
 )
 
@@ -131,6 +146,16 @@ var counterNames = [NumCounters]string{
 	CtrStoreHits:           "store_hits",
 	CtrStoreMisses:         "store_misses",
 	CtrStoreInvalidated:    "store_invalidated",
+	CtrJobsAdmitted:        "jobs_admitted",
+	CtrJobsRejected:        "jobs_rejected",
+	CtrJobsCompleted:       "jobs_completed",
+	CtrJobsFailed:          "jobs_failed",
+	CtrJobsCancelled:       "jobs_cancelled",
+	CtrJobsShed:            "jobs_shed",
+	CtrJobsRetried:         "jobs_retried",
+	CtrJobsResumed:         "jobs_resumed",
+	CtrJournalOK:           "journal_appends",
+	CtrJournalErrors:       "journal_errors",
 }
 
 func (c Counter) String() string {
@@ -227,6 +252,28 @@ func (m *Metrics) StageNs(s Stage) int64 {
 		return 0
 	}
 	return m.stageNs[s].Load()
+}
+
+// Merge folds another sink's counters and stage wall-clock totals into this
+// one. The scan service runs each job against its own traced sink (so the
+// job's event stream and counters are queryable in isolation) and merges the
+// job sink into the process-level sink when the job terminates; /metrics
+// then reports fleet-wide totals. Events are NOT merged — they stay with
+// the job. Nil-safe on both sides.
+func (m *Metrics) Merge(src *Metrics) {
+	if m == nil || src == nil {
+		return
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if v := src.counters[c].Load(); v != 0 {
+			m.counters[c].Add(v)
+		}
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		if v := src.stageNs[s].Load(); v != 0 {
+			m.stageNs[s].Add(v)
+		}
+	}
 }
 
 // Counters snapshots every counter by name, zeros included, so consumers

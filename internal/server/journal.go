@@ -1,0 +1,275 @@
+// Crash-safe job journal: an append-only JSONL file recording every job's
+// admission and termination, so a process restart can resume the jobs it
+// was killed under. The format follows the cas.Store playbook — the journal
+// is bookkeeping, never an authority over results:
+//
+//   - every append is written and fsynced BEFORE the submission is
+//     acknowledged, so an acked job is never lost to a crash;
+//   - a torn final line (the crash happened mid-append) is detected on open
+//     and truncated away — the corrupt tail costs at most the one record
+//     that was never acked;
+//   - rotation is compaction: when the file outgrows its budget it is
+//     rewritten to hold only the live (non-terminal) jobs, via temp file +
+//     rename, so readers never observe a half-rotated journal;
+//   - append failures (disk full, injected faults) degrade crash-safety and
+//     are counted, but never fail the job they describe.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// recordKind classifies one journal record.
+type recordKind string
+
+// Journal record kinds. A job contributes one "submitted" record (carrying
+// the full submission so the job can be re-run from the journal alone), at
+// least one "started" record (one per attempt epoch; a restart may add
+// more), and exactly one terminal record.
+const (
+	recSubmitted recordKind = "submitted"
+	recStarted   recordKind = "started"
+	recDone      recordKind = "done"
+	recFailed    recordKind = "failed"
+	recCancelled recordKind = "cancelled"
+)
+
+// terminal reports whether the record kind ends a job's journal lifetime.
+func (k recordKind) terminal() bool {
+	return k == recDone || k == recFailed || k == recCancelled
+}
+
+// record is one journal line.
+type record struct {
+	Kind recordKind  `json:"kind"`
+	Seq  uint64      `json:"seq"`
+	Job  string      `json:"job"`
+	Sub  *Submission `json:"sub,omitempty"` // submitted records only
+}
+
+// Journal is the append-only JSONL job journal. Safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	size int64
+	max  int64
+	seq  uint64
+	// live maps job id to its submission record for every job that has been
+	// admitted but not terminated; compaction keeps exactly these, and
+	// recovery re-enqueues them.
+	live map[string]*record
+	obs  *obs.Metrics
+}
+
+// defaultJournalMax bounds the journal when the caller does not choose a
+// rotation budget.
+const defaultJournalMax = 4 << 20
+
+// openJournal opens (creating if needed) the journal at path and replays it:
+// the returned records are the live — submitted or started, never
+// terminated — jobs in admission order, ready to resume. maxBytes is the
+// compaction threshold (<= 0 selects defaultJournalMax). A corrupt tail is
+// truncated in place; corruption anywhere else stops replay at the last
+// good line, because everything after it is untrustworthy.
+func openJournal(path string, maxBytes int64, sink *obs.Metrics) (*Journal, []*record, error) {
+	if maxBytes <= 0 {
+		maxBytes = defaultJournalMax
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("server: journal: %w", err)
+		}
+	}
+	j := &Journal{path: path, max: maxBytes, live: make(map[string]*record), obs: sink}
+
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("server: journal: %w", err)
+	}
+	var order []string
+	good := 0 // byte offset of the end of the last parseable line
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break // torn final line: the crash interrupted an append
+		}
+		line := raw[off : off+nl]
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Job == "" {
+			break
+		}
+		off += nl + 1
+		good = off
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+		switch {
+		case rec.Kind == recSubmitted && rec.Sub != nil:
+			if _, dup := j.live[rec.Job]; !dup {
+				order = append(order, rec.Job)
+			}
+			r := rec
+			j.live[rec.Job] = &r
+		case rec.Kind.terminal():
+			delete(j.live, rec.Job)
+		}
+	}
+	if good < len(raw) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, nil, fmt.Errorf("server: journal: truncating corrupt tail: %w", err)
+		}
+	}
+	j.size = int64(good)
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: journal: %w", err)
+	}
+	j.f = f
+
+	pending := make([]*record, 0, len(j.live))
+	for _, id := range order {
+		if rec, ok := j.live[id]; ok {
+			pending = append(pending, rec)
+		}
+	}
+	return j, pending, nil
+}
+
+// append writes one record, fsyncs it, and rotates if the file outgrew its
+// budget. The returned error is informational: callers count it and move
+// on — a job must never fail because its bookkeeping did.
+func (j *Journal) append(kind recordKind, jobID string, sub *Submission) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	rec := record{Kind: kind, Seq: j.seq, Job: jobID, Sub: sub}
+	if err := j.writeLocked(&rec); err != nil {
+		j.obs.Add(obs.CtrJournalErrors, 1)
+		return err
+	}
+	j.obs.Add(obs.CtrJournalOK, 1)
+	switch {
+	case kind == recSubmitted:
+		j.live[jobID] = &rec
+	case kind.terminal():
+		delete(j.live, jobID)
+	}
+	if j.size > j.max {
+		j.compactLocked()
+	}
+	return nil
+}
+
+func (j *Journal) writeLocked(rec *record) error {
+	if err := faultinject.Fire(faultinject.JournalFail, string(rec.Kind)); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := j.f.Write(data); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size += int64(len(data))
+	return nil
+}
+
+// compactLocked rewrites the journal to hold only the live jobs' submission
+// records, atomically (temp file + rename). On any failure the original
+// file keeps working — compaction is retried after the next append. Callers
+// hold j.mu.
+func (j *Journal) compactLocked() {
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), "journal-*")
+	if err != nil {
+		return
+	}
+	w := bufio.NewWriter(tmp)
+	var size int64
+	ok := true
+	for _, rec := range sortedLive(j.live) {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			ok = false
+			break
+		}
+		data = append(data, '\n')
+		if _, err := w.Write(data); err != nil {
+			ok = false
+			break
+		}
+		size += int64(len(data))
+	}
+	if ok {
+		ok = w.Flush() == nil && tmp.Sync() == nil
+	}
+	if cerr := tmp.Close(); cerr != nil {
+		ok = false
+	}
+	if !ok {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted file is in place but unappendable; keep the old
+		// handle (its writes land in the unlinked inode and are lost, which
+		// is the degraded-crash-safety mode the error counter reports).
+		j.obs.Add(obs.CtrJournalErrors, 1)
+		return
+	}
+	j.f.Close()
+	j.f = f
+	j.size = size
+}
+
+// sortedLive returns the live records in seq (admission) order.
+func sortedLive(live map[string]*record) []*record {
+	recs := make([]*record, 0, len(live))
+	for _, rec := range live {
+		recs = append(recs, rec)
+	}
+	for i := 1; i < len(recs); i++ {
+		for k := i; k > 0 && recs[k-1].Seq > recs[k].Seq; k-- {
+			recs[k-1], recs[k] = recs[k], recs[k-1]
+		}
+	}
+	return recs
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+func testSub(tenant string) *Submission {
+	return &Submission{Tenant: tenant, Device: "dev", Arch: "amd64", Images: [][]byte{[]byte("x")}}
+}
+
+// TestJournalRecoversLiveJobs pins the replay contract: submitted-without-
+// terminal jobs come back in admission order, terminated ones do not.
+func TestJournalRecoversLiveJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, pending, err := openJournal(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(pending))
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.append(recSubmitted, "job-1", testSub("a")))
+	must(j.append(recStarted, "job-1", nil))
+	must(j.append(recSubmitted, "job-2", testSub("b")))
+	must(j.append(recDone, "job-1", nil))
+	must(j.append(recSubmitted, "job-3", testSub("c")))
+	must(j.append(recStarted, "job-3", nil))
+	must(j.append(recSubmitted, "job-4", testSub("d")))
+	must(j.append(recCancelled, "job-4", nil))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, pending, err = openJournal(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, rec := range pending {
+		ids = append(ids, rec.Job)
+	}
+	if len(ids) != 2 || ids[0] != "job-2" || ids[1] != "job-3" {
+		t.Fatalf("replayed %v, want [job-2 job-3]", ids)
+	}
+	for _, rec := range pending {
+		if rec.Sub == nil || rec.Sub.Tenant == "" {
+			t.Fatalf("replayed record %s lost its submission", rec.Job)
+		}
+	}
+}
+
+// TestJournalCorruptTail pins crash tolerance: a torn final line (the crash
+// interrupted an append) is truncated away, costing only the un-acked
+// record, and the journal keeps appending afterwards.
+func TestJournalCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := openJournal(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(recSubmitted, "job-1", testSub("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(recSubmitted, "job-2", testSub("b")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate the torn write: a half-record with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"submitted","seq":3,"job":"job-3","sub":{"ten`)
+	f.Close()
+
+	j2, pending, err := openJournal(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("replayed %d jobs after torn tail, want 2", len(pending))
+	}
+	// The truncated journal must keep working — and the next append must not
+	// collide with a seq from the lost tail.
+	if err := j2.append(recDone, "job-1", nil); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, pending, err = openJournal(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Job != "job-2" {
+		t.Fatalf("post-repair replay = %v, want [job-2]", pending)
+	}
+}
+
+// TestJournalCorruptMiddle: garbage before good records stops replay at the
+// last trustworthy prefix rather than guessing past it.
+func TestJournalCorruptMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	good, _ := json.Marshal(record{Kind: recSubmitted, Seq: 1, Job: "job-1", Sub: testSub("a")})
+	content := append(good, '\n')
+	content = append(content, []byte("NOT JSON AT ALL\n")...)
+	tail, _ := json.Marshal(record{Kind: recSubmitted, Seq: 3, Job: "job-3", Sub: testSub("c")})
+	content = append(content, tail...)
+	content = append(content, '\n')
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, pending, err := openJournal(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Job != "job-1" {
+		t.Fatalf("replay past corruption: %v, want only job-1", pending)
+	}
+}
+
+// TestJournalCompaction: outgrowing the byte budget rewrites the file down
+// to the live submission records, atomically, without losing any live job.
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := openJournal(path, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn far past the budget: every job terminates except the last two.
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("job-%03d", i)
+		j.append(recSubmitted, id, testSub("t"))
+		j.append(recDone, id, nil)
+	}
+	j.append(recSubmitted, "job-live-1", testSub("t"))
+	j.append(recSubmitted, "job-live-2", testSub("t"))
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() > 2048 {
+		t.Fatalf("journal never compacted: %d bytes on disk", info.Size())
+	}
+	j.Close()
+	_, pending, err := openJournal(path, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 2 || pending[0].Job != "job-live-1" || pending[1].Job != "job-live-2" {
+		t.Fatalf("post-compaction replay = %v, want the two live jobs in order", pending)
+	}
+}
+
+// TestJournalAppendFault: an armed journal fault degrades crash-safety —
+// counted, reported to the caller — but never corrupts the file for later
+// appends.
+func TestJournalAppendFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	sink := obs.New()
+	j, _, err := openJournal(path, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.append(recSubmitted, "job-1", testSub("a")); err != nil {
+		t.Fatal(err)
+	}
+	disarm := faultinject.Arm(faultinject.JournalFail, string(recSubmitted), errors.New("disk on fire"))
+	if err := j.append(recSubmitted, "job-2", testSub("b")); err == nil {
+		t.Fatal("armed journal fault did not surface")
+	}
+	disarm()
+	if err := j.append(recSubmitted, "job-3", testSub("c")); err != nil {
+		t.Fatalf("append after fault: %v", err)
+	}
+	if got := sink.Get(obs.CtrJournalErrors); got != 1 {
+		t.Errorf("journal_errors = %d, want 1", got)
+	}
+	if got := sink.Get(obs.CtrJournalOK); got != 2 {
+		t.Errorf("journal_appends = %d, want 2", got)
+	}
+}

@@ -12,6 +12,7 @@
 package patchecko
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"runtime"
@@ -73,42 +74,107 @@ func (e *refEntry) resolveRefLocked(entry *vulndb.Entry, arch string, mode Query
 	return e.ref, e.refErr
 }
 
-// refCache memoizes per-CVE reference work across images, query modes and
-// goroutines.
-type refCache struct {
+// cacheItem pairs a cache key with its entry so LRU eviction can delete the
+// map slot from the recency list alone.
+type cacheItem struct {
+	key refKey
+	e   *refEntry
+}
+
+// RefCache memoizes per-CVE reference work (decoded references, first-layer
+// query halves, dynamic profiles) across images, query modes and goroutines.
+// Every Analyzer owns an unbounded private one; NewRefCache builds a bounded
+// process-wide instance that can be shared by many analyzers (the resident
+// scan service gives every concurrent job the same cache, so a CVE's
+// reference is profiled once per process, not once per job).
+//
+// Eviction is least-recently-used and affects only work, never results:
+// reference work is deterministic in its inputs, so recomputing an evicted
+// entry reproduces it exactly. Entries checked out before eviction stay
+// valid — holders keep their pointer; the cache merely forgets the slot.
+type RefCache struct {
 	mu      sync.Mutex
-	entries map[refKey]*refEntry
+	max     int
+	entries map[refKey]*list.Element
+	ll      *list.List // front = most recently used
 	// hits/misses count reference *profiling* consults (the expensive,
 	// per-CVE×mode work the cache exists to amortize). Exactly one miss is
 	// recorded per key — the consult that computed — so the counters are
-	// deterministic for any worker count.
+	// deterministic for any worker count (on a private cache; a shared
+	// cache's warmth legitimately varies across jobs).
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
-func (c *refCache) entry(k refKey) *refEntry {
+// NewRefCache returns a bounded reference cache holding at most maxEntries
+// (CVE, arch, mode, step-limit) entries; maxEntries <= 0 means unbounded.
+func NewRefCache(maxEntries int) *RefCache {
+	return &RefCache{max: maxEntries}
+}
+
+func (c *RefCache) entry(k refKey) *refEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.entries == nil {
-		c.entries = make(map[refKey]*refEntry)
+		c.entries = make(map[refKey]*list.Element)
+		c.ll = list.New()
 	}
-	e, ok := c.entries[k]
-	if !ok {
-		e = &refEntry{}
-		c.entries[k] = e
+	if el, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheItem).e
+	}
+	e := &refEntry{}
+	c.entries[k] = c.ll.PushFront(&cacheItem{key: k, e: e})
+	for c.max > 0 && len(c.entries) > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*cacheItem).key)
 	}
 	return e
 }
 
-func (c *refCache) counts() (hits, misses int64) {
+// InvalidateCVE drops every cached entry for the CVE, forcing the next
+// consult to recompute. The scan service calls it before retrying a job
+// whose ScanErrors named the CVE: failures memoize permanently (they are
+// deterministic for a fixed environment), so a transient fault — an injected
+// chaos fault, a since-fixed reference file — must be evicted explicitly for
+// a retry to observe the recovered state.
+func (c *RefCache) InvalidateCVE(cveID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, el := range c.entries {
+		if k.cve == cveID {
+			c.ll.Remove(el)
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *RefCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *RefCache) counts() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// refcache returns the cache reference work goes through: the process-wide
+// shared cache when the analyzer was given one, its private cache otherwise.
+func (a *Analyzer) refcache() *RefCache {
+	if a.SharedCache != nil {
+		return a.SharedCache
+	}
+	return &a.cache
 }
 
 // cachedRef returns the decoded reference for (CVE, arch, mode), computed
 // once per analyzer. Decoding is cheap next to profiling, so it is memoized
 // without touching the hit/miss counters.
 func (a *Analyzer) cachedRef(entry *vulndb.Entry, arch string, mode QueryMode) (*vulndb.Ref, error) {
-	e := a.cache.entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
+	e := a.refcache().entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.resolveRefLocked(entry, arch, mode)
@@ -119,7 +185,7 @@ func (a *Analyzer) cachedRef(entry *vulndb.Entry, arch string, mode QueryMode) (
 // lifetime. Like cachedRef this is cheap next to profiling and does not
 // touch the hit/miss counters.
 func (a *Analyzer) cachedQueryHalves(entry *vulndb.Entry, arch string, mode QueryMode) (*detector.QueryHalves, error) {
-	e := a.cache.entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
+	e := a.refcache().entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ref, err := e.resolveRefLocked(entry, arch, mode)
@@ -142,14 +208,15 @@ func (a *Analyzer) cachedQueryHalves(entry *vulndb.Entry, arch string, mode Quer
 // must not mutate the returned slice; ScanImage copies it before publishing
 // on a CVEScan.
 func (a *Analyzer) cachedRefProfiles(ctx context.Context, entry *vulndb.Entry, arch string, mode QueryMode, envs []*minic.Env) ([]dynamic.Profile, error) {
-	e := a.cache.entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
+	c := a.refcache()
+	e := c.entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.profDone {
-		a.cache.hits.Add(1)
+		c.hits.Add(1)
 		return e.profiles, e.profErr
 	}
-	a.cache.misses.Add(1)
+	c.misses.Add(1)
 	ref, err := e.resolveRefLocked(entry, arch, mode)
 	if err != nil {
 		e.profDone, e.profErr = true, err
@@ -392,7 +459,7 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 		validateWorkers = 1
 	}
 
-	hits0, misses0 := a.cache.counts()
+	hits0, misses0 := a.refcache().counts()
 	dedup0 := a.DedupCounts()
 	scanStart := time.Now()
 	scans := make([]*CVEScan, nTasks)
@@ -444,6 +511,7 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	// one-worker scan would. Cell failures dedupe by value: a broken CVE
 	// reference observed from every image collapses to one ScanError.
 	report := &Report{Device: fw.Device, Arch: fw.Arch, Results: make(map[string]*CVEScan, len(ids))}
+	report.Degraded = a.StaticOnly
 	report.Errors = append(report.Errors, prepErrs...)
 	for _, se := range prepErrs {
 		a.emitScanError(se)
@@ -492,7 +560,7 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 			})
 		}
 	}
-	hits1, misses1 := a.cache.counts()
+	hits1, misses1 := a.refcache().counts()
 	dedup1 := a.DedupCounts()
 	stats.Workers = workers
 	stats.Images = len(prepared)

@@ -11,21 +11,11 @@ import (
 	"time"
 )
 
-// normalizeReport zeroes the fields that legitimately vary across runs —
-// wall-clock timings, the configured worker count, and the work-saved
-// accounting that depends on the Dedup flag and store warmth — so the
-// remainder can be compared with reflect.DeepEqual. UniqueFuncs stays: it
-// is deterministic in the inputs regardless of configuration.
-func normalizeReport(r *Report) {
-	for _, s := range r.Results {
-		s.StaticTime, s.DynamicTime = 0, 0
-	}
-	r.Stats.PrepareWall, r.Stats.ScanWall = 0, 0
-	r.Stats.Workers = 0
-	r.Stats.PairsDeduped, r.Stats.PairsFromStore = 0, 0
-	r.Stats.ValidationsDeduped = 0
-	r.Stats.StoreHits, r.Stats.StoreMisses, r.Stats.StoreInvalidated = 0, 0, 0
-}
+// normalizeReport zeroes the fields that legitimately vary across runs so
+// the remainder can be compared with reflect.DeepEqual; see Report.Normalize
+// (the public form served comparisons use). UniqueFuncs stays: it is
+// deterministic in the inputs regardless of configuration.
+func normalizeReport(r *Report) { r.Normalize() }
 
 // TestScanFirmwareParallelMatchesSequential is the engine's determinism
 // guarantee: the Report of a whole-firmware scan is identical — every

@@ -50,6 +50,21 @@ func (k FailKind) String() string {
 	}
 }
 
+// Retryable reports whether a failure of this kind could plausibly succeed
+// on a retry of the same work. The deterministic kinds — decode, prepare,
+// reference, trap — are terminal: they are functions of the inputs, so the
+// same scan fails the same way again. Panics, cancellations (a deadline that
+// ate the attempt, not the job) and unclassified internal errors may be
+// environmental, so a retry policy with budget may re-run them. The scan
+// service's backoff loop is driven by this split.
+func (k FailKind) Retryable() bool {
+	switch k {
+	case FailPanic, FailCancelled, FailInternal:
+		return true
+	}
+	return false
+}
+
 // ScanError is one isolated failure from a firmware scan. It is a plain
 // comparable value: the engine deduplicates identical failures (e.g. a
 // broken CVE reference observed from every image) by equality, and reports
@@ -67,6 +82,10 @@ type ScanError struct {
 	Kind    FailKind
 	Msg     string
 }
+
+// Retryable reports whether the recorded failure is worth retrying; see
+// FailKind.Retryable.
+func (e ScanError) Retryable() bool { return e.Kind.Retryable() }
 
 func (e ScanError) Error() string {
 	switch {

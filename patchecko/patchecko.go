@@ -184,10 +184,24 @@ type Analyzer struct {
 	// store is versioned by model hash and corruption-tolerant; a bad or
 	// stale entry is a miss, never a wrong score. Ignored when Dedup is off.
 	Store *cas.Store
+	// SharedCache, when non-nil, replaces the analyzer's private reference
+	// cache with a process-wide (usually bounded, see NewRefCache) one so
+	// concurrent scans by different analyzers — the resident scan service's
+	// jobs — profile each CVE reference once per process. Results are
+	// byte-identical either way; only warmth (Stats.CacheHits/CacheMisses)
+	// varies, which Report.Normalize zeroes for comparisons.
+	SharedCache *RefCache
+	// StaticOnly degrades the pipeline to its static stage: candidates are
+	// scored and reported, but dynamic validation and the differential
+	// verdict are shed. Every scan and the Report are explicitly marked
+	// Degraded — degradation is never silent. The scan service uses this
+	// under overload or deadline pressure to return a cheap partial answer
+	// instead of none.
+	StaticOnly bool
 
 	// cache memoizes per-CVE reference work (decoded references and their
 	// dynamic profiles) across images, query modes and goroutines.
-	cache refCache
+	cache RefCache
 	// scores and dyn memoize per-unique-function work (static scores and
 	// validation outcomes) across images, cells and goroutines when Dedup
 	// is on.
@@ -346,6 +360,12 @@ type CVEScan struct {
 	Match   RankedMatch
 	Verdict Verdict
 
+	// Degraded marks a scan whose dynamic and differential stages were shed
+	// (Analyzer.StaticOnly): the candidate list is real, but nothing was
+	// validated and no verdict was attempted. Omitted from JSON when false
+	// so full-pipeline reports are unchanged.
+	Degraded bool `json:"Degraded,omitempty"`
+
 	// Timings, for the paper's processing-time columns.
 	StaticTime  time.Duration
 	DynamicTime time.Duration
@@ -437,6 +457,10 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	scan.NumCandidates = len(cands)
 	for _, c := range cands {
 		scan.CandidateAddr = append(scan.CandidateAddr, p.Dis.Funcs[c.Index].Addr)
+	}
+	if a.StaticOnly {
+		scan.Degraded = true
+		return scan, nil
 	}
 	if len(cands) == 0 {
 		return scan, nil
@@ -612,6 +636,33 @@ type Report struct {
 	// Stats are the scan-level counters of the run that produced the
 	// report (worker count, cache hits/misses, per-stage wall-clock).
 	Stats ScanStats
+	// Degraded marks a report produced with the dynamic and differential
+	// stages shed (Analyzer.StaticOnly): every result lists static
+	// candidates only, with no validation and no verdicts. The scan service
+	// sets this under overload or deadline pressure; it is never set
+	// silently — a degraded report says so. Omitted from JSON when false so
+	// full-pipeline reports are unchanged.
+	Degraded bool `json:"Degraded,omitempty"`
+}
+
+// Normalize zeroes the Report fields that legitimately vary from run to run
+// on identical inputs — wall-clock timings, the configured worker count,
+// and the work-saved accounting that depends on cache warmth, the Dedup
+// flag and the persistent store — so two reports of the same scan can be
+// compared byte-for-byte (marshal after Normalize; encoding/json sorts map
+// keys). Everything it leaves alone is deterministic in the scan inputs.
+func (r *Report) Normalize() {
+	for _, s := range r.Results {
+		if s != nil {
+			s.StaticTime, s.DynamicTime = 0, 0
+		}
+	}
+	r.Stats.PrepareWall, r.Stats.ScanWall = 0, 0
+	r.Stats.Workers = 0
+	r.Stats.CacheHits, r.Stats.CacheMisses = 0, 0
+	r.Stats.PairsDeduped, r.Stats.PairsFromStore = 0, 0
+	r.Stats.ValidationsDeduped = 0
+	r.Stats.StoreHits, r.Stats.StoreMisses, r.Stats.StoreInvalidated = 0, 0, 0
 }
 
 // better prefers matched scans with smaller similarity distance. It is the

@@ -1,0 +1,44 @@
+package patchecko
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestReportJSONRoundTrip pins the Report wire contract the scan service
+// depends on: unmarshalling the committed golden report and re-marshalling
+// it reproduces the exact committed bytes. If a field is added without JSON
+// tags matching the golden form, or omitempty semantics shift (e.g. the
+// Degraded flag serializing on non-degraded reports), this catches it
+// without running a scan.
+func TestReportJSONRoundTrip(t *testing.T) {
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Skipf("no committed golden report: %v", err)
+	}
+	var r Report
+	if err := json.Unmarshal(want, &r); err != nil {
+		t.Fatalf("golden report does not parse as a Report: %v", err)
+	}
+	got, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Report JSON round-trip is lossy: %d bytes re-marshalled vs %d committed", len(got), len(want))
+	}
+
+	// Normalizing an already-normalized report must be a no-op — the served
+	// ?normalize=1 path normalizes a fresh copy every request.
+	r.Normalize()
+	again, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(again, '\n'), want) {
+		t.Fatal("Normalize is not idempotent on the golden report")
+	}
+}

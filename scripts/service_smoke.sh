@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the resident scan service: build the daemon and
+# client, regenerate the seed-42 tiny fixture, serve it through patcheckod,
+# and require the served normalized Report to be byte-identical to the
+# committed golden report — the same bytes the CLI scan and the golden test
+# suite pin. Run from the repo root; CI runs this as the service-smoke job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+addr="127.0.0.1:${SMOKE_PORT:-8941}"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    [ -n "$daemon_pid" ] && wait "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "==> building"
+go build -o "$work/patchecko" ./cmd/patchecko
+go build -o "$work/patcheckod" ./cmd/patcheckod
+go build -o "$work/patcheckoctl" ./cmd/patcheckoctl
+go build -o "$work/corpusgen" ./cmd/corpusgen
+
+echo "==> generating the seed-42 tiny fixture"
+"$work/corpusgen" -out "$work/corpus" -scale tiny -seed 42
+"$work/patchecko" train -scale tiny -seed 42 -out "$work/model.json"
+
+echo "==> starting patcheckod on $addr"
+"$work/patcheckod" -addr "$addr" \
+    -model "$work/model.json" -db "$work/corpus/vulndb.json" \
+    -journal "$work/journal.jsonl" -store "$work/store" \
+    -metrics "$work/daemon_metrics.json" &
+daemon_pid=$!
+
+# Wait for readiness (the daemon loads the model before listening).
+for i in $(seq 1 50); do
+    if "$work/patcheckoctl" health -addr "http://$addr" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "FAIL: patcheckod exited before becoming healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+"$work/patcheckoctl" health -addr "http://$addr" >/dev/null
+
+echo "==> submitting thingos-1.0 and fetching the normalized report"
+"$work/patcheckoctl" submit -addr "http://$addr" \
+    -dir "$work/corpus/thingos-1.0" -device thingos-1.0 -arch xarm32 \
+    -normalize -out "$work/report.json"
+
+echo "==> comparing against the committed golden report"
+if ! cmp "$work/report.json" patchecko/testdata/golden_report_seed42.json; then
+    echo "FAIL: served report diverges from patchecko/testdata/golden_report_seed42.json" >&2
+    exit 1
+fi
+
+echo "==> checking /metrics"
+metrics="$("$work/patcheckoctl" metrics -addr "http://$addr")"
+for want in '"jobs_admitted":1' '"jobs_completed":1'; do
+    case "$metrics" in
+    *"$want"*) ;;
+    *)
+        echo "FAIL: /metrics missing $want:" >&2
+        echo "$metrics" >&2
+        exit 1
+        ;;
+    esac
+done
+
+echo "PASS: served scan is byte-identical to the committed golden report"
