@@ -3,13 +3,22 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-static fuzz-smoke cover experiments service-smoke
+.PHONY: build test race bench bench-static fuzz-smoke cover experiments service-smoke lint
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Invariant lint suite: build the patcheckovet multichecker (the
+# internal/lint analyzers — determinism, errtaxonomy, ctxflow,
+# atomiccounter — behind the `go vet -vettool` protocol) and run it over
+# the whole module. Intentional violations carry //patchecko:allow
+# directives; see DESIGN.md "Enforced invariants". CI runs this.
+lint:
+	$(GO) build -o bin/patcheckovet ./cmd/patcheckovet
+	$(GO) vet -vettool=$(CURDIR)/bin/patcheckovet ./...
 
 # Race coverage for the concurrent scan engine and candidate validation:
 # the parallel scan grid, the single-flight reference cache, the worker-pool

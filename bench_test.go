@@ -42,7 +42,7 @@ func benchScale() corpus.Scale {
 func suite(b *testing.B) *experiments.Suite {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchSuite, benchErr = experiments.NewSuite(experiments.Config{
+		benchSuite, benchErr = experiments.NewSuite(context.Background(), experiments.Config{
 			Scale: benchScale(),
 			Seed:  42,
 		})
@@ -112,7 +112,7 @@ func BenchmarkTable3DynamicProfiling(b *testing.B) {
 		err error
 	)
 	for i := 0; i < b.N; i++ {
-		r, err = s.Table3(caseDevice(), caseCVE)
+		r, err = s.Table3(context.Background(), caseDevice(), caseCVE)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +141,7 @@ func benchRanking(b *testing.B, mode patchecko.QueryMode, tag string) {
 		err error
 	)
 	for i := 0; i < b.N; i++ {
-		r, err = s.Ranking(caseDevice(), caseCVE, mode, 10)
+		r, err = s.Ranking(context.Background(), caseDevice(), caseCVE, mode, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -169,7 +169,7 @@ func benchPipeline(b *testing.B, mode patchecko.QueryMode, tag string) {
 		err error
 	)
 	for i := 0; i < b.N; i++ {
-		r, err = s.Pipeline(caseDevice(), mode)
+		r, err = s.Pipeline(context.Background(), caseDevice(), mode)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,11 +188,11 @@ func BenchmarkTable8PatchDetection(b *testing.B) {
 		err    error
 	)
 	for i := 0; i < b.N; i++ {
-		r1, err = s.Verdicts(corpus.ThingOS.Name)
+		r1, err = s.Verdicts(context.Background(), corpus.ThingOS.Name)
 		if err != nil {
 			b.Fatal(err)
 		}
-		r2, err = s.Verdicts(corpus.Pebble2XL.Name)
+		r2, err = s.Verdicts(context.Background(), corpus.Pebble2XL.Name)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +214,7 @@ func BenchmarkHeadlines(b *testing.B) {
 		err error
 	)
 	for i := 0; i < b.N; i++ {
-		h, err = s.Headlines()
+		h, err = s.Headlines(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -274,7 +274,7 @@ func BenchmarkAblationDistance(b *testing.B) {
 		err error
 	)
 	for i := 0; i < b.N; i++ {
-		r, err = s.AblateDistance(caseDevice())
+		r, err = s.AblateDistance(context.Background(), caseDevice())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -293,7 +293,7 @@ func BenchmarkAblationEnvironments(b *testing.B) {
 		err error
 	)
 	for i := 0; i < b.N; i++ {
-		r, err = s.AblateEnvironments(caseDevice())
+		r, err = s.AblateEnvironments(context.Background(), caseDevice())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -313,7 +313,7 @@ func BenchmarkAblationExploitReplay(b *testing.B) {
 		err error
 	)
 	for i := 0; i < b.N; i++ {
-		r, err = s.VerdictsWithReplay(corpus.ThingOS.Name)
+		r, err = s.VerdictsWithReplay(context.Background(), corpus.ThingOS.Name)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -334,7 +334,7 @@ func BenchmarkAblationHybrid(b *testing.B) {
 		err error
 	)
 	for i := 0; i < b.N; i++ {
-		r, err = s.AblateHybrid(caseDevice())
+		r, err = s.AblateHybrid(context.Background(), caseDevice())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,7 +74,12 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	suite, err := experiments.NewSuite(experiments.Config{
+	// The root context for every suite call. Interrupts keep their own exit
+	// path (the signal goroutine below flushes and exits) rather than
+	// cancelling this context: a cancelled scan would surface as a scan error
+	// and mask the partial-artifact flush.
+	ctx := context.Background()
+	suite, err := experiments.NewSuite(ctx, experiments.Config{
 		Scale:   scale,
 		Seed:    *seed,
 		Workers: *workers,
@@ -147,7 +153,7 @@ func run() (err error) {
 	}
 	if *table3 {
 		fmt.Println()
-		r, err := suite.Table3(caseDevice, caseCVE)
+		r, err := suite.Table3(ctx, caseDevice, caseCVE)
 		if err != nil {
 			return err
 		}
@@ -156,7 +162,7 @@ func run() (err error) {
 	if *table45 {
 		for _, mode := range []patchecko.QueryMode{patchecko.QueryVulnerable, patchecko.QueryPatched} {
 			fmt.Println()
-			r, err := suite.Ranking(caseDevice, caseCVE, mode, 10)
+			r, err := suite.Ranking(ctx, caseDevice, caseCVE, mode, 10)
 			if err != nil {
 				return err
 			}
@@ -166,7 +172,7 @@ func run() (err error) {
 	if *table67 {
 		for _, mode := range []patchecko.QueryMode{patchecko.QueryVulnerable, patchecko.QueryPatched} {
 			fmt.Println()
-			r, err := suite.Pipeline(caseDevice, mode)
+			r, err := suite.Pipeline(ctx, caseDevice, mode)
 			if err != nil {
 				return err
 			}
@@ -176,7 +182,7 @@ func run() (err error) {
 	if *table8 {
 		for _, dev := range experiments.Devices() {
 			fmt.Println()
-			r, err := suite.Verdicts(dev.Name)
+			r, err := suite.Verdicts(ctx, dev.Name)
 			if err != nil {
 				return err
 			}
@@ -191,26 +197,26 @@ func run() (err error) {
 		}
 		bl.Render(out)
 		fmt.Println()
-		d, err := suite.AblateDistance(caseDevice)
+		d, err := suite.AblateDistance(ctx, caseDevice)
 		if err != nil {
 			return err
 		}
 		d.Render(out)
 		fmt.Println()
-		rr, err := suite.VerdictsWithReplay(caseDevice)
+		rr, err := suite.VerdictsWithReplay(ctx, caseDevice)
 		if err != nil {
 			return err
 		}
 		fmt.Println("Ablation — Table VIII with exploit-replay extension enabled:")
 		rr.Render(out)
 		fmt.Println()
-		e, err := suite.AblateEnvironments(caseDevice)
+		e, err := suite.AblateEnvironments(ctx, caseDevice)
 		if err != nil {
 			return err
 		}
 		e.Render(out)
 		fmt.Println()
-		h, err := suite.AblateHybrid(caseDevice)
+		h, err := suite.AblateHybrid(ctx, caseDevice)
 		if err != nil {
 			return err
 		}
@@ -230,7 +236,7 @@ func run() (err error) {
 	}
 	if *headline {
 		fmt.Println()
-		h, err := suite.Headlines()
+		h, err := suite.Headlines(ctx)
 		if err != nil {
 			return err
 		}

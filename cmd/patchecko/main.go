@@ -435,7 +435,7 @@ func runRun(args []string) error {
 		for _, tok := range strings.Split(*argList, ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(tok), 0, 64)
 			if err != nil {
-				return fmt.Errorf("bad argument %q: %v", tok, err)
+				return fmt.Errorf("bad argument %q: %w", tok, err)
 			}
 			env.Args = append(env.Args, v)
 		}

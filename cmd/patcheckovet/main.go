@@ -1,0 +1,244 @@
+// Command patcheckovet is the repo's invariant multichecker: it runs the
+// internal/lint analyzers (determinism, errtaxonomy, ctxflow,
+// atomiccounter) over type-checked packages under the `go vet -vettool`
+// protocol:
+//
+//	go build -o bin/patcheckovet ./cmd/patcheckovet
+//	go vet -vettool=$PWD/bin/patcheckovet ./...
+//
+// (`make lint` does exactly that.) The module vendors nothing, so instead of
+// golang.org/x/tools/go/analysis/unitchecker this is a stdlib
+// reimplementation of the same contract: cmd/go hands the tool a JSON config
+// per package — file lists, the import map, and compiled export data for
+// every dependency — and the tool type-checks the package, runs the
+// analyzers, writes the (empty: the suite is fact-free) .vetx facts file,
+// prints diagnostics to stderr and exits 2 when it found any.
+//
+// Per-analyzer package scoping and the //patchecko:allow escape directive
+// are applied by internal/lint; see DESIGN.md "Enforced invariants".
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig is the per-package configuration cmd/go writes for a vettool.
+// Field set and semantics follow x/tools' unitchecker.Config, which is the
+// de-facto specification of the protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("patcheckovet: ")
+
+	fs := flag.NewFlagSet("patcheckovet", flag.ExitOnError)
+	fs.Var(versionFlag{}, "V", "print version and exit")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (vet protocol)")
+	jsonFlag := fs.Bool("json", false, "emit JSON output")
+	fs.Int("c", -1, "display offending line with this many lines of context (ignored)")
+	fs.Bool("fix", false, "apply suggested fixes (none are suggested; ignored)")
+	fs.Parse(os.Args[1:])
+
+	if *flagsFlag {
+		// No analyzer-selection flags: the suite always runs whole, with
+		// scoping decided per package by internal/lint.
+		fmt.Println("[]")
+		return
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf("this tool speaks the `go vet -vettool` protocol; run it via `make lint` or `go vet -vettool=$(pwd)/bin/patcheckovet ./...`")
+	}
+	diags, err := run(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	if *jsonFlag {
+		printJSON(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s\n", d)
+		}
+	}
+	os.Exit(2)
+}
+
+func run(cfgPath string) ([]lint.Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("%s: %w", cfgPath, err)
+	}
+
+	// The suite exports no facts, but cmd/go expects the facts file to
+	// appear regardless — write it before anything can fail.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("patcheckovet-no-facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	// Dependency-only invocation: cmd/go just wants the facts file.
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	arch := os.Getenv("GOARCH")
+	if arch == "" {
+		arch = runtime.GOARCH
+	}
+	tc := &types.Config{
+		Importer: exportDataImporter(fset, &cfg),
+		Sizes:    types.SizesFor(compiler, arch),
+	}
+	if tc.Sizes == nil {
+		tc.Sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := lint.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+
+	unit := &lint.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	return lint.Run(unit, lint.Analyzers, true), nil
+}
+
+// exportDataImporter resolves imports through the vet config's ImportMap and
+// reads compiled export data from its PackageFile table, using the stdlib gc
+// importer. Packages are cached per invocation.
+func exportDataImporter(fset *token.FileSet, cfg *vetConfig) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	base := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return &mappedImporter{m: cfg.ImportMap, base: base}
+}
+
+type mappedImporter struct {
+	m    map[string]string
+	base types.ImporterFrom
+}
+
+func (i *mappedImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i *mappedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := i.m[path]; ok {
+		path = mapped
+	}
+	return i.base.ImportFrom(path, dir, mode)
+}
+
+// printJSON emits diagnostics in (a subset of) the unitchecker JSON shape:
+// {"<pkg>": {"<analyzer>": [{"posn": ..., "message": ...}]}}.
+func printJSON(diags []lint.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    d.Pos.String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{"patcheckovet": byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	enc.Encode(out)
+}
+
+// versionFlag implements -V=full: cmd/go fingerprints vet tools by this
+// line, hashing the executable so rebuilt tools invalidate its cache.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", exe, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}

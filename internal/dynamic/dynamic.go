@@ -230,6 +230,7 @@ func executeOne(ctx context.Context, dis *disasm.Disassembly, fn *disasm.Functio
 		return emu.ExecuteObserved(ctx, dis, fn, env.Clone(), ex.Steps, ex.Obs)
 	}
 	if ctx == nil {
+		//patchecko:allow ctxflow nil-ctx API tolerance: Background is the documented fallback root
 		ctx = context.Background()
 	}
 	ectx, cancel := context.WithTimeout(ctx, ex.Budget)
@@ -309,6 +310,7 @@ func Validate(dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.E
 // returned and the caller is expected to check ctx.Err and discard it.
 func ValidateParallel(ctx context.Context, dis *disasm.Disassembly, cands []*disasm.Function, envs []*minic.Env, ex Exec, workers int) ([]int, map[int][]EnvProfile, map[int]error) {
 	if ctx == nil {
+		//patchecko:allow ctxflow nil-ctx API tolerance: Background is the documented fallback root
 		ctx = context.Background()
 	}
 	if workers > len(cands) {
@@ -442,6 +444,7 @@ func Rank(ref []Profile, cands map[int][]EnvProfile) []Ranked {
 		sim, _ := SimilarityEnv(ref, eps)
 		// Completion is counted over the candidate's own environments, not
 		// the (possibly shorter) comparison window the distance uses.
+		//patchecko:allow determinism sortRanked below imposes a total order (ties by index)
 		out = append(out, Ranked{Index: idx, Sim: sim, Completed: Completion(eps), Envs: len(eps)})
 	}
 	sortRanked(out)

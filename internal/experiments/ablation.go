@@ -91,7 +91,7 @@ func rankWith(scan *patchecko.CVEScan, trueAddr uint64, k int,
 // AblateHybrid all re-rank the same stored profiles, so one scan feeds all
 // three (the scans themselves are deterministic, so reuse never changes a
 // row).
-func (s *Suite) scansForDevice(device string) (map[string]*patchecko.CVEScan, map[string]uint64, error) {
+func (s *Suite) scansForDevice(ctx context.Context, device string) (map[string]*patchecko.CVEScan, map[string]uint64, error) {
 	if cached, ok := s.scanCache[device]; ok {
 		return cached.scans, cached.truths, nil
 	}
@@ -102,7 +102,7 @@ func (s *Suite) scansForDevice(device string) (map[string]*patchecko.CVEScan, ma
 		if err != nil {
 			return nil, nil, err
 		}
-		scan, err := s.Analyzer.ScanImage(context.Background(), p, id, patchecko.QueryVulnerable)
+		scan, err := s.Analyzer.ScanImage(ctx, p, id, patchecko.QueryVulnerable)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -116,8 +116,8 @@ func (s *Suite) scansForDevice(device string) (map[string]*patchecko.CVEScan, ma
 
 // AblateDistance sweeps the distance metric: Minkowski p ∈ {1,2,3} on
 // log-scaled features, plus the raw (unscaled) p=3 form.
-func (s *Suite) AblateDistance(device string) (AblationResult, error) {
-	scans, truths, err := s.scansForDevice(device)
+func (s *Suite) AblateDistance(ctx context.Context, device string) (AblationResult, error) {
+	scans, truths, err := s.scansForDevice(ctx, device)
 	if err != nil {
 		return AblationResult{}, err
 	}
@@ -153,8 +153,8 @@ func (s *Suite) AblateDistance(device string) (AblationResult, error) {
 }
 
 // AblateEnvironments sweeps the number of execution environments K.
-func (s *Suite) AblateEnvironments(device string) (AblationResult, error) {
-	scans, truths, err := s.scansForDevice(device)
+func (s *Suite) AblateEnvironments(ctx context.Context, device string) (AblationResult, error) {
+	scans, truths, err := s.scansForDevice(ctx, device)
 	if err != nil {
 		return AblationResult{}, err
 	}
@@ -205,8 +205,8 @@ type HybridResult struct {
 }
 
 // AblateHybrid measures candidate-set shrinkage per CVE.
-func (s *Suite) AblateHybrid(device string) (HybridResult, error) {
-	scans, truths, err := s.scansForDevice(device)
+func (s *Suite) AblateHybrid(ctx context.Context, device string) (HybridResult, error) {
+	scans, truths, err := s.scansForDevice(ctx, device)
 	if err != nil {
 		return HybridResult{}, err
 	}

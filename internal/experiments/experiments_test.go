@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -19,7 +20,7 @@ var (
 func testSuite(t *testing.T) *Suite {
 	t.Helper()
 	suiteOnce.Do(func() {
-		suite, suiteErr = NewSuite(Config{Scale: corpus.ScaleSmall, Seed: 42})
+		suite, suiteErr = NewSuite(context.Background(), Config{Scale: corpus.ScaleSmall, Seed: 42})
 	})
 	if suiteErr != nil {
 		t.Fatal(suiteErr)
@@ -87,7 +88,7 @@ func TestFig7Shape(t *testing.T) {
 
 func TestTable3CaseStudy(t *testing.T) {
 	s := testSuite(t)
-	r, err := s.Table3(corpus.ThingOS.Name, "CVE-2018-9412")
+	r, err := s.Table3(context.Background(), corpus.ThingOS.Name, "CVE-2018-9412")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestTable3CaseStudy(t *testing.T) {
 func TestTables4And5Rankings(t *testing.T) {
 	s := testSuite(t)
 	for _, mode := range []patchecko.QueryMode{patchecko.QueryVulnerable, patchecko.QueryPatched} {
-		r, err := s.Ranking(corpus.ThingOS.Name, "CVE-2018-9412", mode, 10)
+		r, err := s.Ranking(context.Background(), corpus.ThingOS.Name, "CVE-2018-9412", mode, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +131,7 @@ func TestTables4And5Rankings(t *testing.T) {
 	// The vulnerable-query top hit must be the true function (ThingOS
 	// carries the vulnerable version): the paper's Table IV shows
 	// candidate_29 == removeUnsynchronization at the top.
-	r, err := s.Ranking(corpus.ThingOS.Name, "CVE-2018-9412", patchecko.QueryVulnerable, 10)
+	r, err := s.Ranking(context.Background(), corpus.ThingOS.Name, "CVE-2018-9412", patchecko.QueryVulnerable, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestTables4And5Rankings(t *testing.T) {
 func TestTable6And7Pipeline(t *testing.T) {
 	s := testSuite(t)
 	for _, mode := range []patchecko.QueryMode{patchecko.QueryVulnerable, patchecko.QueryPatched} {
-		r, err := s.Pipeline(corpus.ThingOS.Name, mode)
+		r, err := s.Pipeline(context.Background(), corpus.ThingOS.Name, mode)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func TestTable6And7Pipeline(t *testing.T) {
 
 func TestTable8Verdicts(t *testing.T) {
 	s := testSuite(t)
-	r, err := s.Verdicts(corpus.ThingOS.Name)
+	r, err := s.Verdicts(context.Background(), corpus.ThingOS.Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestTable8Verdicts(t *testing.T) {
 
 func TestHeadlines(t *testing.T) {
 	s := testSuite(t)
-	h, err := s.Headlines()
+	h, err := s.Headlines(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestHeadlines(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	s := testSuite(t)
-	dist, err := s.AblateDistance(corpus.ThingOS.Name)
+	dist, err := s.AblateDistance(context.Background(), corpus.ThingOS.Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,14 +242,14 @@ func TestAblations(t *testing.T) {
 			t.Errorf("%s: nothing rankable", row.Config)
 		}
 	}
-	envs, err := s.AblateEnvironments(corpus.ThingOS.Name)
+	envs, err := s.AblateEnvironments(context.Background(), corpus.ThingOS.Name)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(envs.Rows) == 0 {
 		t.Fatal("environment ablation empty")
 	}
-	hyb, err := s.AblateHybrid(corpus.ThingOS.Name)
+	hyb, err := s.AblateHybrid(context.Background(), corpus.ThingOS.Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,11 +276,11 @@ func TestAblations(t *testing.T) {
 
 func TestExploitReplayAblation(t *testing.T) {
 	s := testSuite(t)
-	base, err := s.Verdicts(corpus.ThingOS.Name)
+	base, err := s.Verdicts(context.Background(), corpus.ThingOS.Name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay, err := s.VerdictsWithReplay(corpus.ThingOS.Name)
+	replay, err := s.VerdictsWithReplay(context.Background(), corpus.ThingOS.Name)
 	if err != nil {
 		t.Fatal(err)
 	}

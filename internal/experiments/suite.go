@@ -74,7 +74,7 @@ func Devices() []corpus.Device {
 
 // NewSuite builds the corpus, trains the detector and prepares both
 // firmware images. Everything is deterministic in (Scale, Seed).
-func NewSuite(cfg Config) (*Suite, error) {
+func NewSuite(ctx context.Context, cfg Config) (*Suite, error) {
 	logf := cfg.Log
 	if logf == nil {
 		logf = func(string) {}
@@ -129,7 +129,7 @@ func NewSuite(cfg Config) (*Suite, error) {
 			return nil, err
 		}
 		s.Firmware[dev.Name] = fw
-		preparedImages, err := patchecko.PrepareImages(context.Background(), fw.Images, prepWorkers)
+		preparedImages, err := patchecko.PrepareImages(ctx, fw.Images, prepWorkers)
 		if err != nil {
 			return nil, err
 		}

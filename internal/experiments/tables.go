@@ -50,12 +50,12 @@ type Table3Result struct {
 // Table3 profiles the surviving candidates of one CVE on one device and
 // appends the vulnerability-database reference function's profile, exactly
 // like the paper's Table III (candidates 1..38 plus "Vulnerable function").
-func (s *Suite) Table3(device, cveID string) (Table3Result, error) {
+func (s *Suite) Table3(ctx context.Context, device, cveID string) (Table3Result, error) {
 	p, _, err := s.hostImage(device, cveID)
 	if err != nil {
 		return Table3Result{}, err
 	}
-	scan, err := s.Analyzer.ScanImage(context.Background(), p, cveID, patchecko.QueryVulnerable)
+	scan, err := s.Analyzer.ScanImage(ctx, p, cveID, patchecko.QueryVulnerable)
 	if err != nil {
 		return Table3Result{}, err
 	}
@@ -126,12 +126,12 @@ type RankResult struct {
 }
 
 // Ranking computes the top-N dynamic similarity ranking for one CVE.
-func (s *Suite) Ranking(device, cveID string, mode patchecko.QueryMode, topN int) (RankResult, error) {
+func (s *Suite) Ranking(ctx context.Context, device, cveID string, mode patchecko.QueryMode, topN int) (RankResult, error) {
 	p, truth, err := s.hostImage(device, cveID)
 	if err != nil {
 		return RankResult{}, err
 	}
-	scan, err := s.Analyzer.ScanImage(context.Background(), p, cveID, mode)
+	scan, err := s.Analyzer.ScanImage(ctx, p, cveID, mode)
 	if err != nil {
 		return RankResult{}, err
 	}
@@ -198,14 +198,14 @@ type PipelineResult struct {
 }
 
 // Pipeline runs the full three-stage pipeline for every CVE on a device.
-func (s *Suite) Pipeline(device string, mode patchecko.QueryMode) (PipelineResult, error) {
+func (s *Suite) Pipeline(ctx context.Context, device string, mode patchecko.QueryMode) (PipelineResult, error) {
 	res := PipelineResult{Device: device, Mode: mode}
 	for _, id := range s.DB.IDs() {
 		p, truth, err := s.hostImage(device, id)
 		if err != nil {
 			return PipelineResult{}, err
 		}
-		scan, err := s.Analyzer.ScanImage(context.Background(), p, id, mode)
+		scan, err := s.Analyzer.ScanImage(ctx, p, id, mode)
 		if err != nil {
 			return PipelineResult{}, err
 		}
@@ -308,33 +308,33 @@ func (r VerdictResult) Accuracy() float64 {
 // the paper, the vulnerable-query match drives the decision; when the
 // static stage misses with the vulnerable query (which happens for patched
 // targets), the patched-query scan supplies the match.
-func (s *Suite) Verdicts(device string) (VerdictResult, error) {
-	return s.verdictsWith(s.Analyzer, device)
+func (s *Suite) Verdicts(ctx context.Context, device string) (VerdictResult, error) {
+	return s.verdictsWith(ctx, s.Analyzer, device)
 }
 
 // VerdictsWithReplay re-runs Table VIII with the exploit-replay extension
 // enabled — the future work the paper proposes for its single
 // misclassification.
-func (s *Suite) VerdictsWithReplay(device string) (VerdictResult, error) {
+func (s *Suite) VerdictsWithReplay(ctx context.Context, device string) (VerdictResult, error) {
 	an := patchecko.NewAnalyzer(s.Model, s.DB)
 	an.ExploitReplay = true
-	return s.verdictsWith(an, device)
+	return s.verdictsWith(ctx, an, device)
 }
 
-func (s *Suite) verdictsWith(an *patchecko.Analyzer, device string) (VerdictResult, error) {
+func (s *Suite) verdictsWith(ctx context.Context, an *patchecko.Analyzer, device string) (VerdictResult, error) {
 	res := VerdictResult{Device: device}
 	for _, id := range s.DB.IDs() {
 		p, truth, err := s.hostImage(device, id)
 		if err != nil {
 			return VerdictResult{}, err
 		}
-		scan, err := an.ScanImage(context.Background(), p, id, patchecko.QueryVulnerable)
+		scan, err := an.ScanImage(ctx, p, id, patchecko.QueryVulnerable)
 		if err != nil {
 			return VerdictResult{}, err
 		}
 		an.EmitScanEvents(scan)
 		if !scan.Matched || scan.Match.Addr != truth.Addr {
-			pscan, err := an.ScanImage(context.Background(), p, id, patchecko.QueryPatched)
+			pscan, err := an.ScanImage(ctx, p, id, patchecko.QueryPatched)
 			if err != nil {
 				return VerdictResult{}, err
 			}
@@ -390,14 +390,14 @@ type Headline struct {
 }
 
 // Headlines computes the headline metrics.
-func (s *Suite) Headlines() (Headline, error) {
+func (s *Suite) Headlines(ctx context.Context) (Headline, error) {
 	h := Headline{}
 	acc, _, auc := s.Model.TestMetrics(s.Dataset.Test)
 	h.TestAccuracy, h.TestAUC = acc, auc
 
 	found, top3 := 0, 0
 	for _, dev := range Devices() {
-		pr, err := s.Pipeline(dev.Name, patchecko.QueryVulnerable)
+		pr, err := s.Pipeline(ctx, dev.Name, patchecko.QueryVulnerable)
 		if err != nil {
 			return h, err
 		}
@@ -413,7 +413,7 @@ func (s *Suite) Headlines() (Headline, error) {
 	if found > 0 {
 		h.Top3Rate = float64(top3) / float64(found)
 	}
-	vr, err := s.Verdicts(primaryDevice().Name)
+	vr, err := s.Verdicts(ctx, primaryDevice().Name)
 	if err != nil {
 		return h, err
 	}

@@ -1,0 +1,207 @@
+// The atomiccounter analyzer: a counter field is either atomic everywhere
+// or atomic nowhere. One plain `s.n++` next to an atomic.AddInt64(&s.n, 1)
+// is a data race the race detector only catches when both sides actually
+// collide under test; statically the mix is always wrong. The second half
+// is a copylocks check: values containing sync primitives or sync/atomic
+// types must move by pointer.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCounter enforces concurrency hygiene module-wide:
+//
+//   - a struct field passed to sync/atomic functions anywhere in the
+//     package must never be read or written non-atomically elsewhere
+//     (snapshot paths that rely on external synchronization carry allow
+//     directives);
+//   - methods, parameters and assignments must not copy values whose type
+//     (transitively) contains a sync lock or a sync/atomic type.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "no mixed atomic/plain access to counter fields; no copying of lock-bearing values",
+	Run:  runAtomicCounter,
+}
+
+func runAtomicCounter(p *Pass) {
+	atomicFields := collectAtomicFields(p)
+	for _, f := range p.Files {
+		checkMixedAccess(p, f, atomicFields)
+		checkLockCopies(p, f)
+	}
+}
+
+// collectAtomicFields gathers every struct field whose address is passed to
+// a sync/atomic function somewhere in the package, along with the selector
+// nodes of those sanctioned accesses.
+func collectAtomicFields(p *Pass) map[*types.Var]bool {
+	fields := make(map[*types.Var]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v := addressedField(p.Info, arg); v != nil {
+					fields[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// addressedField resolves &x.f to f's field object.
+func addressedField(info *types.Info, e ast.Expr) *types.Var {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return selectedField(info, sel)
+}
+
+// selectedField returns the struct field a selector names, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// checkMixedAccess reports selectors of atomically-accessed fields that are
+// not themselves inside a sync/atomic call argument.
+func checkMixedAccess(p *Pass, f *ast.File, atomicFields map[*types.Var]bool) {
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Sanctioned selector nodes: those under &x.f arguments of atomic calls.
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op.String() == "&" {
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+					sanctioned[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sanctioned[sel] {
+			return true
+		}
+		v := selectedField(p.Info, sel)
+		if v == nil || !atomicFields[v] {
+			return true
+		}
+		p.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; this plain access races with it", v.Name())
+		return true
+	})
+}
+
+// checkLockCopies reports by-value receivers/params of lock-bearing types
+// and assignments that copy a lock-bearing value out of a dereference.
+func checkLockCopies(p *Pass, f *ast.File) {
+	seen := make(map[types.Type]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			obj, ok := p.Info.Defs[n.Name].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig := obj.Type().(*types.Signature)
+			if recv := sig.Recv(); recv != nil {
+				if why := lockPath(recv.Type(), seen); why != "" {
+					p.Reportf(n.Name.Pos(), "method %s has a by-value receiver carrying %s; use a pointer receiver", obj.Name(), why)
+				}
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				prm := sig.Params().At(i)
+				if why := lockPath(prm.Type(), seen); why != "" {
+					p.Reportf(n.Name.Pos(), "parameter %s of %s is passed by value but carries %s; pass a pointer", prm.Name(), obj.Name(), why)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if _, ok := ast.Unparen(rhs).(*ast.StarExpr); !ok {
+					continue
+				}
+				t := p.Info.Types[rhs].Type
+				if t == nil {
+					continue
+				}
+				if why := lockPath(t, seen); why != "" {
+					p.Reportf(rhs.Pos(), "dereference copies a value carrying %s", why)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockTypeNames are the uncopyable sync and sync/atomic types.
+var lockTypeNames = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+		"Cond": true, "Map": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// lockPath describes the first lock-bearing component found inside t
+// (transitively through structs and arrays), or "" when t is freely
+// copyable. seen guards against recursive types.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	defer delete(seen, t)
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil {
+			if names, ok := lockTypeNames[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+		return lockPath(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if why := lockPath(u.Field(i).Type(), seen); why != "" {
+				return why
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return ""
+}

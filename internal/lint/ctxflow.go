@@ -1,0 +1,96 @@
+// The ctxflow analyzer: cancellation must flow from the caller down, never
+// be re-rooted mid-pipeline. A context.Background() minted inside a library
+// detaches everything below it from the job deadline, the scan watchdog and
+// SIGTERM — the engine's cancellation guarantees only hold because every
+// layer threads the context it was handed.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context discipline module-wide:
+//
+//   - a function that receives a context.Context must not call
+//     context.Background()/TODO(): thread the parameter (or a context
+//     derived from it) instead;
+//   - non-main packages must not mint context.Background()/TODO() at all —
+//     roots belong to main() and tests. Deliberate roots (the server's job
+//     contexts, nil-ctx API fallbacks) carry allow directives.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "thread contexts through; no context.Background/TODO in library code",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	isMain := p.Pkg.Name() == "main"
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fd.Body == nil {
+				return false
+			}
+			hasCtx := funcHasCtxParam(p.Info, fd)
+			ast.Inspect(fd.Body, func(m ast.Node) bool {
+				// Nested function literals share the enclosing declaration's
+				// verdict: a closure inside a ctx-taking function still has
+				// the parameter in scope.
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := ""
+				switch {
+				case isPkgFunc(p.Info, call, "context", "Background"):
+					name = "Background"
+				case isPkgFunc(p.Info, call, "context", "TODO"):
+					name = "TODO"
+				default:
+					return true
+				}
+				switch {
+				case hasCtx:
+					p.Reportf(call.Pos(), "context.%s inside a function that already receives a context; thread the parameter instead", name)
+				case !isMain:
+					p.Reportf(call.Pos(), "library package mints context.%s; accept a context from the caller", name)
+				}
+				return true
+			})
+			return false
+		})
+	}
+}
+
+// funcHasCtxParam reports whether the declaration takes a context.Context
+// parameter (including a receiver of that type, which never happens in
+// practice but costs nothing to cover).
+func funcHasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	obj := info.Defs[fd.Name]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

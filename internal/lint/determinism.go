@@ -1,0 +1,200 @@
+// The determinism analyzer: no wall-clock, no global randomness, and no
+// map-iteration order leaking into ordered output, inside the packages whose
+// results must be byte-identical (see deterministicPkgs in scope.go).
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces the engine's reproducibility contract:
+//
+//   - time.Now / time.Since / time.Until are banned — stage timing in the
+//     engine is the single documented exception and carries directives;
+//   - the global math/rand source (rand.Intn, rand.Seed, ...) is banned;
+//     seeded rand.New(rand.NewSource(seed)) instances are deterministic and
+//     allowed;
+//   - a `range` over a map whose body appends to a slice that is never
+//     sorted afterwards, writes output, feeds obs counters/trace events, or
+//     sends on a channel leaks nondeterministic iteration order. Collecting
+//     keys and sorting them (the engine's canonical pattern) is fine.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global randomness and ordered use of map iteration in deterministic packages",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are the time package's wall-clock observers.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandFuncs are the math/rand constructors that build an explicitly
+// seeded source; everything else at package level draws from the global
+// source.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(p.Info, n); fn != nil && fn.Pkg() != nil && fn.Type().(*types.Signature).Recv() == nil {
+					switch fn.Pkg().Path() {
+					case "time":
+						if wallClockFuncs[fn.Name()] {
+							p.Reportf(n.Pos(), "time.%s observes the wall clock in a deterministic package", fn.Name())
+						}
+					case "math/rand", "math/rand/v2":
+						if !seededRandFuncs[fn.Name()] {
+							p.Reportf(n.Pos(), "rand.%s draws from the global random source; use a seeded rand.New(rand.NewSource(seed))", fn.Name())
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(p, f, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange reports a range over a map whose body feeds an
+// order-sensitive sink.
+func checkMapRange(p *Pass, file *ast.File, rng *ast.RangeStmt) {
+	t := p.Info.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send inside a map range publishes values in nondeterministic order")
+		case *ast.CallExpr:
+			checkMapRangeCall(p, file, rng, n)
+		}
+		return true
+	})
+}
+
+func checkMapRangeCall(p *Pass, file *ast.File, rng *ast.RangeStmt, call *ast.CallExpr) {
+	// append: fine only when the destination is sorted after collection
+	// (key-collect-then-sort is the canonical deterministic pattern).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(p.Info, id) {
+		if len(call.Args) == 0 {
+			return
+		}
+		switch first := ast.Unparen(call.Args[0]).(type) {
+		case *ast.Ident:
+			dest := appendTarget(p.Info, call.Args[0])
+			if dest == nil {
+				return
+			}
+			// A slice declared inside the loop body is rebuilt every
+			// iteration; nothing accumulates across iterations, so order
+			// cannot leak through it.
+			if dest.Pos() >= rng.Body.Pos() && dest.Pos() < rng.Body.End() {
+				return
+			}
+			if !sortedAfter(p, file, rng, dest) {
+				p.Reportf(call.Pos(), "append to %s inside a map range, and %s is never sorted afterwards; iteration order leaks into the slice", dest.Name(), dest.Name())
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			// Accumulating into a field or a collection element: the analyzer
+			// cannot see a later sort of that storage, so flag it.
+			p.Reportf(call.Pos(), "append inside a map range records nondeterministic iteration order")
+		default:
+			// append to a fresh value (composite literal, conversion, call
+			// result): per-iteration, nothing accumulates across iterations.
+			_ = first
+		}
+		return
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch path := fn.Pkg().Path(); {
+	case path == "fmt" && sig.Recv() == nil:
+		// The Sprint family is pure; the Print/Fprint families write output.
+		switch fn.Name() {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			p.Reportf(call.Pos(), "fmt.%s inside a map range writes output in nondeterministic order", fn.Name())
+		}
+	case path == modulePath+"/internal/obs":
+		p.Reportf(call.Pos(), "obs call inside a map range feeds counters/trace events in nondeterministic order")
+	}
+}
+
+// isBuiltin reports whether the identifier resolves to the language builtin
+// of the same name (and not a shadowing declaration).
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// appendTarget resolves the variable a slice-append accumulates into, or nil
+// when the destination is not a simple variable.
+func appendTarget(info *types.Info, e ast.Expr) *types.Var {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// sortedAfter reports whether dest is passed to a sort/slices ordering
+// function after the range statement, anywhere inside the function (or
+// file-level scope) enclosing it.
+func sortedAfter(p *Pass, file *ast.File, rng *ast.RangeStmt, dest *types.Var) bool {
+	enclosing := enclosingFunc(file, rng.Pos())
+	if enclosing == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		// Any sort/slices function taking dest as an argument counts:
+		// sort.Strings, sort.Slice, slices.Sort, slices.SortFunc, ...
+		for _, arg := range call.Args {
+			if appendTarget(p.Info, arg) == dest {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// enclosingFunc finds the innermost function declaration or literal
+// containing pos.
+func enclosingFunc(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= pos && pos < n.End() {
+				best = n
+			}
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,152 @@
+// The errtaxonomy analyzer: errors on the scan-cell/prepare/reference paths
+// must keep their cause chain intact, because ScanError classification
+// (classify in patchecko/errors.go) and the server's retry budget walk the
+// chain with errors.Is/As. Flattening a cause with %v produces a string that
+// still reads fine in a log but silently turns a trap into FailInternal and
+// a cancellation into a retryable failure.
+
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrTaxonomy enforces the error taxonomy on the error-path packages (see
+// errPathPkgs in scope.go):
+//
+//   - fmt.Errorf must format error-typed arguments with %w, never %v/%s/%q:
+//     any other verb severs the chain that classify() and Retryable() walk;
+//   - errors.New inside a function body mints an unmatchable one-off error;
+//     declare a package-level sentinel (usable with errors.Is), return a
+//     typed ScanError, or wrap a cause with %w;
+//   - errors.New(fmt.Sprintf(...)) is fmt.Errorf with extra steps and the
+//     same chain-severing problem.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "keep error chains classifiable: %w for causes, sentinels over ad-hoc errors.New",
+	Run:  runErrTaxonomy,
+}
+
+func runErrTaxonomy(p *Pass) {
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range p.Files {
+		// Package-level var initializers may mint sentinels; function bodies
+		// may not. Track the nodes under a FuncDecl/FuncLit.
+		var funcDepth int
+		var inspect func(n ast.Node) bool
+		inspect = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcDepth++
+				if body := funcBody(n); body != nil {
+					ast.Inspect(body, inspect)
+				}
+				funcDepth--
+				return false
+			case *ast.CallExpr:
+				switch {
+				case isPkgFunc(p.Info, n, "fmt", "Errorf"):
+					checkErrorf(p, errorIface, n)
+				case isPkgFunc(p.Info, n, "errors", "New"):
+					if funcDepth > 0 {
+						msg := "errors.New inside a function mints an unmatchable error; declare a package-level sentinel, return a typed ScanError, or wrap a cause with %w"
+						if len(n.Args) == 1 {
+							if inner, ok := ast.Unparen(n.Args[0]).(*ast.CallExpr); ok && isPkgFunc(p.Info, inner, "fmt", "Sprintf") {
+								msg = "errors.New(fmt.Sprintf(...)) severs the error chain; use fmt.Errorf (with %w for causes)"
+							}
+						}
+						p.Reportf(n.Pos(), "%s", msg)
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, inspect)
+	}
+}
+
+func funcBody(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body == nil {
+			return nil
+		}
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return nil
+}
+
+// checkErrorf verifies that every error-typed argument of a fmt.Errorf call
+// is formatted with %w.
+func checkErrorf(p *Pass, errorIface *types.Interface, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(p.Info, call.Args[0])
+	if !ok {
+		return // dynamic format string; nothing to line up verbs against
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok || len(verbs) != len(call.Args)-1 {
+		return // indexed/starred/unbalanced format; leave it to go vet printf
+	}
+	for i, verb := range verbs {
+		arg := call.Args[i+1]
+		t := p.Info.Types[arg].Type
+		if t == nil || !types.Implements(t, errorIface) {
+			continue
+		}
+		if verb != 'w' {
+			p.Reportf(arg.Pos(), "error argument formatted with %%%c severs the chain classify()/Retryable() walk; use %%w", verb)
+		}
+	}
+}
+
+// constantString evaluates e to a compile-time string, if it is one.
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs extracts the argument-consuming verbs of a Printf-style
+// format string in order. It bails out (false) on explicit argument indexes
+// and * width/precision, which shift the verb/argument correspondence.
+func formatVerbs(format string) ([]rune, bool) {
+	var verbs []rune
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++ // past '%'
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// width / precision / index
+		for i < len(format) && (format[i] == '.' || format[i] >= '0' && format[i] <= '9') {
+			i++
+		}
+		if i >= len(format) {
+			return nil, false
+		}
+		switch format[i] {
+		case '%':
+			i++
+			continue
+		case '*', '[':
+			return nil, false
+		}
+		verbs = append(verbs, rune(format[i]))
+		i++
+	}
+	return verbs, true
+}

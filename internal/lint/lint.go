@@ -1,0 +1,278 @@
+// Package lint is the repo's invariant lint suite: a set of static-analysis
+// passes that move the engine's load-bearing guarantees — byte-identical
+// reports at any worker count, a retryable error taxonomy, disciplined
+// context threading, atomic counter hygiene — from the golden/chaos test
+// suites (which catch violations after the fact) to compile time.
+//
+// The framework mirrors golang.org/x/tools/go/analysis in miniature but is
+// pure stdlib, because this module vendors nothing: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The
+// cmd/patcheckovet driver speaks `go vet -vettool` protocol, so the whole
+// suite runs as `go vet -vettool=bin/patcheckovet ./...` (see `make lint`).
+//
+// # Escape directive
+//
+// An intentional violation is annotated at the offending line (or the line
+// directly above it) with
+//
+//	//patchecko:allow <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one, naming an unknown
+// analyzer, or suppressing nothing is itself a diagnostic, so stale
+// annotations cannot accumulate. internal/lint/selftest keeps one
+// deliberately-allowed violation per analyzer so CI proves both halves:
+// the analyzers still fire, and the directives still suppress.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant pass. Run inspects the package behind the Pass
+// and reports violations through Pass.Report; it must not retain the Pass.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in directives and output
+	Doc  string // one-line summary of the enforced invariant
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation, post-suppression.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzers is the full suite in reporting order.
+var Analyzers = []*Analyzer{
+	Determinism,
+	ErrTaxonomy,
+	CtxFlow,
+	AtomicCounter,
+}
+
+// DirectivePrefix marks an escape-directive comment.
+const DirectivePrefix = "//patchecko:allow"
+
+// directive is one parsed //patchecko:allow comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// parseDirectives collects every //patchecko:allow comment in the files.
+// Malformed directives (no analyzer, no reason, unknown analyzer) are
+// reported immediately under the pseudo-analyzer "directive".
+func parseDirectives(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, diags *[]Diagnostic) []*directive {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	bad := func(pos token.Pos, format string, args ...any) {
+		*diags = append(*diags, Diagnostic{
+			Analyzer: "directive",
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //patchecko:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad(c.Pos(), "malformed %s directive: missing analyzer name", DirectivePrefix)
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad(c.Pos(), "%s names unknown analyzer %q", DirectivePrefix, name)
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					bad(c.Pos(), "%s %s needs a reason", DirectivePrefix, name)
+					continue
+				}
+				p := fset.Position(c.Pos())
+				out = append(out, &directive{
+					file:     p.Filename,
+					line:     p.Line,
+					analyzer: name,
+					reason:   reason,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Unit is one package ready for analysis.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run executes the analyzers over the unit, applying the escape directives
+// and the per-analyzer package scope (see scope.go; scoped == false bypasses
+// scoping, which the fixture tests rely on). Diagnostics come back sorted by
+// position, suppressed ones removed, with one extra diagnostic per directive
+// that suppressed nothing.
+func Run(u *Unit, analyzers []*Analyzer, scoped bool) []Diagnostic {
+	var raw []Diagnostic
+	directives := parseDirectives(u.Fset, u.Files, analyzers, &raw)
+
+	// Skip test files: the invariants guard shipped pipeline code; tests
+	// legitimately mint contexts, measure wall-clock and copy fixtures.
+	files := make([]*ast.File, 0, len(u.Files))
+	for _, f := range u.Files {
+		if strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+
+	ranByName := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if scoped && !InScope(a.Name, u.Pkg.Path()) {
+			continue
+		}
+		ranByName[a.Name] = true
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     u.Fset,
+			Files:    files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+			diags:    &raw,
+		}
+		a.Run(pass)
+	}
+
+	// Suppress diagnostics covered by a directive on the same line or the
+	// line directly above, and mark those directives used.
+	var out []Diagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, dir := range directives {
+			if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
+				continue
+			}
+			if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+
+	// A directive that suppressed nothing is stale — either the violation is
+	// gone (delete the directive) or the analyzer it pins has regressed.
+	// Only enforced for analyzers that actually ran on this package, so a
+	// directive is never "unused" merely because its analyzer is out of
+	// scope here.
+	for _, dir := range directives {
+		if !dir.used && ranByName[dir.analyzer] {
+			out = append(out, Diagnostic{
+				Analyzer: "directive",
+				Pos:      u.Fset.Position(dir.pos),
+				Message: fmt.Sprintf("%s %s suppresses nothing; delete it or restore the violation it covered",
+					DirectivePrefix, dir.analyzer),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// calleeFunc resolves a call expression to the package-level function or
+// method object it invokes, or nil for indirect calls, conversions and
+// builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call invokes the named package-level
+// function (e.g. "time", "Now").
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}

@@ -1,0 +1,332 @@
+package lint
+
+// Fixture harness in the style of x/tools' analysistest, stdlib-only: each
+// directory under testdata/src is parsed and type-checked with the source
+// importer (fixtures import only the standard library, so this needs no
+// export data and no network), the analyzers under test run unscoped, and
+// the diagnostics are matched against `// want "regexp"` comments on the
+// offending lines. Every diagnostic must be wanted and every want must be
+// hit.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The source importer compiles stdlib dependencies from $GOROOT/src and
+// caches them, so it is shared across all tests (it is bound to one
+// FileSet, which the loads share too).
+var (
+	fixtureFset     = token.NewFileSet()
+	importerOnce    sync.Once
+	fixtureImporter types.Importer
+)
+
+func sourceImporter() types.Importer {
+	importerOnce.Do(func() {
+		fixtureImporter = importer.ForCompiler(fixtureFset, "source", nil)
+	})
+	return fixtureImporter
+}
+
+// loadFiles parses and type-checks a set of (filename, source) pairs as one
+// package. src == nil reads the file from disk.
+func loadFiles(t *testing.T, pkgPath string, names []string, srcs []any) *Unit {
+	t.Helper()
+	files := make([]*ast.File, 0, len(names))
+	for i, name := range names {
+		f, err := parser.ParseFile(fixtureFset, name, srcs[i], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	tc := &types.Config{Importer: sourceImporter()}
+	pkg, err := tc.Check(pkgPath, fixtureFset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", pkgPath, err)
+	}
+	return &Unit{Fset: fixtureFset, Files: files, Pkg: pkg, Info: info}
+}
+
+// loadDir loads every .go file of a directory as one package.
+func loadDir(t *testing.T, dir, pkgPath string) *Unit {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	var srcs []any
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+		srcs = append(srcs, nil)
+	}
+	if len(names) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	return loadFiles(t, pkgPath, names, srcs)
+}
+
+// expectation is one parsed `// want` comment.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var (
+	wantRE  = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	tokenRE = regexp.MustCompile("`[^`]+`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// parseWants scans the fixture sources for `// want "re"` / `// want `re“
+// comments. Several patterns on one line expect several diagnostics there.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			toks := tokenRE.FindAllString(m[1], -1)
+			if len(toks) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted pattern", e.Name(), i+1)
+			}
+			for _, tok := range toks {
+				pat := tok[1 : len(tok)-1]
+				if tok[0] == '"' {
+					if pat, err = strconv.Unquote(tok); err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", e.Name(), i+1, tok, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs analyzers (unscoped) over testdata/src/<name> and
+// matches diagnostics against the fixture's want comments, both ways.
+func checkFixture(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	unit := loadDir(t, dir, name)
+	diags := Run(unit, analyzers, false)
+	wants := parseWants(t, dir)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, "determinism", []*Analyzer{Determinism})
+}
+
+func TestErrTaxonomyFixture(t *testing.T) {
+	checkFixture(t, "errtaxonomy", []*Analyzer{ErrTaxonomy})
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, "ctxflow", []*Analyzer{CtxFlow})
+}
+
+func TestAtomicCounterFixture(t *testing.T) {
+	checkFixture(t, "atomiccounter", []*Analyzer{AtomicCounter})
+}
+
+func TestDirectiveFixture(t *testing.T) {
+	checkFixture(t, "directive", Analyzers)
+}
+
+// TestMalformedDirectives covers the directive shapes that cannot carry a
+// want comment on their own line (a reason would swallow it).
+func TestMalformedDirectives(t *testing.T) {
+	const src = `package p
+
+import "time"
+
+func a() time.Time {
+	//patchecko:allow
+	return time.Now()
+}
+
+func b() time.Time {
+	//patchecko:allow determinism
+	return time.Now()
+}
+`
+	unit := loadFiles(t, "p", []string{"malformed.go"}, []any{src})
+	diags := Run(unit, Analyzers, false)
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"missing analyzer name",
+		"needs a reason",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, joined)
+		}
+	}
+	// Neither malformed directive suppresses, so both time.Now calls fire.
+	fired := 0
+	for _, d := range diags {
+		if d.Analyzer == "determinism" {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("got %d determinism diagnostics, want 2 (malformed directives must not suppress):\n%s", fired, joined)
+	}
+}
+
+// TestOutOfScopeDirectiveNotStale: a directive for an analyzer that does not
+// run on the package (scoped mode) must not be reported as unused.
+func TestOutOfScopeDirectiveNotStale(t *testing.T) {
+	const src = `package isa
+
+import "time"
+
+// The determinism analyzer does not run here, so this directive covers a
+// call the suite never inspects — and must not count as stale.
+func now() time.Time {
+	//patchecko:allow determinism out-of-scope package
+	return time.Now()
+}
+`
+	unit := loadFiles(t, modulePath+"/internal/isa", []string{"isa.go"}, []any{src})
+	if diags := Run(unit, Analyzers, true); len(diags) != 0 {
+		t.Errorf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}
+
+// TestScope pins the per-analyzer package scoping policy.
+func TestScope(t *testing.T) {
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		{"determinism", modulePath + "/patchecko", true},
+		{"determinism", modulePath + "/internal/obs", true},
+		{"determinism", modulePath + "/internal/server", false}, // jitter/backoff are operational
+		{"determinism", selftestPath, true},
+		{"errtaxonomy", modulePath + "/internal/server", true},
+		{"errtaxonomy", modulePath + "/cmd/patchecko", true}, // prefix match
+		{"errtaxonomy", modulePath + "/internal/isa", false},
+		{"ctxflow", modulePath + "/internal/isa", true}, // module-wide
+		{"atomiccounter", modulePath + "/internal/isa", true},
+	}
+	for _, c := range cases {
+		if got := InScope(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("InScope(%s, %s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+func selftestSource(t *testing.T) (string, string) {
+	t.Helper()
+	path := filepath.Join("selftest", "selftest.go")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, string(data)
+}
+
+// TestSelftestClean: with its directives intact, the selftest package must
+// produce zero diagnostics under the full scoped suite — exactly what
+// `make lint` sees.
+func TestSelftestClean(t *testing.T) {
+	path, src := selftestSource(t)
+	unit := loadFiles(t, selftestPath, []string{path}, []any{src})
+	if diags := Run(unit, Analyzers, true); len(diags) != 0 {
+		t.Errorf("selftest with directives produced diagnostics:\n%s", diagLines(diags))
+	}
+}
+
+// TestSelftestViolationsResurface is the negative path: strip every allow
+// directive from the selftest sources and every deliberate violation must
+// come back, at least one per analyzer. If an analyzer's violation stops
+// resurfacing, the analyzer has regressed.
+func TestSelftestViolationsResurface(t *testing.T) {
+	path, src := selftestSource(t)
+	stripped := strings.ReplaceAll(src, DirectivePrefix, "// directive stripped:")
+	unit := loadFiles(t, selftestPath, []string{path}, []any{stripped})
+	diags := Run(unit, Analyzers, true)
+	perAnalyzer := make(map[string]int)
+	for _, d := range diags {
+		perAnalyzer[d.Analyzer]++
+	}
+	for _, a := range Analyzers {
+		if perAnalyzer[a.Name] == 0 {
+			t.Errorf("stripping directives surfaced no %s diagnostics; its selftest violation or the analyzer is broken", a.Name)
+		}
+	}
+	// One per deliberate violation; see selftest.go.
+	if len(diags) != 7 {
+		t.Errorf("got %d diagnostics from stripped selftest, want 7:\n%s", len(diags), diagLines(diags))
+	}
+}
+
+func diagLines(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %v\n", d)
+	}
+	return b.String()
+}

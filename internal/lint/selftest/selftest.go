@@ -1,0 +1,83 @@
+// Package selftest pins the invariant lint suite against regressions: it
+// carries exactly one deliberate violation per analyzer, each suppressed by
+// a //patchecko:allow directive. The suite treats a directive that
+// suppresses nothing as a diagnostic, so this package keeps CI honest in
+// both directions: if an analyzer stops firing, its directive here goes
+// stale and `make lint` fails; if directives stop suppressing, the
+// violations here surface and `make lint` fails. The package-level tests in
+// internal/lint additionally strip these directives and require every
+// violation to resurface (the negative path).
+//
+// Nothing here is called at runtime; the functions exist only to be
+// analyzed.
+package selftest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// wallClock trips determinism: time.Now in a deterministic-scoped package.
+func wallClock() time.Time {
+	//patchecko:allow determinism selftest: pins the wall-clock ban
+	return time.Now()
+}
+
+// globalRand trips determinism's global-randomness ban.
+func globalRand() int {
+	//patchecko:allow determinism selftest: pins the global math/rand ban
+	return rand.Intn(10)
+}
+
+// orderLeak trips determinism's map-iteration check: the slice collected
+// from the map range is never sorted.
+func orderLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//patchecko:allow determinism selftest: pins the unsorted map-range check
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// flattenedCause trips errtaxonomy: an error-typed argument formatted with
+// %v instead of %w.
+func flattenedCause(err error) error {
+	//patchecko:allow errtaxonomy selftest: pins the %w chain check
+	return fmt.Errorf("scan failed: %v", err)
+}
+
+// adHocError trips errtaxonomy's in-function errors.New check.
+func adHocError() error {
+	//patchecko:allow errtaxonomy selftest: pins the sentinel check
+	return errors.New("unmatchable one-off failure")
+}
+
+// reRooted trips ctxflow: a function that receives a context and mints a
+// fresh root anyway.
+func reRooted(ctx context.Context) context.Context {
+	//patchecko:allow ctxflow selftest: pins the context-threading check
+	return context.Background()
+}
+
+// counters is the shape the atomiccounter analyzer guards: n is accessed
+// through sync/atomic in touch, so every other access must be atomic too.
+type counters struct {
+	n int64
+}
+
+func (c *counters) touch() { atomic.AddInt64(&c.n, 1) }
+
+// mixedRead trips atomiccounter with a plain read of the atomic field.
+func (c *counters) mixedRead() int64 {
+	//patchecko:allow atomiccounter selftest: pins the mixed-access check
+	return c.n
+}
+
+// Silence "declared and not used" style review noise: the suite analyzes
+// these, nothing executes them.
+var _ = []any{wallClock, globalRand, orderLeak, flattenedCause, adHocError, reRooted, (*counters).touch, (*counters).mixedRead}

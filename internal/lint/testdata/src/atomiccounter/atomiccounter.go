@@ -1,0 +1,69 @@
+// Fixture for the atomiccounter analyzer: no mixed atomic/plain field
+// access, no copying lock-bearing values.
+package atomiccounter
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits int64
+	name string
+}
+
+func (c *counters) bump() { atomic.AddInt64(&c.hits, 1) } // ok: the atomic side
+
+func (c *counters) load() int64 { return atomic.LoadInt64(&c.hits) } // ok
+
+func (c *counters) racyRead() int64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) racyWrite() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) title() string { return c.name } // ok: name is never atomic
+
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) bump() int64 { return t.n.Add(1) } // ok: typed atomics cannot be mixed
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g guarded) byValue() int { // want `by-value receiver carrying sync\.Mutex`
+	return g.n
+}
+
+func (g *guarded) byPointer() int { // ok
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func snapshot(g guarded) int { // want `passed by value but carries sync\.Mutex`
+	return g.n
+}
+
+func deref(p *guarded) {
+	g := *p // want `dereference copies a value carrying sync\.Mutex`
+	_ = g
+}
+
+type nested struct {
+	inner guarded
+}
+
+func takeNested(n nested) int { // want `passed by value but carries sync\.Mutex`
+	return n.inner.n
+}
+
+var _ = []any{(*counters).bump, (*counters).load, (*counters).racyRead,
+	(*counters).racyWrite, (*counters).title, (*typed).bump, guarded.byValue,
+	(*guarded).byPointer, snapshot, deref, takeNested}

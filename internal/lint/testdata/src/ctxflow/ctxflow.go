@@ -1,0 +1,43 @@
+// Fixture for the ctxflow analyzer: contexts thread down from the caller;
+// library code never re-roots.
+package ctxflow
+
+import "context"
+
+func rethreaded(ctx context.Context) error {
+	return work(ctx) // ok
+}
+
+func derived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx) // ok: derived from the parameter
+	defer cancel()
+	return work(sub)
+}
+
+func reRooted(ctx context.Context) error {
+	_ = ctx
+	return work(context.Background()) // want `context\.Background inside a function that already receives a context`
+}
+
+func todoRooted(ctx context.Context) error {
+	_ = ctx
+	return work(context.TODO()) // want `context\.TODO inside a function that already receives a context`
+}
+
+func libraryMint() error {
+	return work(context.Background()) // want `library package mints context\.Background`
+}
+
+func closureShares(ctx context.Context) func() error {
+	_ = ctx
+	return func() error {
+		// The enclosing declaration receives a context, so the closure does too.
+		return work(context.Background()) // want `context\.Background inside a function that already receives a context`
+	}
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+var _ = []any{rethreaded, derived, reRooted, todoRooted, libraryMint, closureShares}

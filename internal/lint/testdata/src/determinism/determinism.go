@@ -1,0 +1,90 @@
+// Fixture for the determinism analyzer: wall-clock, global randomness, and
+// map-iteration order leaking into ordered sinks.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now observes the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since observes the wall clock`
+}
+
+func deadline(t0 time.Time) time.Duration {
+	return time.Until(t0) // want `time\.Until observes the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the global random source`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicitly seeded source
+	return r.Intn(6)                    // ok: method on the seeded source
+}
+
+func leakedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map range`
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted below, the canonical pattern
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func channelLeak(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range`
+	}
+}
+
+func printLeak(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println inside a map range`
+	}
+}
+
+func sprintOK(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = fmt.Sprintf("%d", v) // ok: Sprint family is pure
+	}
+	return out
+}
+
+func freshPerIteration(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		out[k] = append([]int(nil), vs...) // ok: fresh slice each iteration
+	}
+	return out
+}
+
+func loopLocal(m map[string]string) int {
+	total := 0
+	for k := range m {
+		var parts []byte
+		parts = append(parts, k...) // ok: accumulator lives inside the loop
+		total += len(parts)
+	}
+	return total
+}
+
+// Keep every fixture function referenced so the package compiles vet-clean.
+var _ = []any{wallClock, elapsed, deadline, globalRand, seededRand, leakedKeys,
+	sortedKeys, channelLeak, printLeak, sprintOK, freshPerIteration, loopLocal}

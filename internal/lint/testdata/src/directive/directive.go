@@ -1,0 +1,30 @@
+// Fixture for the //patchecko:allow escape directive: suppression on the
+// offending line and the line above, and the stale-directive diagnostic.
+package directive
+
+import "time"
+
+func lineAbove() time.Time {
+	//patchecko:allow determinism fixture: pins the line-above form
+	return time.Now()
+}
+
+func sameLine() time.Time {
+	return time.Now() //patchecko:allow determinism fixture: pins the same-line form
+}
+
+func unannotated() time.Time {
+	return time.Now() // want `time\.Now observes the wall clock`
+}
+
+func wrongAnalyzer() time.Time {
+	//patchecko:allow errtaxonomy a directive only covers its own analyzer // want `suppresses nothing`
+	return time.Now() // want `time\.Now observes the wall clock`
+}
+
+// A well-formed directive covering no violation is itself a diagnostic.
+//patchecko:allow determinism stale: nothing here violates anything // want `suppresses nothing`
+
+//patchecko:allow nosuchanalyzer some reason // want `names unknown analyzer`
+
+var _ = []any{lineAbove, sameLine, unannotated, wrongAnalyzer}

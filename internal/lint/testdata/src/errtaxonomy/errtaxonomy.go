@@ -1,0 +1,48 @@
+// Fixture for the errtaxonomy analyzer: error causes must stay classifiable
+// through the chain (%w, sentinels), never flattened to strings.
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the sanctioned errors.New use.
+var ErrMissing = errors.New("missing")
+
+func wrapped(err error) error {
+	return fmt.Errorf("scan: %w", err) // ok
+}
+
+func flattened(err error) error {
+	return fmt.Errorf("scan: %v", err) // want `error argument formatted with %v severs the chain`
+}
+
+func stringified(err error) error {
+	return fmt.Errorf("scan %s failed: %d", err, 3) // want `error argument formatted with %s severs the chain`
+}
+
+func adHoc() error {
+	return errors.New("one-off") // want `errors\.New inside a function mints an unmatchable error`
+}
+
+func sprintfed(n int) error {
+	return errors.New(fmt.Sprintf("bad %d", n)) // want `errors\.New\(fmt\.Sprintf\(\.\.\.\)\) severs the error chain`
+}
+
+func inClosure() func() error {
+	return func() error {
+		return errors.New("closure one-off") // want `errors\.New inside a function mints an unmatchable error`
+	}
+}
+
+func dynamicFormat(f string, err error) error {
+	return fmt.Errorf(f, err) // ok: dynamic format, left to go vet printf
+}
+
+func sentinelWrap(name string) error {
+	return fmt.Errorf("object %q: %w", name, ErrMissing) // ok
+}
+
+var _ = []any{wrapped, flattened, stringified, adHoc, sprintfed, inClosure,
+	dynamicFormat, sentinelWrap}

@@ -246,6 +246,26 @@ func (m *Metrics) AddStage(s Stage, d time.Duration) {
 	m.stageNs[s].Add(int64(d))
 }
 
+// Stopwatch measures stage wall-clock. It is the deterministic packages'
+// single sanctioned clock: stage timing is the one documented
+// nondeterministic output (see the package comment), so the lint suite's
+// determinism analyzer allows exactly these two sites and bans time.Now
+// everywhere else in scope. Engine code must read the clock through a
+// Stopwatch, never directly.
+type Stopwatch struct{ start time.Time }
+
+// StartStopwatch reads the clock once; Elapsed measures from that instant.
+func StartStopwatch() Stopwatch {
+	//patchecko:allow determinism stage wall-clock is the documented nondeterministic output
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the wall-clock time since the stopwatch started.
+func (w Stopwatch) Elapsed() time.Duration {
+	//patchecko:allow determinism stage wall-clock is the documented nondeterministic output
+	return time.Since(w.start)
+}
+
 // StageNs returns the accumulated wall-clock nanoseconds of a stage.
 func (m *Metrics) StageNs(s Stage) int64 {
 	if m == nil {

@@ -712,13 +712,22 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
 	deadline := s.cfg.JobDeadline
 	if d := time.Duration(j.sub.DeadlineMS) * time.Millisecond; d > 0 && (deadline == 0 || d < deadline) {
 		deadline = d
 	}
+	// Jobs are deliberately rooted here, not in the submitting request's
+	// context: an acked job outlives its HTTP request, and shutdown cancels
+	// running jobs explicitly through j.cancel (Close) rather than by
+	// tearing down a shared parent.
+	//patchecko:allow ctxflow job contexts outlive their requests; Close cancels them explicitly
+	base := context.Background()
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if deadline > 0 {
-		ctx, cancel = context.WithTimeout(context.Background(), deadline)
+		ctx, cancel = context.WithTimeout(base, deadline)
+	} else {
+		ctx, cancel = context.WithCancel(base)
 	}
 	defer cancel()
 	s.mu.Lock()

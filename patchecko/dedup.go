@@ -253,6 +253,7 @@ func (a *Analyzer) sharedScore(k scoreKey, i int, compute func(i int) float64) f
 func (a *Analyzer) dedupValidate(ctx context.Context, p *PreparedImage, entry *vulndb.Entry,
 	cands []detector.Candidate, candFuncs []*disasm.Function, envs []*minic.Env, workers int) ([]int, map[int][]EnvProfile, map[int]error) {
 	if ctx == nil {
+		//patchecko:allow ctxflow nil-ctx API tolerance: Background is the documented fallback root
 		ctx = context.Background()
 	}
 	results := make([]dynamic.ProfileOutcome, len(cands))

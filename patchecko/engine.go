@@ -284,6 +284,7 @@ type ScanStats struct {
 // firmware scan engine isolates per-image failures instead.
 func PrepareImages(ctx context.Context, images []*binimg.Image, workers int) ([]*PreparedImage, error) {
 	if ctx == nil {
+		//patchecko:allow ctxflow nil-ctx API tolerance: Background is the documented fallback root
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
@@ -396,6 +397,7 @@ func (a *Analyzer) runCell(ctx context.Context, p *PreparedImage, cveID string, 
 // and wall-clock counters.
 func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, error) {
 	if ctx == nil {
+		//patchecko:allow ctxflow nil-ctx API tolerance: Background is the documented fallback root
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
@@ -415,12 +417,12 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 		CVEs:   len(ids),
 	})
 
-	prepStart := time.Now()
+	prepWatch := obs.StartStopwatch()
 	prepared, prepErrs := prepareImagesIsolated(ctx, fw.Images, workers)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	prepWall := time.Since(prepStart)
+	prepWall := prepWatch.Elapsed()
 	a.Obs.AddStage(obs.StagePrepare, prepWall)
 	a.Obs.Add(obs.CtrImagesFailed, int64(len(prepErrs)))
 	uniqAddrs := make(map[cas.Addr]struct{})
@@ -461,7 +463,7 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 
 	hits0, misses0 := a.refcache().counts()
 	dedup0 := a.DedupCounts()
-	scanStart := time.Now()
+	scanWatch := obs.StartStopwatch()
 	scans := make([]*CVEScan, nTasks)
 	errs := make([]error, nTasks)
 	var (
@@ -569,7 +571,7 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	stats.CacheHits = hits1 - hits0
 	stats.CacheMisses = misses1 - misses0
 	stats.PrepareWall = prepWall
-	stats.ScanWall = time.Since(scanStart)
+	stats.ScanWall = scanWatch.Elapsed()
 	stats.UniqueFuncs = len(uniqAddrs)
 	stats.PairsDeduped = dedup1.PairsDeduped - dedup0.PairsDeduped
 	stats.PairsFromStore = dedup1.PairsFromStore - dedup0.PairsFromStore

@@ -404,6 +404,7 @@ func (a *Analyzer) newScorer() *detector.Scorer {
 // batched scoring context (nil forces the scalar static stage).
 func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string, mode QueryMode, validateWorkers int, sc *detector.Scorer) (*CVEScan, error) {
 	if ctx == nil {
+		//patchecko:allow ctxflow nil-ctx API tolerance: Background is the documented fallback root
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
@@ -431,7 +432,7 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	// query halves in the worker's scratch buffers; the scalar path scores
 	// the raw vectors. Both use the same canonical accumulation order, so
 	// candidates — indices, exact scores, order — are identical.
-	start := time.Now()
+	sw := obs.StartStopwatch()
 	var cands []detector.Candidate
 	if a.Dedup {
 		var derr error
@@ -452,7 +453,7 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 		}
 		cands = sc.Candidates(qh, p.Targets(a.model))
 	}
-	scan.StaticTime = time.Since(start)
+	scan.StaticTime = sw.Elapsed()
 	a.Obs.AddStage(obs.StageStatic, scan.StaticTime)
 	scan.NumCandidates = len(cands)
 	for _, c := range cands {
@@ -470,7 +471,7 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	}
 
 	// Stage 2: input validation + dynamic profiling + ranking.
-	start = time.Now()
+	sw = obs.StartStopwatch()
 	envs := entry.Environments()
 	candFuncs := make([]*disasm.Function, len(cands))
 	for i, c := range cands {
@@ -520,7 +521,7 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 			Envs:      r.Envs,
 		})
 	}
-	scan.DynamicTime = time.Since(start)
+	scan.DynamicTime = sw.Elapsed()
 	a.Obs.AddStage(obs.StageDynamic, scan.DynamicTime)
 	if len(ranked) == 0 {
 		return scan, nil
@@ -540,9 +541,9 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	scan.Matched = true
 	scan.Match = scan.Ranking[0]
 	topFn := candFuncs[top.Index]
-	start = time.Now()
+	sw = obs.StartStopwatch()
 	verdict, err := a.patchVerdict(ctx, entry, arch, p, topFn, dynamic.Vectors(profiles[top.Index]), envs)
-	a.Obs.AddStage(obs.StageDifferential, time.Since(start))
+	a.Obs.AddStage(obs.StageDifferential, sw.Elapsed())
 	if err != nil {
 		return nil, err
 	}

@@ -11,11 +11,23 @@ work="$(mktemp -d)"
 addr="127.0.0.1:${SMOKE_PORT:-8941}"
 daemon_pid=""
 cleanup() {
-    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    status=$?
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill "$daemon_pid" 2>/dev/null || true
+        # Grace period, then force: a wedged daemon must not hang the trap.
+        for _ in $(seq 1 50); do
+            kill -0 "$daemon_pid" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -9 "$daemon_pid" 2>/dev/null || true
+    fi
     [ -n "$daemon_pid" ] && wait "$daemon_pid" 2>/dev/null || true
     rm -rf "$work"
+    exit "$status"
 }
 trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 echo "==> building"
 go build -o "$work/patchecko" ./cmd/patchecko
