@@ -28,7 +28,7 @@ lint:
 # race detector on one core it overruns go test's default 10m deadline,
 # so give the gate an explicit budget.
 race:
-	$(GO) test -race -timeout 45m ./patchecko/ ./internal/dynamic/ ./internal/emu/ ./internal/faultinject/ ./internal/detector/ ./internal/nn/ ./internal/cas/ ./internal/server/
+	$(GO) test -race -timeout 45m ./patchecko/ ./internal/dynamic/ ./internal/emu/ ./internal/faultinject/ ./internal/detector/ ./internal/nn/ ./internal/cas/ ./internal/server/ ./internal/embed/ ./internal/annindex/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -36,8 +36,12 @@ bench:
 # Measure the static stage's scalar and batched candidate paths and refresh
 # BENCH_static.json (ns/pair, pairs/sec, allocs/op, speedup). Fails if the
 # batched path allocates in steady state or the speedup drops below 3x.
+# The second step merges the embedding-index retrieval rows into the same
+# artifact (pairs/sec vs batched exact, recall@K); it fails below the 5x
+# retrieval floor or if recall@K at the covering operating point is not 1.0.
 bench-static:
 	PATCHECKO_BENCH_OUT=$(CURDIR)/BENCH_static.json $(GO) test ./internal/detector/ -run TestWriteStaticBenchArtifact -count=1 -v
+	PATCHECKO_BENCH_OUT=$(CURDIR)/BENCH_static.json $(GO) test ./internal/embed/ -run TestWriteRetrievalBenchArtifact -count=1 -v
 
 # Short fuzzing pass over every fuzz target, seeded from the checked-in
 # corpora under testdata/fuzz. Ten seconds each is enough to exercise the
@@ -51,13 +55,14 @@ fuzz-smoke:
 	$(GO) test ./internal/disasm/ -run=Fuzz -fuzz=FuzzDisassemble -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/features/ -run=Fuzz -fuzz=FuzzExtract -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/cas/ -run=Fuzz -fuzz=FuzzNormalize -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/annindex/ -run=Fuzz -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
 
 # Statement-coverage floor for the packages the observability layer leans
 # on hardest: the metrics/trace layer itself, the static-stage scorer, the
 # scan engine, and the content-address/delta-store layer. The floor is
 # asserted per package, so a regression in one cannot hide behind the
 # others. CI runs this.
-COVER_PKGS  = ./internal/obs/ ./internal/detector/ ./patchecko/ ./internal/cas/
+COVER_PKGS  = ./internal/obs/ ./internal/detector/ ./patchecko/ ./internal/cas/ ./internal/embed/ ./internal/annindex/
 COVER_FLOOR = 70
 cover:
 	@set -e; for pkg in $(COVER_PKGS); do \

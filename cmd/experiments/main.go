@@ -35,6 +35,8 @@ func run() (err error) {
 		workers   = flag.Int("workers", runtime.NumCPU(), "scan worker pool size (results are identical at any count; timing columns vary)")
 		dedup     = flag.Bool("dedup", true, "share scoring across content-identical functions (results are identical either way)")
 		noDedup   = flag.Bool("no-dedup", false, "force every pair to be scored independently (overrides -dedup)")
+		retrieval = flag.Bool("retrieval", false, "serve the static stage from an embedding index with exact top-K rescoring")
+		topK      = flag.Int("topk", patchecko.DefaultTopK, "unique bodies the embedding index nominates per query (with -retrieval)")
 		all       = flag.Bool("all", false, "run every experiment")
 		fig7      = flag.Bool("fig7", false, "Fig. 7: static-stage FP rates")
 		fig8      = flag.Bool("fig8", false, "Fig. 8: training curves")
@@ -62,6 +64,9 @@ func run() (err error) {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
+	if *retrieval && *topK <= 0 {
+		return fmt.Errorf("-topk must be >= 1, got %d", *topK)
+	}
 	if err := prof.Start(); err != nil {
 		return err
 	}
@@ -80,12 +85,14 @@ func run() (err error) {
 	// and mask the partial-artifact flush.
 	ctx := context.Background()
 	suite, err := experiments.NewSuite(ctx, experiments.Config{
-		Scale:   scale,
-		Seed:    *seed,
-		Workers: *workers,
-		Obs:     of.Collector(),
-		NoDedup: *noDedup || !*dedup,
-		Log:     func(s string) { fmt.Println(s) },
+		Scale:     scale,
+		Seed:      *seed,
+		Workers:   *workers,
+		Obs:       of.Collector(),
+		NoDedup:   *noDedup || !*dedup,
+		Retrieval: *retrieval,
+		TopK:      *topK,
+		Log:       func(s string) { fmt.Println(s) },
 	})
 	if err != nil {
 		return err

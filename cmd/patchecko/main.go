@@ -79,10 +79,13 @@ func usage() {
   patchecko train  -scale <tiny|small|medium|large> -seed N -out model.json
   patchecko scan   -model model.json -db vulndb.json -image lib.img [-cve CVE-...] [-workers N]
                    [-no-dedup] [-store DIR [-store-max BYTES]]
+                   [-retrieval [-topk K] | -no-retrieval]
   (train and scan also take -cpuprofile file / -memprofile file for go tool pprof;
    scan also takes -metrics manifest.json / -trace events.jsonl for run observability;
    -store keeps static scores on disk keyed by function content address, so
-   rescanning a firmware update only re-scores functions that changed)
+   rescanning a firmware update only re-scores functions that changed;
+   -retrieval serves static candidates from an embedding index distilled from
+   the model, rescoring only the top-K nearest unique bodies exactly)
   patchecko disasm -image lib.img [-func name|-addr 0x...]
   patchecko compile -src file.mc [-arch amd64 -level O2 -out lib.img -strip]
   patchecko run -src file.mc -func f [-args 4096,8 -data "bytes"]
@@ -198,6 +201,10 @@ func runScan(args []string) (err error) {
 		noDedup   = fs.Bool("no-dedup", false, "force the every-pair reference path (overrides -dedup)")
 		storeDir  = fs.String("store", "", "persistent score-store directory for incremental delta scans (implies -dedup)")
 		storeMax  = fs.Int64("store-max", 0, "score-store on-disk byte budget (0 = default 64MiB)")
+
+		retrieval   = fs.Bool("retrieval", false, "serve static candidates from an embedding index, rescoring only the top-K nearest unique bodies exactly")
+		noRetrieval = fs.Bool("no-retrieval", false, "force the exact static scan (overrides -retrieval)")
+		topK        = fs.Int("topk", patchecko.DefaultTopK, "unique bodies the embedding index nominates per query (with -retrieval)")
 	)
 	prof := profiling.AddFlags(fs)
 	of := obs.AddFlags(fs)
@@ -220,6 +227,9 @@ func runScan(args []string) (err error) {
 	}
 	if *storeMax < 0 {
 		return fmt.Errorf("-store-max must be >= 0 bytes (0 = default), got %d", *storeMax)
+	}
+	if *topK <= 0 {
+		return fmt.Errorf("-topk must be >= 1, got %d", *topK)
 	}
 	// Flush the observability sinks on EVERY exit path — error returns and
 	// signal exits included. A partially-completed scan's counters and trace
@@ -265,6 +275,17 @@ func runScan(args []string) (err error) {
 	an.Workers = *workers
 	an.Obs = of.Collector()
 	an.Dedup = *dedup && !*noDedup
+	if *retrieval && !*noRetrieval {
+		// Distillation is deterministic in (model, seed); a fixed seed keeps
+		// repeated invocations byte-identical for the same model file.
+		emb, derr := patchecko.DistillEmbedder(model, 1)
+		if derr != nil {
+			return fmt.Errorf("distilling retrieval embedder: %w", derr)
+		}
+		an.Embedder = emb
+		an.TopK = *topK
+		fmt.Printf("retrieval: embedding index enabled (top-K %d, dim %d)\n", *topK, emb.Dim())
+	}
 	if *storeDir != "" {
 		if !an.Dedup {
 			return fmt.Errorf("-store requires the dedup path (drop -no-dedup)")

@@ -1,0 +1,268 @@
+// Package annindex is a deterministic, pure-Go nearest-neighbor index for
+// the retrieval static stage: a cluster-pruned flat index over fixed-size
+// embedding vectors.
+//
+// The index is EXACT, not approximate: Search returns precisely the k
+// nearest vectors by (Euclidean distance, then id) — identical to a brute
+// force scan — it only *visits* fewer of them. Clusters are scanned in
+// ascending lower-bound order (centroid distance minus cluster radius, a
+// triangle-inequality bound), and scanning stops once the bound proves no
+// unvisited cluster can improve the current k-th best. Pruning is applied
+// only on a STRICT bound violation, so distance ties still resolve by id
+// exactly as brute force would.
+//
+// Everything is deterministic in (vectors, Config): clustering is seeded
+// k-means with fixed iteration count and lowest-index tie-breaking, all
+// floating-point accumulation is sequential in a fixed order, and Search
+// breaks distance ties by ascending id. Two builds from equal inputs are
+// byte-identical under Encode, and results never depend on scheduling —
+// which is what lets the scan engine keep reports byte-identical at any
+// worker count.
+package annindex
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+)
+
+// Config parameterizes Build. The zero value selects the defaults.
+type Config struct {
+	// Seed drives the k-means initialization. Equal seeds (and equal
+	// vectors) build byte-identical indexes.
+	Seed int64
+	// Clusters is the k-means cluster count; <= 0 selects ~sqrt(n).
+	Clusters int
+	// Iters is the fixed Lloyd iteration count; <= 0 selects 8.
+	Iters int
+}
+
+// DefaultConfig returns the standard build configuration.
+func DefaultConfig() Config { return Config{Seed: 1} }
+
+// cluster is one k-means cell: its centroid, the distance of its farthest
+// member from the centroid, and its member ids in ascending order.
+type cluster struct {
+	centroid []float64
+	radius   float64
+	members  []int32
+}
+
+// Index is a built cluster-pruned flat index. Immutable after Build/Decode
+// and safe for concurrent Search use.
+type Index struct {
+	dim      int
+	data     []float64 // n × dim, row-major; row i is vector id i
+	clusters []cluster
+}
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int {
+	if ix.dim == 0 {
+		return 0
+	}
+	return len(ix.data) / ix.dim
+}
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+func (ix *Index) vec(id int) []float64 { return ix.data[id*ix.dim : (id+1)*ix.dim] }
+
+// dist is the Euclidean distance with one fixed sequential accumulation
+// order — the package's single distance definition, shared by Build and
+// Search so bounds and results agree bit for bit.
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Build clusters the vectors and returns the index. All vectors must share
+// one dimensionality and contain only finite values.
+func Build(vecs [][]float64, cfg Config) (*Index, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("annindex: no vectors")
+	}
+	dim := len(vecs[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("annindex: zero-dimensional vectors")
+	}
+	ix := &Index{dim: dim, data: make([]float64, len(vecs)*dim)}
+	for i, v := range vecs {
+		if len(v) != dim {
+			return nil, fmt.Errorf("annindex: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+		for j, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("annindex: vector %d dim %d is not finite", i, j)
+			}
+		}
+		copy(ix.data[i*dim:], v)
+	}
+
+	n := len(vecs)
+	k := cfg.Clusters
+	if k <= 0 {
+		k = int(math.Sqrt(float64(n)))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 8
+	}
+
+	// Seeded initialization: k distinct vector ids. rand.Perm is
+	// deterministic in the seed, so the whole build is.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centroids := make([][]float64, k)
+	for c, id := range rng.Perm(n)[:k] {
+		centroids[c] = append([]float64(nil), ix.vec(id)...)
+	}
+
+	// Fixed-count Lloyd iterations. Assignment ties go to the lowest
+	// cluster index (strict < when comparing), and centroid sums accumulate
+	// in ascending vector id order, so every run reproduces the same cells.
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([]float64, k*dim)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			v := ix.vec(i)
+			best, bestD := 0, dist(v, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := dist(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := sums[c*dim : (c+1)*dim]
+			for j, x := range ix.vec(i) {
+				row[j] += x
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue // empty cell keeps its centroid
+			}
+			inv := 1 / float64(counts[c])
+			for j := 0; j < dim; j++ {
+				centroids[c][j] = sums[c*dim+j] * inv
+			}
+		}
+	}
+
+	// Final cells: members in ascending id (the assignment scan order),
+	// empty cells dropped, radius = farthest member.
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		cl := cluster{centroid: centroids[c]}
+		for i := 0; i < n; i++ {
+			if assign[i] != c {
+				continue
+			}
+			cl.members = append(cl.members, int32(i))
+			if d := dist(ix.vec(i), cl.centroid); d > cl.radius {
+				cl.radius = d
+			}
+		}
+		ix.clusters = append(ix.clusters, cl)
+	}
+	return ix, nil
+}
+
+// Hit is one Search result.
+type Hit struct {
+	ID   int     // vector id (the Build input position)
+	Dist float64 // Euclidean distance to the query
+}
+
+// candOrder is the cluster visit order: ascending lower bound, ties by
+// cluster position so the order is total.
+type candOrder struct {
+	cluster int
+	lb      float64
+}
+
+// Search returns the k nearest indexed vectors to q, ordered by
+// (distance ascending, id ascending) — exactly the brute-force top-k,
+// including tie resolution. k <= 0 returns nil; k >= Len returns every
+// vector ranked. The query must have the index dimensionality.
+func (ix *Index) Search(q []float64, k int) []Hit {
+	if k <= 0 || len(q) != ix.dim {
+		return nil
+	}
+	if n := ix.Len(); k > n {
+		k = n
+	}
+
+	order := make([]candOrder, len(ix.clusters))
+	for c := range ix.clusters {
+		lb := dist(q, ix.clusters[c].centroid) - ix.clusters[c].radius
+		if lb < 0 {
+			lb = 0
+		}
+		order[c] = candOrder{cluster: c, lb: lb}
+	}
+	slices.SortFunc(order, func(a, b candOrder) int {
+		if a.lb != b.lb {
+			if a.lb < b.lb {
+				return -1
+			}
+			return 1
+		}
+		return a.cluster - b.cluster
+	})
+
+	best := make([]Hit, 0, k)
+	for _, co := range order {
+		// Prune only on a STRICT bound violation: a cluster whose lower
+		// bound equals the current worst distance may still hold an
+		// equal-distance member with a smaller id, which brute force would
+		// prefer — so it must be scanned.
+		if len(best) == k && co.lb > best[k-1].Dist {
+			break
+		}
+		for _, id32 := range ix.clusters[co.cluster].members {
+			id := int(id32)
+			d := dist(q, ix.vec(id))
+			if len(best) == k {
+				w := best[k-1]
+				if d > w.Dist || (d == w.Dist && id > w.ID) {
+					continue
+				}
+				best = best[:k-1]
+			}
+			// Insert keeping (dist asc, id asc) order.
+			pos := len(best)
+			for pos > 0 && (best[pos-1].Dist > d || (best[pos-1].Dist == d && best[pos-1].ID > id)) {
+				pos--
+			}
+			best = append(best, Hit{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = Hit{ID: id, Dist: d}
+		}
+	}
+	return best
+}

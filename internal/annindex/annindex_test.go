@@ -1,0 +1,256 @@
+package annindex
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// randomVecs builds a deterministic vector set with deliberate duplicates
+// so distance ties are actually exercised.
+func randomVecs(t *testing.T, n, dim int, seed int64) [][]float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		if i > 0 && rng.Intn(8) == 0 {
+			// Exact duplicate of an earlier vector: equal distance to every
+			// query, forcing the id tie-break.
+			vecs[i] = slices.Clone(vecs[rng.Intn(i)])
+			continue
+		}
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// bruteTopK is the reference: full scan, sort by (dist asc, id asc).
+func bruteTopK(vecs [][]float64, q []float64, k int) []Hit {
+	hits := make([]Hit, len(vecs))
+	for i, v := range vecs {
+		s := 0.0
+		for j, x := range v {
+			d := x - q[j]
+			s += d * d
+		}
+		hits[i] = Hit{ID: i, Dist: math.Sqrt(s)}
+	}
+	slices.SortFunc(hits, func(a, b Hit) int {
+		if a.Dist != b.Dist {
+			if a.Dist < b.Dist {
+				return -1
+			}
+			return 1
+		}
+		return a.ID - b.ID
+	})
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 200} {
+		vecs := randomVecs(t, n, 8, int64(n))
+		ix, err := Build(vecs, DefaultConfig())
+		if err != nil {
+			t.Fatalf("Build(n=%d): %v", n, err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for qi := 0; qi < 25; qi++ {
+			q := make([]float64, 8)
+			for j := range q {
+				q[j] = rng.NormFloat64()
+			}
+			if qi%3 == 0 && n > 1 {
+				// Query sitting exactly on an indexed vector: zero distance
+				// plus duplicate ties.
+				q = slices.Clone(vecs[rng.Intn(n)])
+			}
+			for _, k := range []int{1, 3, n / 2, n, n + 5} {
+				if k < 1 {
+					continue
+				}
+				got := ix.Search(q, k)
+				want := bruteTopK(vecs, q, k)
+				if !slices.Equal(got, want) {
+					t.Fatalf("n=%d k=%d query %d: Search != brute force\ngot  %v\nwant %v", n, k, qi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchSupersetProperty pins the recall contract: the retrieval set at
+// K = all is the entire id space, so it trivially contains the exact top-K
+// for every smaller K — and for every smaller K the result is a prefix of
+// the K = all ranking.
+func TestSearchSupersetProperty(t *testing.T) {
+	vecs := randomVecs(t, 120, 6, 7)
+	ix, err := Build(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for qi := 0; qi < 10; qi++ {
+		q := make([]float64, 6)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		all := ix.Search(q, len(vecs))
+		if len(all) != len(vecs) {
+			t.Fatalf("K=all returned %d of %d", len(all), len(vecs))
+		}
+		for _, k := range []int{1, 7, 64, 120} {
+			got := ix.Search(q, k)
+			if !slices.Equal(got, all[:k]) {
+				t.Fatalf("query %d: Search(k=%d) is not a prefix of Search(k=all)", qi, k)
+			}
+		}
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	vecs := randomVecs(t, 150, 10, 42)
+	a, err := Build(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("two builds from equal inputs encode differently")
+	}
+	// A different seed may legitimately cluster differently, but search
+	// results stay exact regardless.
+	c, err := Build(vecs, Config{Seed: 999, Clusters: 5, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := slices.Clone(vecs[7])
+	if !slices.Equal(a.Search(q, 9), c.Search(q, 9)) {
+		t.Fatal("search results depend on clustering configuration")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vecs := randomVecs(t, 64, 5, 13)
+	ix, err := Build(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := ix.Encode()
+	dec, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(dec.Encode(), blob) {
+		t.Fatal("re-encode after Decode differs")
+	}
+	if dec.Len() != ix.Len() || dec.Dim() != ix.Dim() {
+		t.Fatalf("shape changed: %d×%d vs %d×%d", dec.Len(), dec.Dim(), ix.Len(), ix.Dim())
+	}
+	q := slices.Clone(vecs[3])
+	if !slices.Equal(dec.Search(q, 10), ix.Search(q, 10)) {
+		t.Fatal("decoded index searches differently")
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	if _, err := Build(nil, DefaultConfig()); err == nil {
+		t.Fatal("Build accepted empty input")
+	}
+	if _, err := Build([][]float64{{}}, DefaultConfig()); err == nil {
+		t.Fatal("Build accepted zero-dim vectors")
+	}
+	if _, err := Build([][]float64{{1, 2}, {3}}, DefaultConfig()); err == nil {
+		t.Fatal("Build accepted ragged vectors")
+	}
+	if _, err := Build([][]float64{{1, math.NaN()}}, DefaultConfig()); err == nil {
+		t.Fatal("Build accepted NaN")
+	}
+	if _, err := Build([][]float64{{1, math.Inf(1)}}, DefaultConfig()); err == nil {
+		t.Fatal("Build accepted +Inf")
+	}
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	vecs := randomVecs(t, 10, 4, 1)
+	ix, err := Build(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Search(vecs[0], 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := ix.Search([]float64{1, 2}, 3); got != nil {
+		t.Fatalf("wrong-dim query returned %v", got)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	vecs := randomVecs(t, 12, 3, 5)
+	ix, err := Build(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := ix.Encode()
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		t.Helper()
+		if _, err := Decode(f(slices.Clone(valid))); err == nil {
+			t.Fatalf("%s: Decode accepted corrupt blob", name)
+		}
+	}
+	mutate("empty", func(b []byte) []byte { return nil })
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	mutate("truncated header", func(b []byte) []byte { return b[:10] })
+	mutate("truncated data", func(b []byte) []byte { return b[:len(b)-1] })
+	mutate("trailing bytes", func(b []byte) []byte { return append(b, 0) })
+	mutate("zero dim", func(b []byte) []byte {
+		for i := 8; i < 12; i++ {
+			b[i] = 0
+		}
+		return b
+	})
+	mutate("huge dim", func(b []byte) []byte {
+		b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0x7f
+		return b
+	})
+	mutate("huge n", func(b []byte) []byte {
+		b[12], b[13], b[14], b[15] = 0xff, 0xff, 0xff, 0x7f
+		return b
+	})
+	mutate("zero clusters", func(b []byte) []byte {
+		for i := 16; i < 20; i++ {
+			b[i] = 0
+		}
+		return b
+	})
+	mutate("nan in data", func(b []byte) []byte {
+		nan := math.Float64bits(math.NaN())
+		for i := 0; i < 8; i++ {
+			b[20+i] = byte(nan >> (8 * i))
+		}
+		return b
+	})
+	mutate("duplicate member", func(b []byte) []byte {
+		// Last 4 bytes are the final member id of the final cluster; clobber
+		// with an id from the start of the partition.
+		copy(b[len(b)-4:], []byte{0, 0, 0, 0})
+		return b
+	})
+	mutate("member out of range", func(b []byte) []byte {
+		copy(b[len(b)-4:], []byte{0xff, 0xff, 0xff, 0x7f})
+		return b
+	})
+}

@@ -1,0 +1,72 @@
+package annindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode drives the deserializer with arbitrary bytes. Decode must
+// never panic or over-allocate; when it does accept a blob, the decoded
+// index must be fully valid: re-encoding is the identity and a search over
+// it terminates with exact brute-force results.
+func FuzzDecode(f *testing.F) {
+	// Seed with a real encoding plus structured corruptions of it, on top
+	// of the checked-in corpus under testdata/fuzz/FuzzDecode.
+	rng := rand.New(rand.NewSource(17))
+	vecs := make([][]float64, 9)
+	for i := range vecs {
+		v := make([]float64, 4)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	ix, err := Build(vecs, DefaultConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := ix.Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(bytes.Clone(valid), 0xAA))
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		blob := dec.Encode()
+		if !bytes.Equal(blob, data) {
+			t.Fatalf("accepted blob is not canonical: re-encode differs")
+		}
+		// The decoded structure must behave like a real index.
+		q := make([]float64, dec.Dim())
+		got := ix2brute(dec, q, 3)
+		if res := dec.Search(q, 3); !hitsEqual(res, got) {
+			t.Fatalf("decoded index search mismatch: got %v want %v", res, got)
+		}
+	})
+}
+
+func ix2brute(ix *Index, q []float64, k int) []Hit {
+	vecs := make([][]float64, ix.Len())
+	for i := range vecs {
+		vecs[i] = ix.vec(i)
+	}
+	return bruteTopK(vecs, q, k)
+}
+
+func hitsEqual(a, b []Hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,190 @@
+package annindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary index format, versioned by the magic string. All integers are
+// little-endian uint32, all floats are little-endian IEEE-754 float64.
+//
+//	magic   "PKANN001"                     (8 bytes)
+//	dim     uint32
+//	n       uint32                         (vector count)
+//	nclus   uint32                         (cluster count, 1..n)
+//	data    n × dim × float64              (row-major, id order)
+//	per cluster:
+//	  centroid  dim × float64
+//	  radius    float64
+//	  count     uint32
+//	  members   count × uint32             (ascending ids)
+//
+// Decode validates structure exhaustively — magic/version, bounds on every
+// declared size BEFORE allocating, finite floats, and that the cluster
+// member lists form an exact partition of [0, n) — so a corrupted or
+// adversarial blob (see FuzzDecode) is rejected with an error, never a
+// panic or an over-allocation.
+
+const (
+	magic = "PKANN001"
+
+	// Decode hard caps: far above anything the engine builds (indexes are
+	// per-image unique-function sets), low enough that a hostile header
+	// cannot make Decode allocate unboundedly.
+	maxDim  = 4096
+	maxVecs = 1 << 22
+)
+
+// Encode serializes the index. The output depends only on the index
+// contents: equal builds encode byte-identically.
+func (ix *Index) Encode() []byte {
+	n := ix.Len()
+	size := len(magic) + 3*4 + n*ix.dim*8
+	for _, cl := range ix.clusters {
+		size += ix.dim*8 + 8 + 4 + 4*len(cl.members)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, magic...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(ix.dim))
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ix.clusters)))
+	for _, x := range ix.data {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	for _, cl := range ix.clusters {
+		for _, x := range cl.centroid {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+		}
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cl.radius))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(cl.members)))
+		for _, id := range cl.members {
+			b = binary.LittleEndian.AppendUint32(b, uint32(id))
+		}
+	}
+	return b
+}
+
+// reader is a bounds-checked cursor over the encoded blob.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.b)-r.off < 4 {
+		return 0, fmt.Errorf("annindex: truncated at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) f64s(dst []float64) error {
+	if len(r.b)-r.off < 8*len(dst) {
+		return fmt.Errorf("annindex: truncated at offset %d", r.off)
+	}
+	for i := range dst {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("annindex: non-finite float at offset %d", r.off)
+		}
+		dst[i] = x
+		r.off += 8
+	}
+	return nil
+}
+
+// Decode parses and validates an Encode blob.
+func Decode(b []byte) (*Index, error) {
+	if len(b) < len(magic) || string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("annindex: bad magic")
+	}
+	r := &reader{b: b, off: len(magic)}
+	dim32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	n32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	nclus32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	dim, n, nclus := int(dim32), int(n32), int(nclus32)
+	if dim < 1 || dim > maxDim {
+		return nil, fmt.Errorf("annindex: dim %d out of range", dim)
+	}
+	if n < 1 || n > maxVecs {
+		return nil, fmt.Errorf("annindex: vector count %d out of range", n)
+	}
+	if nclus < 1 || nclus > n {
+		return nil, fmt.Errorf("annindex: cluster count %d out of range for %d vectors", nclus, n)
+	}
+	// Reject undersized blobs before any large allocation: the fixed-width
+	// payload is fully determined by the header except for the per-cluster
+	// member counts, whose floor is 8 bytes each.
+	minSize := len(magic) + 3*4 + n*dim*8 + nclus*(dim*8+8+4)
+	if len(b) < minSize {
+		return nil, fmt.Errorf("annindex: blob shorter than declared layout (%d < %d)", len(b), minSize)
+	}
+
+	ix := &Index{dim: dim, data: make([]float64, n*dim)}
+	if err := r.f64s(ix.data); err != nil {
+		return nil, err
+	}
+	ix.clusters = make([]cluster, nclus)
+	seen := make([]bool, n)
+	total := 0
+	for c := range ix.clusters {
+		cl := &ix.clusters[c]
+		cl.centroid = make([]float64, dim)
+		if err := r.f64s(cl.centroid); err != nil {
+			return nil, err
+		}
+		rad := make([]float64, 1)
+		if err := r.f64s(rad); err != nil {
+			return nil, err
+		}
+		if rad[0] < 0 {
+			return nil, fmt.Errorf("annindex: cluster %d has negative radius", c)
+		}
+		cl.radius = rad[0]
+		count32, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		count := int(count32)
+		if count < 1 || count > n-total {
+			return nil, fmt.Errorf("annindex: cluster %d member count %d out of range", c, count)
+		}
+		total += count
+		cl.members = make([]int32, count)
+		prev := -1
+		for m := range cl.members {
+			id32, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			id := int(id32)
+			if id >= n || seen[id] {
+				return nil, fmt.Errorf("annindex: cluster %d member %d invalid or duplicate", c, id)
+			}
+			if id <= prev {
+				return nil, fmt.Errorf("annindex: cluster %d members not ascending", c)
+			}
+			seen[id] = true
+			prev = id
+			cl.members[m] = int32(id)
+		}
+	}
+	if total != n {
+		return nil, fmt.Errorf("annindex: clusters cover %d of %d vectors", total, n)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("annindex: %d trailing bytes", len(b)-r.off)
+	}
+	return ix, nil
+}

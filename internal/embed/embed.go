@@ -1,0 +1,358 @@
+// Package embed distills a single-tower embedding head from the trained
+// pair network so every function maps to one fixed vector.
+//
+// The pair DNN scores a (query, target) pair with a forward pass over the
+// 96-dim concatenation — exact, but O(functions × CVEs × modes) GEMVs per
+// scan. The embedding tower makes candidate retrieval a nearest-neighbor
+// lookup (internal/annindex) with the exact pair network rescoring only
+// the top-K survivors; the tower is a recall filter, never a scoring
+// authority.
+//
+// Distillation is anchor-based kernel-map regression: Dim probe functions
+// are frozen as anchors, and the tower is trained so that coordinate i of
+// Embed(x) regresses the teacher's symmetrized pair score against anchor
+// i (the pair-logit targets, through the sigmoid). Two functions the
+// teacher scores as similar have near-identical anchor profiles, so
+// Euclidean proximity in embedding space approximates teacher similarity
+// structure — the property retrieval needs.
+//
+// Everything is deterministic: probes and anchors are sampled from the
+// teacher's frozen normalization statistics with a seeded generator,
+// targets come from detector.Model.Similarity (the scalar reference
+// path), and training is momentum SGD over a fixed sample order. Equal
+// (teacher, Config) inputs produce bit-identical towers, and Embed uses
+// one fixed sequential accumulation order, so embeddings — and therefore
+// retrieval sets and reports — are reproducible at any worker count.
+package embed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/detector"
+	"repro/internal/features"
+)
+
+// Default tower geometry: 48 normalized features → Hidden ReLU → Dim.
+const (
+	// DefaultDim is the embedding dimensionality (= anchor count).
+	DefaultDim = 16
+	// DefaultHidden is the hidden-layer width.
+	DefaultHidden = 32
+)
+
+// Config parameterizes Distill. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	Seed   int64 // drives probe/anchor sampling and weight init
+	Dim    int   // embedding dimensionality = anchor count
+	Hidden int   // hidden-layer width
+	Probes int   // synthetic training functions sampled from teacher stats
+	Epochs int
+	LR     float64 // initial learning rate (decays per epoch)
+}
+
+// DefaultConfig returns the standard distillation configuration for seed.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:   seed,
+		Dim:    DefaultDim,
+		Hidden: DefaultHidden,
+		Probes: 384,
+		Epochs: 30,
+		LR:     5e-3,
+	}
+}
+
+// Embedder is a trained single-tower embedding head. Immutable after
+// Distill/Unmarshal and safe for concurrent Embed use.
+type Embedder struct {
+	dim    int
+	hidden int
+	norm   *detector.Normalizer
+	w1     []float64 // hidden × NumStatic, row-major
+	b1     []float64
+	w2     []float64 // dim × hidden, row-major
+	b2     []float64
+}
+
+// Dim returns the embedding dimensionality.
+func (e *Embedder) Dim() int { return e.dim }
+
+// Hidden returns the tower's hidden width (the hbuf length EmbedInto needs).
+func (e *Embedder) Hidden() int { return e.hidden }
+
+// Embed maps one raw feature vector to its embedding. The accumulation
+// order is fixed (ascending input index within ascending output row), so
+// the result is bit-identical across runs and goroutines.
+func (e *Embedder) Embed(v features.Vector) []float64 {
+	out := make([]float64, e.dim)
+	x := make([]float64, features.NumStatic)
+	h := make([]float64, e.hidden)
+	e.EmbedInto(out, x, h, v)
+	return out
+}
+
+// EmbedInto is the allocation-free form of Embed: out must have length
+// Dim, xbuf length features.NumStatic, hbuf length Hidden.
+func (e *Embedder) EmbedInto(out, xbuf, hbuf []float64, v features.Vector) {
+	e.norm.ApplyInto(xbuf, v)
+	e.forward(out, xbuf, hbuf)
+}
+
+// forward runs the tower over an already-normalized input.
+func (e *Embedder) forward(out, x, h []float64) {
+	for o := 0; o < e.hidden; o++ {
+		row := e.w1[o*features.NumStatic : (o+1)*features.NumStatic]
+		s := e.b1[o]
+		for i, xv := range x {
+			s += row[i] * xv
+		}
+		if s < 0 {
+			s = 0
+		}
+		h[o] = s
+	}
+	for o := 0; o < e.dim; o++ {
+		row := e.w2[o*e.hidden : (o+1)*e.hidden]
+		s := e.b2[o]
+		for i, hv := range h {
+			s += row[i] * hv
+		}
+		out[o] = s
+	}
+}
+
+// invSlog inverts detector's signed-log feature scaling, mapping a value
+// from normalized probe space back to raw feature space.
+func invSlog(y float64) float64 {
+	if y < 0 {
+		return -math.Expm1(-y)
+	}
+	return math.Expm1(y)
+}
+
+// DistillFromModel distills an embedding tower from the trained pair
+// network with the default configuration.
+func DistillFromModel(teacher *detector.Model, seed int64) (*Embedder, error) {
+	return Distill(teacher, DefaultConfig(seed))
+}
+
+// Distill trains an embedding tower against the teacher's pair scores.
+func Distill(teacher *detector.Model, cfg Config) (*Embedder, error) {
+	if teacher == nil || teacher.Net == nil || teacher.Norm == nil {
+		return nil, fmt.Errorf("embed: incomplete teacher model")
+	}
+	if teacher.Net.InputDim() != 2*features.NumStatic {
+		return nil, fmt.Errorf("embed: teacher input dim %d, want %d", teacher.Net.InputDim(), 2*features.NumStatic)
+	}
+	if cfg.Dim < 1 || cfg.Hidden < 1 || cfg.Probes < 2*cfg.Dim || cfg.Epochs < 1 {
+		return nil, fmt.Errorf("embed: invalid config %+v", cfg)
+	}
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("embed: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	e := &Embedder{
+		dim:    cfg.Dim,
+		hidden: cfg.Hidden,
+		norm: &detector.Normalizer{
+			Mean: append([]float64(nil), teacher.Norm.Mean...),
+			Std:  append([]float64(nil), teacher.Norm.Std...),
+		},
+		w1: make([]float64, cfg.Hidden*features.NumStatic),
+		b1: make([]float64, cfg.Hidden),
+		w2: make([]float64, cfg.Dim*cfg.Hidden),
+		b2: make([]float64, cfg.Dim),
+	}
+	initUniform(rng, e.w1, features.NumStatic)
+	initUniform(rng, e.w2, cfg.Hidden)
+	// Start the output layer small: targets are sigmoid scores in [0, 1],
+	// so initial outputs should sit near zero and grow toward them.
+	for i := range e.w2 {
+		e.w2[i] *= 0.2
+	}
+
+	// Probe functions sampled in the teacher's normalized space and mapped
+	// back to raw feature space, so the tower trains on the input
+	// distribution the normalizer was fitted for. Half the probes are
+	// perturbed copies of earlier ones: the near-duplicate regime the
+	// static stage must rank correctly.
+	sample := func() features.Vector {
+		var v features.Vector
+		for i := 0; i < features.NumStatic; i++ {
+			z := rng.NormFloat64()
+			v[i] = invSlog(e.norm.Mean[i] + e.norm.Std[i]*z)
+		}
+		return v
+	}
+	perturb := func(v features.Vector) features.Vector {
+		for i := range v {
+			z := rng.NormFloat64() * 0.15
+			v[i] = invSlog(slogf(v[i]) + e.norm.Std[i]*z)
+		}
+		return v
+	}
+	probes := make([]features.Vector, cfg.Probes)
+	for p := range probes {
+		if p >= 2 && p%2 == 1 {
+			probes[p] = perturb(probes[rng.Intn(p)])
+		} else {
+			probes[p] = sample()
+		}
+	}
+
+	// The first Dim probes are frozen as anchors; every probe's regression
+	// target is its squashed symmetrized pair LOGIT against each anchor.
+	// Logits, unlike post-sigmoid scores, keep their dynamic range in the
+	// dissimilar bulk (where the sigmoid saturates at 0), so the regression
+	// has gradient signal everywhere; tanh(l/4) bounds the targets while
+	// preserving the ordering around the decision boundary at logit 0.
+	anchors := probes[:cfg.Dim]
+	xpair := make([]float64, 2*features.NumStatic)
+	pairLogit := func(a, b features.Vector) float64 {
+		e.norm.ApplyInto(xpair[:features.NumStatic], a)
+		e.norm.ApplyInto(xpair[features.NumStatic:], b)
+		lab := teacher.Net.InferLogit(xpair)
+		e.norm.ApplyInto(xpair[:features.NumStatic], b)
+		e.norm.ApplyInto(xpair[features.NumStatic:], a)
+		lba := teacher.Net.InferLogit(xpair)
+		return (lab + lba) / 2
+	}
+	targets := make([][]float64, cfg.Probes)
+	for p, v := range probes {
+		row := make([]float64, cfg.Dim)
+		for i, a := range anchors {
+			row[i] = math.Tanh(pairLogit(v, a) / 4)
+		}
+		targets[p] = row
+	}
+
+	e.train(probes, targets, cfg)
+	return e, nil
+}
+
+// slogf mirrors detector's signed-log feature scaling.
+func slogf(x float64) float64 {
+	if x < 0 {
+		return -math.Log1p(-x)
+	}
+	return math.Log1p(x)
+}
+
+func initUniform(rng *rand.Rand, w []float64, fanIn int) {
+	limit := math.Sqrt(6 / float64(fanIn))
+	for i := range w {
+		w[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// train fits the tower to the anchor-score targets with momentum SGD over
+// the fixed sample order: loss per sample is Σ_o (e(x)_o − t_o)².
+func (e *Embedder) train(probes []features.Vector, targets [][]float64, cfg Config) {
+	nIn := features.NumStatic
+	gW1 := make([]float64, len(e.w1))
+	gB1 := make([]float64, len(e.b1))
+	gW2 := make([]float64, len(e.w2))
+	gB2 := make([]float64, len(e.b2))
+	vW1 := make([]float64, len(e.w1))
+	vB1 := make([]float64, len(e.b1))
+	vW2 := make([]float64, len(e.w2))
+	vB2 := make([]float64, len(e.b2))
+	x := make([]float64, nIn)
+	h := make([]float64, e.hidden)
+	out := make([]float64, e.dim)
+	ge := make([]float64, e.dim)
+	gh := make([]float64, e.hidden)
+
+	const momentum = 0.9
+	lr := cfg.LR
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		for p, v := range probes {
+			e.norm.ApplyInto(x, v)
+			e.forward(out, x, h)
+			for o := 0; o < e.dim; o++ {
+				ge[o] = 2 * (out[o] - targets[p][o])
+			}
+
+			for i := range gW1 {
+				gW1[i] = 0
+			}
+			for i := range gB1 {
+				gB1[i] = 0
+			}
+			for i := range gW2 {
+				gW2[i] = 0
+			}
+			for i := range gB2 {
+				gB2[i] = 0
+			}
+			e.backprop(x, h, ge, gh, gW1, gB1, gW2, gB2)
+			clipGrads(8.0, gW1, gB1, gW2, gB2)
+
+			step(e.w1, vW1, gW1, lr, momentum)
+			step(e.b1, vB1, gB1, lr, momentum)
+			step(e.w2, vW2, gW2, lr, momentum)
+			step(e.b2, vB2, gB2, lr, momentum)
+		}
+		lr *= 0.95
+	}
+}
+
+// backprop accumulates gradients for one sample given dL/d embedding.
+func (e *Embedder) backprop(x, h, ge, gh, gW1, gB1, gW2, gB2 []float64) {
+	nIn := features.NumStatic
+	for i := range gh {
+		gh[i] = 0
+	}
+	for o := 0; o < e.dim; o++ {
+		g := ge[o]
+		row := e.w2[o*e.hidden : (o+1)*e.hidden]
+		grow := gW2[o*e.hidden : (o+1)*e.hidden]
+		gB2[o] += g
+		for i, hv := range h {
+			grow[i] += g * hv
+			gh[i] += g * row[i]
+		}
+	}
+	for o := 0; o < e.hidden; o++ {
+		if h[o] <= 0 { // ReLU gate: zero activation blocks the gradient
+			continue
+		}
+		g := gh[o]
+		gB1[o] += g
+		grow := gW1[o*nIn : (o+1)*nIn]
+		for i, xv := range x {
+			grow[i] += g * xv
+		}
+	}
+}
+
+// clipGrads rescales a per-sample gradient to a bounded global norm,
+// keeping early training stable regardless of teacher scale.
+func clipGrads(maxNorm float64, slabs ...[]float64) {
+	n2 := 0.0
+	for _, s := range slabs {
+		for _, g := range s {
+			n2 += g * g
+		}
+	}
+	if n2 <= maxNorm*maxNorm {
+		return
+	}
+	scale := maxNorm / math.Sqrt(n2)
+	for _, s := range slabs {
+		for i := range s {
+			s[i] *= scale
+		}
+	}
+}
+
+func step(w, vel, grad []float64, lr, momentum float64) {
+	for i := range w {
+		vel[i] = momentum*vel[i] - lr*grad[i]
+		w[i] += vel[i]
+	}
+}

@@ -1,0 +1,278 @@
+package embed
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/detector"
+	"repro/internal/features"
+	"repro/internal/nn"
+)
+
+// testTeacher builds a small deterministic detector model to distill from,
+// mirroring the synthetic fixtures used by the detector benchmarks. Cheap
+// (untrained network) — used by the mechanics tests where only determinism
+// and shape matter, not ranking quality.
+func testTeacher(t *testing.T, seed int64) *detector.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fit := make([]features.Vector, 100)
+	for i := range fit {
+		fit[i] = testVector(rng)
+	}
+	return &detector.Model{
+		Net:       nn.NewPaperNetwork(seed + 1),
+		Norm:      detector.FitNormalizer(fit),
+		Threshold: 0.25,
+	}
+}
+
+var (
+	trainedOnce  sync.Once
+	trainedModel *detector.Model
+	trainedErr   error
+)
+
+// trainedTeacher trains a real (tiny-scale) detector once per test binary:
+// distillation quality is only meaningful against a teacher whose pair
+// scores actually encode function locality.
+func trainedTeacher(t *testing.T) *detector.Model {
+	t.Helper()
+	trainedOnce.Do(func() {
+		groups, err := corpus.TrainingGroups(corpus.ScaleTiny, 11)
+		if err != nil {
+			trainedErr = err
+			return
+		}
+		cfg := detector.DefaultTrainConfig()
+		cfg.Epochs = 6
+		trainedModel, _, _, trainedErr = detector.Train(groups, cfg)
+	})
+	if trainedErr != nil {
+		t.Fatal(trainedErr)
+	}
+	return trainedModel
+}
+
+func testVector(rng *rand.Rand) features.Vector {
+	var v features.Vector
+	for i := range v {
+		v[i] = float64(rng.Intn(64))
+		if rng.Intn(8) == 0 {
+			v[i] = 0
+		}
+	}
+	return v
+}
+
+func TestDistillDeterminism(t *testing.T) {
+	teacher := testTeacher(t, 1)
+	a, err := DistillFromModel(teacher, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DistillFromModel(teacher, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("equal (teacher, seed) distillations are not bit-identical")
+	}
+	c, err := DistillFromModel(teacher, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ab, cb) {
+		t.Fatal("different seeds produced identical towers")
+	}
+}
+
+func TestEmbedReproducible(t *testing.T) {
+	teacher := testTeacher(t, 2)
+	e, err := DistillFromModel(teacher, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	vecs := make([]features.Vector, 32)
+	for i := range vecs {
+		vecs[i] = testVector(rng)
+	}
+	want := make([][]float64, len(vecs))
+	for i, v := range vecs {
+		want[i] = e.Embed(v)
+		if len(want[i]) != e.Dim() {
+			t.Fatalf("Embed returned %d dims, want %d", len(want[i]), e.Dim())
+		}
+	}
+	// EmbedInto with reused buffers must agree bit for bit, including when
+	// hammered from many goroutines at once.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float64, e.Dim())
+			xbuf := make([]float64, features.NumStatic)
+			hbuf := make([]float64, DefaultHidden)
+			for i, v := range vecs {
+				e.EmbedInto(out, xbuf, hbuf, v)
+				if !slices.Equal(out, want[i]) {
+					t.Errorf("vector %d: concurrent EmbedInto differs from Embed", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDistanceTracksTeacher checks the distillation actually learned the
+// teacher's structure: across fresh probe pairs, squared embedding
+// distance must correlate positively with teacher dissimilarity. The
+// tower is a recall filter, so rank correlation — not calibration — is
+// the contract.
+func TestDistanceTracksTeacher(t *testing.T) {
+	teacher := trainedTeacher(t)
+	e, err := DistillFromModel(teacher, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	const pairs = 300
+	xs := make([]float64, 0, pairs) // teacher dissimilarity
+	ys := make([]float64, 0, pairs) // embedding distance²
+	for p := 0; p < pairs; p++ {
+		a, b := testVector(rng), testVector(rng)
+		if p%2 == 1 { // near-duplicate regime
+			b = a
+			for i := 0; i < 6; i++ {
+				b[rng.Intn(features.NumStatic)] += float64(rng.Intn(5))
+			}
+		}
+		ea, eb := e.Embed(a), e.Embed(b)
+		d2 := 0.0
+		for i := range ea {
+			d := ea[i] - eb[i]
+			d2 += d * d
+		}
+		xs = append(xs, 1-teacher.Similarity(a, b))
+		ys = append(ys, d2)
+	}
+	if r := pearson(xs, ys); r < 0.2 {
+		t.Fatalf("embedding distance barely tracks teacher dissimilarity: r=%.3f", r)
+	}
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	teacher := testTeacher(t, 4)
+	e, err := DistillFromModel(teacher, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 16; i++ {
+		v := testVector(rng)
+		if !slices.Equal(dec.Embed(v), e.Embed(v)) {
+			t.Fatal("decoded embedder produces different embeddings")
+		}
+	}
+	blob2, err := dec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-marshal after Unmarshal differs")
+	}
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	teacher := testTeacher(t, 5)
+	e, err := DistillFromModel(teacher, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"garbage":        []byte("not json"),
+		"empty object":   []byte("{}"),
+		"bad version":    bytes.Replace(valid, []byte(`"version": 1`), []byte(`"version": 99`), 1),
+		"bad dim":        bytes.Replace(valid, []byte(`"dim": 16`), []byte(`"dim": 0`), 1),
+		"shape mismatch": bytes.Replace(valid, []byte(`"hidden": 32`), []byte(`"hidden": 31`), 1),
+	}
+	for name, blob := range cases {
+		if _, err := Unmarshal(blob); err == nil {
+			t.Errorf("%s: Unmarshal accepted invalid blob", name)
+		}
+	}
+}
+
+func TestDistillRejects(t *testing.T) {
+	teacher := testTeacher(t, 6)
+	if _, err := Distill(nil, DefaultConfig(1)); err == nil {
+		t.Fatal("Distill accepted nil teacher")
+	}
+	if _, err := Distill(&detector.Model{}, DefaultConfig(1)); err == nil {
+		t.Fatal("Distill accepted incomplete teacher")
+	}
+	bad := DefaultConfig(1)
+	bad.Dim = 0
+	if _, err := Distill(teacher, bad); err == nil {
+		t.Fatal("Distill accepted zero-dim config")
+	}
+	bad = DefaultConfig(1)
+	bad.LR = 0
+	if _, err := Distill(teacher, bad); err == nil {
+		t.Fatal("Distill accepted zero learning rate")
+	}
+}

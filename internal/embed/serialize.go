@@ -1,0 +1,81 @@
+package embed
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/detector"
+	"repro/internal/features"
+)
+
+// serialVersion is the on-disk format version; bump on layout changes.
+const serialVersion = 1
+
+// serialized is the versioned JSON form of an Embedder.
+type serialized struct {
+	Version int                  `json:"version"`
+	Dim     int                  `json:"dim"`
+	Hidden  int                  `json:"hidden"`
+	Norm    *detector.Normalizer `json:"norm"`
+	W1      []float64            `json:"w1"`
+	B1      []float64            `json:"b1"`
+	W2      []float64            `json:"w2"`
+	B2      []float64            `json:"b2"`
+}
+
+// Marshal serializes the embedder to its versioned JSON form.
+func (e *Embedder) Marshal() ([]byte, error) {
+	return json.MarshalIndent(&serialized{
+		Version: serialVersion,
+		Dim:     e.dim,
+		Hidden:  e.hidden,
+		Norm:    e.norm,
+		W1:      e.w1,
+		B1:      e.b1,
+		W2:      e.w2,
+		B2:      e.b2,
+	}, "", " ")
+}
+
+// Unmarshal parses and validates a Marshal blob.
+func Unmarshal(data []byte) (*Embedder, error) {
+	var s serialized
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("embed: parse: %w", err)
+	}
+	if s.Version != serialVersion {
+		return nil, fmt.Errorf("embed: unsupported version %d", s.Version)
+	}
+	if s.Dim < 1 || s.Hidden < 1 {
+		return nil, fmt.Errorf("embed: invalid geometry %d×%d", s.Hidden, s.Dim)
+	}
+	if s.Norm == nil || len(s.Norm.Mean) != features.NumStatic || len(s.Norm.Std) != features.NumStatic {
+		return nil, fmt.Errorf("embed: missing or malformed normalizer")
+	}
+	if len(s.W1) != s.Hidden*features.NumStatic || len(s.B1) != s.Hidden ||
+		len(s.W2) != s.Dim*s.Hidden || len(s.B2) != s.Dim {
+		return nil, fmt.Errorf("embed: weight shapes do not match geometry")
+	}
+	for _, slab := range [][]float64{s.Norm.Mean, s.Norm.Std, s.W1, s.B1, s.W2, s.B2} {
+		for _, x := range slab {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("embed: non-finite weight")
+			}
+		}
+	}
+	for _, sd := range s.Norm.Std {
+		if sd <= 0 {
+			return nil, fmt.Errorf("embed: non-positive normalizer std")
+		}
+	}
+	return &Embedder{
+		dim:    s.Dim,
+		hidden: s.Hidden,
+		norm:   s.Norm,
+		w1:     s.W1,
+		b1:     s.B1,
+		w2:     s.W2,
+		b2:     s.B2,
+	}, nil
+}

@@ -40,6 +40,13 @@ type Config struct {
 	// forcing every (query, function) pair to be scored and validated
 	// independently. Experiment artifacts are byte-identical either way.
 	NoDedup bool
+	// Retrieval routes the static stage through the embedding index
+	// (distilled from the trained model at Seed): top-K nomination + exact
+	// rescoring. TopK overrides the nomination budget when > 0. At the
+	// default budget the fixture images' unique-body counts are covered, so
+	// artifacts stay byte-identical to the exact scan.
+	Retrieval bool
+	TopK      int
 	// Log, when non-nil, receives progress lines during setup.
 	Log func(string)
 }
@@ -115,6 +122,15 @@ func NewSuite(ctx context.Context, cfg Config) (*Suite, error) {
 	s.Analyzer.Workers = cfg.Workers
 	s.Analyzer.Obs = cfg.Obs
 	s.Analyzer.Dedup = !cfg.NoDedup
+	if cfg.Retrieval {
+		logf("distilling the retrieval embedding tower...")
+		emb, err := patchecko.DistillEmbedder(s.Model, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.Analyzer.Embedder = emb
+		s.Analyzer.TopK = cfg.TopK
+	}
 
 	prepWorkers := cfg.Workers
 	if prepWorkers <= 0 {

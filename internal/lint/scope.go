@@ -32,6 +32,8 @@ var deterministicPkgs = []string{
 	modulePath + "/internal/cas",
 	modulePath + "/internal/dynamic",
 	modulePath + "/internal/emu",
+	modulePath + "/internal/embed",
+	modulePath + "/internal/annindex",
 	selftestPath,
 }
 

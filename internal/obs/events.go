@@ -24,6 +24,7 @@ const (
 	EvCandidateExcluded                      // dynamic validation excluded a candidate
 	EvVerdictReached                         // the differential stage decided a cell's verdict
 	EvScanError                              // a typed ScanError was recorded (passthrough)
+	EvRetrieval                              // embedding-index retrieval pruned a cell's pair set
 
 	// Scan-service job lifecycle. Emitted into the job's own traced sink,
 	// interleaved with the scan events above, so /jobs/{id}/events streams
@@ -43,6 +44,7 @@ var eventNames = map[EventKind]string{
 	EvCandidateExcluded: "candidate_excluded",
 	EvVerdictReached:    "verdict_reached",
 	EvScanError:         "scan_error",
+	EvRetrieval:         "retrieval",
 	EvJobQueued:         "job_queued",
 	EvJobStarted:        "job_started",
 	EvJobRetried:        "job_retried",
@@ -88,6 +90,7 @@ func (k *EventKind) UnmarshalJSON(b []byte) error {
 //	candidate_excluded: CVE, Library, Mode, Addr, Reason
 //	verdict_reached:    CVE, Library, Mode, Addr, Patched, Confidence
 //	scan_error:         CVE, Library, Mode, Fail, Reason
+//	retrieval:          CVE, Library, Mode, Retrieved, Rescored, Pruned
 type Event struct {
 	Seq  uint64    `json:"seq"`
 	Kind EventKind `json:"kind"`
@@ -105,6 +108,9 @@ type Event struct {
 	Pairs      int     `json:"pairs,omitempty"`
 	Candidates int     `json:"candidates,omitempty"`
 	Survivors  int     `json:"survivors,omitempty"`
+	Retrieved  int     `json:"retrieved,omitempty"`
+	Rescored   int     `json:"rescored,omitempty"`
+	Pruned     int     `json:"pruned,omitempty"`
 	Matched    bool    `json:"matched,omitempty"`
 	Patched    bool    `json:"patched,omitempty"`
 	Confidence float64 `json:"confidence,omitempty"`

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/patchecko"
 )
 
 // recordKind classifies one journal record.
@@ -54,6 +55,16 @@ type record struct {
 	Seq  uint64      `json:"seq"`
 	Job  string      `json:"job"`
 	Sub  *Submission `json:"sub,omitempty"` // submitted records only
+
+	// Terminal records carry the job's outcome so a restarted process can
+	// serve its status and report without re-running the scan. Reports are
+	// verbatim Report JSON; replay materializes them as finished jobs.
+	Tenant   string            `json:"tenant,omitempty"`
+	Attempts int               `json:"attempts,omitempty"`
+	Shed     bool              `json:"shed,omitempty"`
+	Report   *patchecko.Report `json:"report,omitempty"`
+	ErrKind  string            `json:"err_kind,omitempty"`
+	ErrMsg   string            `json:"err_msg,omitempty"`
 }
 
 // Journal is the append-only JSONL job journal. Safe for concurrent use.
@@ -65,36 +76,48 @@ type Journal struct {
 	max  int64
 	seq  uint64
 	// live maps job id to its submission record for every job that has been
-	// admitted but not terminated; compaction keeps exactly these, and
+	// admitted but not terminated; compaction always keeps these, and
 	// recovery re-enqueues them.
 	live map[string]*record
-	obs  *obs.Metrics
+	// terminal maps job id to its terminal record (outcome, report) for the
+	// most recently finished jobs, bounded by journalTerminalKeep so report
+	// payloads cannot grow the journal without limit; recovery serves these
+	// as finished jobs.
+	terminal map[string]*record
+	obs      *obs.Metrics
 }
 
 // defaultJournalMax bounds the journal when the caller does not choose a
 // rotation budget.
 const defaultJournalMax = 4 << 20
 
-// openJournal opens (creating if needed) the journal at path and replays it:
-// the returned records are the live — submitted or started, never
-// terminated — jobs in admission order, ready to resume. maxBytes is the
-// compaction threshold (<= 0 selects defaultJournalMax). A corrupt tail is
-// truncated in place; corruption anywhere else stops replay at the last
-// good line, because everything after it is untrustworthy.
-func openJournal(path string, maxBytes int64, sink *obs.Metrics) (*Journal, []*record, error) {
+// journalTerminalKeep bounds how many finished jobs' terminal records (and
+// thus replayable reports) the journal retains; compaction additionally
+// drops the oldest ones until the rewritten file fits half the rotation
+// budget, so live submissions always win space over finished reports.
+const journalTerminalKeep = 64
+
+// openJournal opens (creating if needed) the journal at path and replays it.
+// pending are the live — submitted or started, never terminated — jobs in
+// admission order, ready to resume; finished are the retained terminal
+// records in termination order, ready to serve their outcomes and reports.
+// maxBytes is the compaction threshold (<= 0 selects defaultJournalMax). A
+// corrupt tail is truncated in place; corruption anywhere else stops replay
+// at the last good line, because everything after it is untrustworthy.
+func openJournal(path string, maxBytes int64, sink *obs.Metrics) (j *Journal, pending, finished []*record, err error) {
 	if maxBytes <= 0 {
 		maxBytes = defaultJournalMax
 	}
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, nil, fmt.Errorf("server: journal: %w", err)
+			return nil, nil, nil, fmt.Errorf("server: journal: %w", err)
 		}
 	}
-	j := &Journal{path: path, max: maxBytes, live: make(map[string]*record), obs: sink}
+	j = &Journal{path: path, max: maxBytes, live: make(map[string]*record), terminal: make(map[string]*record), obs: sink}
 
 	raw, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("server: journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("server: journal: %w", err)
 	}
 	var order []string
 	good := 0 // byte offset of the end of the last parseable line
@@ -122,51 +145,77 @@ func openJournal(path string, maxBytes int64, sink *obs.Metrics) (*Journal, []*r
 			j.live[rec.Job] = &r
 		case rec.Kind.terminal():
 			delete(j.live, rec.Job)
+			r := rec
+			j.terminal[rec.Job] = &r
+			j.trimTerminalLocked()
 		}
 	}
 	if good < len(raw) {
 		if err := os.Truncate(path, int64(good)); err != nil {
-			return nil, nil, fmt.Errorf("server: journal: truncating corrupt tail: %w", err)
+			return nil, nil, nil, fmt.Errorf("server: journal: truncating corrupt tail: %w", err)
 		}
 	}
 	j.size = int64(good)
 
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("server: journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("server: journal: %w", err)
 	}
 	j.f = f
 
-	pending := make([]*record, 0, len(j.live))
+	pending = make([]*record, 0, len(j.live))
 	for _, id := range order {
 		if rec, ok := j.live[id]; ok {
 			pending = append(pending, rec)
 		}
 	}
-	return j, pending, nil
+	finished = sortedBySeq(j.terminal)
+	return j, pending, finished, nil
+}
+
+// trimTerminalLocked evicts the oldest terminal records beyond the retention
+// bound. Callers hold j.mu (or own j exclusively during replay).
+func (j *Journal) trimTerminalLocked() {
+	for len(j.terminal) > journalTerminalKeep {
+		var oldest *record
+		for _, rec := range j.terminal {
+			if oldest == nil || rec.Seq < oldest.Seq {
+				oldest = rec
+			}
+		}
+		delete(j.terminal, oldest.Job)
+	}
 }
 
 // append writes one record, fsyncs it, and rotates if the file outgrew its
 // budget. The returned error is informational: callers count it and move
 // on — a job must never fail because its bookkeeping did.
 func (j *Journal) append(kind recordKind, jobID string, sub *Submission) error {
+	return j.appendRecord(&record{Kind: kind, Job: jobID, Sub: sub})
+}
+
+// appendRecord is append for callers that fill the terminal outcome fields;
+// rec.Seq is assigned here.
+func (j *Journal) appendRecord(rec *record) error {
 	if j == nil {
 		return nil
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.seq++
-	rec := record{Kind: kind, Seq: j.seq, Job: jobID, Sub: sub}
-	if err := j.writeLocked(&rec); err != nil {
+	rec.Seq = j.seq
+	if err := j.writeLocked(rec); err != nil {
 		j.obs.Add(obs.CtrJournalErrors, 1)
 		return err
 	}
 	j.obs.Add(obs.CtrJournalOK, 1)
 	switch {
-	case kind == recSubmitted:
-		j.live[jobID] = &rec
-	case kind.terminal():
-		delete(j.live, jobID)
+	case rec.Kind == recSubmitted:
+		j.live[rec.Job] = rec
+	case rec.Kind.terminal():
+		delete(j.live, rec.Job)
+		j.terminal[rec.Job] = rec
+		j.trimTerminalLocked()
 	}
 	if j.size > j.max {
 		j.compactLocked()
@@ -193,30 +242,57 @@ func (j *Journal) writeLocked(rec *record) error {
 	return nil
 }
 
-// compactLocked rewrites the journal to hold only the live jobs' submission
-// records, atomically (temp file + rename). On any failure the original
-// file keeps working — compaction is retried after the next append. Callers
-// hold j.mu.
+// compactLocked rewrites the journal to hold the live jobs' submission
+// records plus the retained terminal records, atomically (temp file +
+// rename). Live records always survive; terminal records are dropped oldest
+// first until the rewrite fits half the rotation budget, so report payloads
+// can never crowd out crash-safety or pin the file above its budget. On any
+// failure the original file keeps working — compaction is retried after the
+// next append. Callers hold j.mu.
 func (j *Journal) compactLocked() {
+	liveRecs := sortedBySeq(j.live)
+	liveLines, ok := marshalLines(liveRecs)
+	if !ok {
+		return
+	}
+	var size int64
+	for _, line := range liveLines {
+		size += int64(len(line))
+	}
+	termRecs := sortedBySeq(j.terminal)
+	termLines, ok := marshalLines(termRecs)
+	if !ok {
+		return
+	}
+	keepFrom := 0
+	for _, line := range termLines {
+		size += int64(len(line))
+	}
+	for keepFrom < len(termRecs) && size > j.max/2 {
+		size -= int64(len(termLines[keepFrom]))
+		delete(j.terminal, termRecs[keepFrom].Job)
+		keepFrom++
+	}
+
 	tmp, err := os.CreateTemp(filepath.Dir(j.path), "journal-*")
 	if err != nil {
 		return
 	}
 	w := bufio.NewWriter(tmp)
-	var size int64
-	ok := true
-	for _, rec := range sortedLive(j.live) {
-		data, err := json.Marshal(rec)
-		if err != nil {
+	ok = true
+	for _, line := range liveLines {
+		if _, err := w.Write(line); err != nil {
 			ok = false
 			break
 		}
-		data = append(data, '\n')
-		if _, err := w.Write(data); err != nil {
-			ok = false
-			break
+	}
+	if ok {
+		for _, line := range termLines[keepFrom:] {
+			if _, err := w.Write(line); err != nil {
+				ok = false
+				break
+			}
 		}
-		size += int64(len(data))
 	}
 	if ok {
 		ok = w.Flush() == nil && tmp.Sync() == nil
@@ -245,10 +321,23 @@ func (j *Journal) compactLocked() {
 	j.size = size
 }
 
-// sortedLive returns the live records in seq (admission) order.
-func sortedLive(live map[string]*record) []*record {
-	recs := make([]*record, 0, len(live))
-	for _, rec := range live {
+// marshalLines renders records as newline-terminated JSONL lines.
+func marshalLines(recs []*record) ([][]byte, bool) {
+	lines := make([][]byte, len(recs))
+	for i, rec := range recs {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return nil, false
+		}
+		lines[i] = append(data, '\n')
+	}
+	return lines, true
+}
+
+// sortedBySeq returns the map's records in seq order.
+func sortedBySeq(m map[string]*record) []*record {
+	recs := make([]*record, 0, len(m))
+	for _, rec := range m {
 		recs = append(recs, rec)
 	}
 	for i := 1; i < len(recs); i++ {

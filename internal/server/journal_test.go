@@ -20,7 +20,7 @@ func testSub(tenant string) *Submission {
 // terminal jobs come back in admission order, terminated ones do not.
 func TestJournalRecoversLiveJobs(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.jsonl")
-	j, pending, err := openJournal(path, 0, nil)
+	j, pending, _, err := openJournal(path, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestJournalRecoversLiveJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, pending, err = openJournal(path, 0, nil)
+	_, pending, _, err = openJournal(path, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestJournalRecoversLiveJobs(t *testing.T) {
 // record, and the journal keeps appending afterwards.
 func TestJournalCorruptTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.jsonl")
-	j, _, err := openJournal(path, 0, nil)
+	j, _, _, err := openJournal(path, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestJournalCorruptTail(t *testing.T) {
 	f.WriteString(`{"kind":"submitted","seq":3,"job":"job-3","sub":{"ten`)
 	f.Close()
 
-	j2, pending, err := openJournal(path, 0, nil)
+	j2, pending, _, err := openJournal(path, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestJournalCorruptTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	j2.Close()
-	_, pending, err = openJournal(path, 0, nil)
+	_, pending, _, err = openJournal(path, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestJournalCorruptMiddle(t *testing.T) {
 	if err := os.WriteFile(path, content, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, pending, err := openJournal(path, 0, nil)
+	_, pending, _, err := openJournal(path, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestJournalCorruptMiddle(t *testing.T) {
 // to the live submission records, atomically, without losing any live job.
 func TestJournalCompaction(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.jsonl")
-	j, _, err := openJournal(path, 512, nil)
+	j, _, _, err := openJournal(path, 512, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,12 +156,83 @@ func TestJournalCompaction(t *testing.T) {
 		t.Fatalf("journal never compacted: %d bytes on disk", info.Size())
 	}
 	j.Close()
-	_, pending, err := openJournal(path, 512, nil)
+	_, pending, _, err := openJournal(path, 512, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pending) != 2 || pending[0].Job != "job-live-1" || pending[1].Job != "job-live-2" {
 		t.Fatalf("post-compaction replay = %v, want the two live jobs in order", pending)
+	}
+}
+
+// TestJournalTerminalRetention pins the finished-job replay contract at the
+// journal layer: terminal records come back in termination order with their
+// outcome fields intact, retention is bounded by journalTerminalKeep (oldest
+// evicted first), and compaction keeps live submissions at the expense of
+// the oldest finished reports — never the other way around.
+func TestJournalTerminalRetention(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, _, err := openJournal(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finish more jobs than the retention bound.
+	total := journalTerminalKeep + 10
+	for i := 0; i < total; i++ {
+		id := fmt.Sprintf("job-%03d", i)
+		j.append(recSubmitted, id, testSub("t"))
+		j.appendRecord(&record{Kind: recDone, Job: id, Tenant: "t", Attempts: i + 1})
+	}
+	j.Close()
+
+	_, pending, finished, err := openJournal(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("finished jobs replayed as pending: %d", len(pending))
+	}
+	if len(finished) != journalTerminalKeep {
+		t.Fatalf("retained %d terminal records, want %d", len(finished), journalTerminalKeep)
+	}
+	// The survivors are the newest, in termination order, outcomes intact.
+	for i, rec := range finished {
+		wantIdx := total - journalTerminalKeep + i
+		if want := fmt.Sprintf("job-%03d", wantIdx); rec.Job != want {
+			t.Fatalf("finished[%d] = %s, want %s (newest kept, oldest evicted)", i, rec.Job, want)
+		}
+		if rec.Kind != recDone || rec.Tenant != "t" || rec.Attempts != wantIdx+1 {
+			t.Errorf("finished[%d] lost outcome fields: %+v", i, rec)
+		}
+	}
+
+	// A tiny byte budget: compaction must shed finished records to fit, but
+	// every live submission survives.
+	tight, _, _, err := openJournal(filepath.Join(t.TempDir(), "tight.jsonl"), 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight.append(recSubmitted, "job-live", testSub("t"))
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("churn-%03d", i)
+		tight.append(recSubmitted, id, testSub("t"))
+		tight.appendRecord(&record{Kind: recDone, Job: id, Tenant: "t"})
+	}
+	tight.Close()
+	_, pending, finished, err = openJournal(tight.path, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Job != "job-live" {
+		t.Fatalf("live job lost to terminal churn: pending = %v", pending)
+	}
+	if len(finished) == 0 {
+		t.Error("compaction dropped every terminal record despite spare budget")
+	}
+	for i := 1; i < len(finished); i++ {
+		if finished[i-1].Seq >= finished[i].Seq {
+			t.Errorf("finished records out of seq order: %d >= %d", finished[i-1].Seq, finished[i].Seq)
+		}
 	}
 }
 
@@ -171,7 +242,7 @@ func TestJournalCompaction(t *testing.T) {
 func TestJournalAppendFault(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.jsonl")
 	sink := obs.New()
-	j, _, err := openJournal(path, 0, sink)
+	j, _, _, err := openJournal(path, 0, sink)
 	if err != nil {
 		t.Fatal(err)
 	}

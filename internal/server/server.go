@@ -114,6 +114,13 @@ type Config struct {
 	// entries (0 = default 256).
 	RefCacheSize int
 
+	// Embedder, when non-nil, routes every job's static stage through the
+	// embedding-index retrieval path (top-K nomination + exact rescoring);
+	// nil keeps the exact scan. TopK is the nomination budget per query
+	// (<= 0 = the engine default).
+	Embedder *patchecko.Embedder
+	TopK     int
+
 	// JournalPath enables the crash-safe job journal ("" = in-memory only:
 	// no crash safety, no resume). JournalMax is its compaction threshold
 	// in bytes (0 = default).
@@ -254,15 +261,39 @@ func New(cfg Config) (*Server, error) {
 		tenants: make(map[string]int),
 	}
 
-	var pending []*record
+	var pending, finished []*record
 	if cfg.JournalPath != "" {
-		j, recs, err := openJournal(cfg.JournalPath, cfg.JournalMax, s.obs)
+		j, recs, done, err := openJournal(cfg.JournalPath, cfg.JournalMax, s.obs)
 		if err != nil {
 			return nil, err
 		}
 		s.journal = j
 		s.nextID = j.seq
 		pending = recs
+		finished = done
+	}
+
+	// Materialize the previous life's finished jobs from their terminal
+	// records: their states and reports are served exactly as if this process
+	// had run them — GET /jobs/{id}/report survives a restart. They hold no
+	// tenant slot and never enter the queue; only their trace events are lost
+	// with the old process.
+	for _, rec := range finished {
+		j := &job{
+			id:       rec.Job,
+			tenant:   rec.Tenant,
+			sub:      &Submission{Tenant: rec.Tenant},
+			sink:     obs.NewTraced(cfg.TraceCap),
+			done:     make(chan struct{}),
+			state:    stateOfKind(rec.Kind),
+			attempts: rec.Attempts,
+			shed:     rec.Shed,
+			report:   rec.Report,
+			errKind:  rec.ErrKind,
+			errMsg:   rec.ErrMsg,
+		}
+		close(j.done)
+		s.jobs[j.id] = j
 	}
 
 	// The queue is sized for the admission bound, stretched if the journal
@@ -294,6 +325,18 @@ func New(cfg Config) (*Server, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// stateOfKind maps a terminal journal record kind to its job state.
+func stateOfKind(k recordKind) string {
+	switch k {
+	case recDone:
+		return StateDone
+	case recCancelled:
+		return StateCancelled
+	default:
+		return StateFailed
+	}
 }
 
 // newJobLocked builds a job shell in the queued state. id == "" mints a
@@ -749,6 +792,8 @@ func (s *Server) runJob(j *job) {
 		an.Store = s.cfg.Store
 		an.Obs = j.sink
 		an.StaticOnly = degraded
+		an.Embedder = s.cfg.Embedder
+		an.TopK = s.cfg.TopK
 
 		// Full-pipeline attempts under a deadline get a soft budget of 3/4
 		// of the remaining wall-clock: if the scan blows it while the job
@@ -900,18 +945,33 @@ func (s *Server) finishLocked(j *job, state, errKind, errMsg string) {
 	if s.tenants[j.tenant] <= 0 {
 		delete(s.tenants, j.tenant)
 	}
+	// Terminal records carry the job's outcome — including the full report —
+	// so the journal alone can answer status and report requests in the next
+	// process life.
+	rec := &record{
+		Job:      j.id,
+		Tenant:   j.tenant,
+		Attempts: j.attempts,
+		Shed:     j.shed,
+		Report:   j.report,
+		ErrKind:  errKind,
+		ErrMsg:   errMsg,
+	}
 	switch state {
 	case StateDone:
 		s.obs.Add(obs.CtrJobsCompleted, 1)
-		s.journal.append(recDone, j.id, nil)
+		rec.Kind = recDone
+		s.journal.appendRecord(rec)
 	case StateCancelled:
 		s.obs.Add(obs.CtrJobsCancelled, 1)
 		if errKind != "shutdown" {
-			s.journal.append(recCancelled, j.id, nil)
+			rec.Kind = recCancelled
+			s.journal.appendRecord(rec)
 		}
 	default:
 		s.obs.Add(obs.CtrJobsFailed, 1)
-		s.journal.append(recFailed, j.id, nil)
+		rec.Kind = recFailed
+		s.journal.appendRecord(rec)
 	}
 	j.sink.Emit(obs.Event{Kind: obs.EvJobDone, Job: j.id, Tenant: j.tenant, Attempt: j.attempts, State: state, Reason: errMsg})
 	s.obs.Merge(j.sink)

@@ -541,6 +541,78 @@ func TestMidJobRestart(t *testing.T) {
 	}
 }
 
+// TestFinishedJobReplay is the terminal half of the journal contract: a job
+// that FINISHED in one server life is still served by the next — status
+// intact, report byte-identical — replayed from the journal's terminal
+// record instead of 404ing or re-running the scan.
+func TestFinishedJobReplay(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "journal.jsonl")
+
+	cfg := baseConfig(t)
+	cfg.ScanWorkers = 4
+	cfg.JournalPath = journal
+	life1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := goldenSubmission(t)
+	sub.Tenant = "replay-tenant"
+	id := submit(t, life1, sub)
+	st1 := waitDone(t, life1, id)
+	if st1.State != StateDone {
+		t.Fatalf("job state %s, want done (error %+v)", st1.State, st1.Error)
+	}
+	want := servedReport(t, life1, id, false)
+	wantNorm := servedReport(t, life1, id, true)
+	life1.Close()
+
+	// Life 2 is admit-only: nothing can run, so anything it serves for the
+	// finished job must come from the journal's terminal record.
+	cfg2 := baseConfig(t)
+	cfg2.Workers = -1
+	cfg2.JournalPath = journal
+	life2 := newServer(t, cfg2)
+	if got := life2.obs.Get(obs.CtrJobsResumed); got != 0 {
+		t.Fatalf("finished job was resumed (%d), want replayed as terminal", got)
+	}
+	st2 := waitDone(t, life2, id) // done channel is pre-closed for replayed jobs
+	if st2.State != StateDone {
+		t.Fatalf("replayed job state %s, want done", st2.State)
+	}
+	if st2.Tenant != sub.Tenant || st2.Attempts != st1.Attempts || st2.Shed != st1.Shed {
+		t.Errorf("replayed status %+v diverges from life 1's %+v", st2, st1)
+	}
+	if got := servedReport(t, life2, id, false); !bytes.Equal(got, want) {
+		t.Errorf("replayed raw report diverges from life 1's served bytes (%d vs %d)", len(got), len(want))
+	}
+	if got := servedReport(t, life2, id, true); !bytes.Equal(got, wantNorm) {
+		t.Error("replayed normalized report diverges from life 1's served bytes")
+	}
+	if !bytes.Equal(servedReport(t, life2, id, true), goldenBytes(t)) {
+		t.Error("replayed normalized report diverges from committed golden bytes")
+	}
+	// The replayed job holds no tenant slot: the tenant can submit again
+	// even at a per-tenant cap of 1.
+	life2.mu.Lock()
+	inflight := life2.tenants[sub.Tenant]
+	life2.mu.Unlock()
+	if inflight != 0 {
+		t.Errorf("replayed terminal job holds %d tenant slots, want 0", inflight)
+	}
+	life2.Close()
+
+	// Life 3: replay is idempotent — the terminal record survives another
+	// restart and still serves the same bytes.
+	cfg3 := baseConfig(t)
+	cfg3.Workers = -1
+	cfg3.JournalPath = journal
+	life3 := newServer(t, cfg3)
+	if got := servedReport(t, life3, id, true); !bytes.Equal(got, wantNorm) {
+		t.Error("second replay diverges from life 1's served bytes")
+	}
+	life3.Close()
+}
+
 // TestChaosMatrix arms every service fault point at once — admission
 // outage for one tenant, journal-disk failure for every append, store reads
 // degrading to misses — on a server with a full queue, and asserts the

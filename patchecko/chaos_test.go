@@ -79,29 +79,45 @@ func TestScanFirmwareChaos(t *testing.T) {
 	}
 	defer disarmAll()
 
+	// The retrieval runs swap in the embedding-index static stage; at the
+	// default top-K it covers every unique body of the fixture images, so
+	// even under armed faults the report must match the exact paths.
+	chaosEmb, err := DistillEmbedder(model, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	healthy := len(fw.Images) - 1
 	var base *Report
-	// Deterministic counters depend on the dedup setting (shared work is
-	// counted as deduped, not scored), so each setting keeps its own
+	// Deterministic counters depend on the dedup and retrieval settings
+	// (shared work is counted as deduped, not scored; retrieval counters are
+	// zero on exact scans), so each setting pair keeps its own
 	// worker-count-invariant baseline.
-	baseCounters := make(map[bool]map[string]int64)
+	type counterKey struct{ noDedup, retrieval bool }
+	baseCounters := make(map[counterKey]map[string]int64)
 	// The scalar runs pin the static stage to the reference path, the traced
-	// runs arm full observability, and the noDedup runs disable the
-	// content-addressed fast path: batched, scalar, observed, unobserved,
-	// deduped and every-pair scans must all produce byte-identical reports
-	// even with every fault armed, and the deterministic pipeline counters
-	// must not depend on the worker count either.
+	// runs arm full observability, the noDedup runs disable the
+	// content-addressed fast path, and the retrieval runs route the static
+	// stage through the embedding index: batched, scalar, observed,
+	// unobserved, deduped, every-pair, retrieval and exact scans must all
+	// produce byte-identical reports even with every fault armed, and the
+	// deterministic pipeline counters must not depend on the worker count
+	// either.
 	for _, cfg := range []struct {
-		workers int
-		scalar  bool
-		traced  bool
-		noDedup bool
+		workers   int
+		scalar    bool
+		traced    bool
+		noDedup   bool
+		retrieval bool
 	}{
-		{1, false, false, false}, {4, false, false, false}, {16, false, false, false},
-		{1, true, false, false}, {4, true, false, false},
-		{1, false, true, false}, {4, false, true, false}, {16, false, true, false},
-		{1, false, false, true}, {16, false, false, true},
-		{4, true, false, true}, {1, false, true, true}, {16, false, true, true},
+		{1, false, false, false, false}, {4, false, false, false, false}, {16, false, false, false, false},
+		{1, true, false, false, false}, {4, true, false, false, false},
+		{1, false, true, false, false}, {4, false, true, false, false}, {16, false, true, false, false},
+		{1, false, false, true, false}, {16, false, false, true, false},
+		{4, true, false, true, false}, {1, false, true, true, false}, {16, false, true, true, false},
+		{1, false, false, false, true}, {16, false, false, false, true},
+		{4, false, true, false, true}, {16, false, true, false, true},
+		{4, true, false, true, true}, {1, false, true, true, true},
 	} {
 		workers := cfg.workers
 		// A fresh analyzer per run: reference failures memoize per analyzer,
@@ -110,6 +126,9 @@ func TestScanFirmwareChaos(t *testing.T) {
 		an.Workers = workers
 		an.StaticScalar = cfg.scalar
 		an.Dedup = !cfg.noDedup
+		if cfg.retrieval {
+			an.Embedder = chaosEmb
+		}
 		if cfg.traced {
 			an.Obs = obs.NewTraced(0)
 		}
@@ -119,13 +138,14 @@ func TestScanFirmwareChaos(t *testing.T) {
 		}
 		if cfg.traced {
 			counters := an.Obs.Counters()
-			if baseCounters[cfg.noDedup] == nil {
-				baseCounters[cfg.noDedup] = counters
+			key := counterKey{cfg.noDedup, cfg.retrieval}
+			if baseCounters[key] == nil {
+				baseCounters[key] = counters
 			} else {
-				for name, want := range baseCounters[cfg.noDedup] {
+				for name, want := range baseCounters[key] {
 					if got := counters[name]; got != want {
-						t.Errorf("workers=%d dedup=%v: chaos counter %s = %d, want %d (first traced run)",
-							workers, !cfg.noDedup, name, got, want)
+						t.Errorf("workers=%d dedup=%v retrieval=%v: chaos counter %s = %d, want %d (first traced run)",
+							workers, !cfg.noDedup, cfg.retrieval, name, got, want)
 					}
 				}
 			}

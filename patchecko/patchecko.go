@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/annindex"
 	"repro/internal/binimg"
 	"repro/internal/cas"
 	"repro/internal/corpus"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/diffengine"
 	"repro/internal/disasm"
 	"repro/internal/dynamic"
+	"repro/internal/embed"
 	"repro/internal/features"
 	"repro/internal/minic"
 	"repro/internal/nn"
@@ -78,6 +80,9 @@ type (
 	Image = binimg.Image
 	// Verdict is the differential engine's patch decision.
 	Verdict = diffengine.Verdict
+	// Embedder is the single-tower embedding head the retrieval static
+	// stage uses (see Analyzer.Embedder and DistillEmbedder).
+	Embedder = embed.Embedder
 )
 
 // Preset scales.
@@ -110,6 +115,14 @@ func TrainDetector(groups Groups, cfg TrainConfig) (*Model, *History, *detector.
 
 // BuildVulnDB builds Dataset II: the 25-CVE vulnerability database.
 func BuildVulnDB(s Scale, seed int64) (*DB, error) { return corpus.BuildDB(s, seed) }
+
+// DistillEmbedder distills the retrieval static stage's single-tower
+// embedding head from a trained detector (deterministic in model and seed).
+// Assign the result to Analyzer.Embedder to enable embedding-index
+// retrieval.
+func DistillEmbedder(m *Model, seed int64) (*Embedder, error) {
+	return embed.DistillFromModel(m, seed)
+}
 
 // BuildFirmware builds Dataset III for a device.
 func BuildFirmware(dev Device, s Scale) (*Firmware, error) {
@@ -191,6 +204,20 @@ type Analyzer struct {
 	// byte-identical either way; only warmth (Stats.CacheHits/CacheMisses)
 	// varies, which Report.Normalize zeroes for comparisons.
 	SharedCache *RefCache
+	// Embedder, when non-nil, switches the static stage to embedding-index
+	// retrieval (see retrieval.go): each unique function body is embedded
+	// once per image, a deterministic nearest-neighbour index nominates the
+	// TopK closest bodies to the CVE reference's embedding, and only the
+	// nominated pairs are rescored by the exact pair network — candidates
+	// always carry exact scores; retrieval can only prune, never re-rank.
+	// With TopK at least the image's unique-body count, reports are
+	// byte-identical to the exact paths. Nil — the default — is the escape
+	// hatch: the exact every-pair static stage. Distill one with
+	// DistillEmbedder.
+	Embedder *embed.Embedder
+	// TopK is the retrieval depth when Embedder is set; <= 0 means
+	// DefaultTopK. Ignored on the exact paths.
+	TopK int
 	// StaticOnly degrades the pipeline to its static stage: candidates are
 	// scored and reported, but dynamic validation and the differential
 	// verdict are shed. Every scan and the Report are explicitly marked
@@ -248,6 +275,13 @@ type PreparedImage struct {
 	ts       *detector.TargetSet
 	utsModel *Model
 	uts      *detector.TargetSet
+
+	// Embedding-index retrieval: the unique representatives embedded and
+	// indexed once per (image, embedder), shared by every CVE, mode and
+	// worker. Built lazily under mu like the target sets.
+	annEmb *embed.Embedder
+	ann    *annindex.Index
+	annErr error
 }
 
 // Targets returns the image's precomputed first-layer target halves for the
@@ -369,6 +403,15 @@ type CVEScan struct {
 	// Timings, for the paper's processing-time columns.
 	StaticTime  time.Duration
 	DynamicTime time.Duration
+
+	// Retrieval bookkeeping (unexported, never serialized): filled when the
+	// embedding-index static stage ran this cell, consumed by the scan
+	// reduction's stats and trace events, zeroed by Report.Normalize so
+	// retrieval-on and retrieval-off reports of the same scan compare equal.
+	retrievalUsed   bool
+	retrievedUnique int // unique bodies the index nominated
+	rescoredPairs   int // pairs rescored by the exact network
+	prunedFuncs     int // pairs skipped (body not nominated)
 }
 
 // TopRank returns the 1-based rank of addr in the dynamic ranking, or 0.
@@ -434,7 +477,13 @@ func (a *Analyzer) scanImage(ctx context.Context, p *PreparedImage, cveID string
 	// candidates — indices, exact scores, order — are identical.
 	sw := obs.StartStopwatch()
 	var cands []detector.Candidate
-	if a.Dedup {
+	if a.Embedder != nil {
+		var rerr error
+		cands, rerr = a.retrieveCandidates(entry, arch, mode, p, sc, scan)
+		if rerr != nil {
+			return nil, &refError{rerr}
+		}
+	} else if a.Dedup {
 		var derr error
 		cands, derr = a.dedupCandidates(entry, arch, mode, p, sc)
 		if derr != nil {
@@ -656,6 +705,8 @@ func (r *Report) Normalize() {
 	for _, s := range r.Results {
 		if s != nil {
 			s.StaticTime, s.DynamicTime = 0, 0
+			s.retrievalUsed = false
+			s.retrievedUnique, s.rescoredPairs, s.prunedFuncs = 0, 0, 0
 		}
 	}
 	r.Stats.PrepareWall, r.Stats.ScanWall = 0, 0
@@ -664,6 +715,7 @@ func (r *Report) Normalize() {
 	r.Stats.PairsDeduped, r.Stats.PairsFromStore = 0, 0
 	r.Stats.ValidationsDeduped = 0
 	r.Stats.StoreHits, r.Stats.StoreMisses, r.Stats.StoreInvalidated = 0, 0, 0
+	r.Stats.RetrievalHits, r.Stats.RescoredPairs, r.Stats.CandidatesPruned = 0, 0, 0
 }
 
 // better prefers matched scans with smaller similarity distance. It is the

@@ -1,0 +1,179 @@
+// Embedding-index static stage: candidate retrieval with exact top-K
+// rescoring. A single-tower embedding head distilled from the trained pair
+// network (internal/embed) maps each unique function body to a short vector
+// once per image; a deterministic nearest-neighbour index over those vectors
+// (internal/annindex) retrieves the K closest bodies to the CVE reference's
+// embedding, and only the retrieved pairs go through the exact pair-network
+// scoring the rest of the pipeline trusts. Everything downstream — candidate
+// thresholding, ordering, validation, verdicts — is unchanged and runs on
+// exact scores, so retrieval can only prune, never re-rank.
+//
+// The recall contract: annindex.Search is exact over the embedding metric,
+// so with K at least the image's unique-body count retrieval degenerates to
+// the full pair set and reports are byte-identical to the exact paths. Below
+// that, recall depends on how faithfully the distilled embedding preserves
+// the teacher's neighbourhoods — measured, not assumed, by the benchmark
+// artifact (BENCH_static.json "retrieval") and the equivalence suites.
+// Setting Analyzer.Embedder to nil (the default) is the escape hatch: the
+// exact every-pair static stage, untouched.
+
+package patchecko
+
+import (
+	"slices"
+
+	"repro/internal/annindex"
+	"repro/internal/detector"
+	"repro/internal/embed"
+	"repro/internal/features"
+	"repro/internal/obs"
+	"repro/internal/vulndb"
+)
+
+// DefaultTopK is the retrieval depth used when Analyzer.TopK is zero. It
+// comfortably exceeds the unique-function count of the evaluation images at
+// the golden-fixture scales, so default-K retrieval is byte-identical to the
+// exact scan there; real deployments tune it down for speed.
+const DefaultTopK = 128
+
+// cachedQueryEmbedding returns the reference static vector's embedding under
+// the analyzer's current embedder, memoized per (CVE, arch, mode, step limit)
+// alongside the reference itself. Keyed by embedder pointer so a shared
+// RefCache serving analyzers with different embedders never crosses streams.
+func (a *Analyzer) cachedQueryEmbedding(entry *vulndb.Entry, arch string, mode QueryMode) ([]float64, error) {
+	e := a.refcache().entry(refKey{cve: entry.ID, arch: arch, mode: mode, limit: a.StepLimit})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ref, err := e.resolveRefLocked(entry, arch, mode)
+	if err != nil {
+		return nil, err
+	}
+	if e.qeEmb != a.Embedder {
+		e.qe = a.Embedder.Embed(ref.StaticVec())
+		e.qeEmb = a.Embedder
+	}
+	return e.qe, nil
+}
+
+// retrievalIndex returns the image's embedding index for the embedder,
+// building it on first use: every unique-representative vector is embedded
+// once and indexed under its position in p.uniq. Single-flighted under the
+// image mutex like the target-set caches; Build is deterministic in the
+// embeddings, so every worker sees the same index.
+func (p *PreparedImage) retrievalIndex(e *embed.Embedder) (*annindex.Index, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.annEmb != e {
+		vecs := make([][]float64, len(p.uniq))
+		flat := make([]float64, len(vecs)*e.Dim())
+		xbuf := make([]float64, features.NumStatic)
+		hbuf := make([]float64, e.Hidden())
+		for k, i := range p.uniq {
+			row := flat[k*e.Dim() : (k+1)*e.Dim()]
+			e.EmbedInto(row, xbuf, hbuf, p.Vecs[i])
+			vecs[k] = row
+		}
+		p.ann, p.annErr = annindex.Build(vecs, annindex.DefaultConfig())
+		p.annEmb = e
+	}
+	return p.ann, p.annErr
+}
+
+// retrieveCandidates is the static stage with embedding-index pruning: the
+// index nominates the top-K unique bodies by embedding distance to the query,
+// and only functions whose body was nominated are rescored by the exact pair
+// network. Scoring reuses the same machinery as the exact paths — shared
+// scores by content address when Dedup is on, the caller's batched scorer or
+// the scalar reference path otherwise — so a retrieved pair's score is
+// bit-identical to its exact-scan score, and with K >= NumUnique the
+// candidate list is exactly the every-pair list. Retrieval bookkeeping is
+// recorded on the scan and surfaced by the reduction; obs pair counters here
+// cover only the rescored pairs.
+func (a *Analyzer) retrieveCandidates(entry *vulndb.Entry, arch string, mode QueryMode, p *PreparedImage, sc *detector.Scorer, scan *CVEScan) ([]detector.Candidate, error) {
+	scan.retrievalUsed = true
+	if len(p.Vecs) == 0 {
+		return nil, nil
+	}
+	qe, err := a.cachedQueryEmbedding(entry, arch, mode)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := p.retrievalIndex(a.Embedder)
+	if err != nil {
+		return nil, err
+	}
+	k := a.TopK
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	hits := idx.Search(qe, k)
+	retrieved := make([]bool, len(p.uniq))
+	for _, h := range hits {
+		retrieved[h.ID] = true
+	}
+
+	// The compute closure mirrors the exact static stage for the analyzer's
+	// configuration, pair for pair.
+	var compute func(i int) float64
+	if sc == nil {
+		ref, err := a.cachedRef(entry, arch, mode)
+		if err != nil {
+			return nil, err
+		}
+		qv := ref.StaticVec()
+		compute = func(i int) float64 { return a.model.Similarity(qv, p.Vecs[i]) }
+	} else {
+		qh, err := a.cachedQueryHalves(entry, arch, mode)
+		if err != nil {
+			return nil, err
+		}
+		if a.Dedup {
+			uts := p.UniqueTargets(a.model)
+			compute = func(i int) float64 { return sc.Pair(qh, uts, p.uniqPos[i]) }
+		} else {
+			ts := p.Targets(a.model)
+			compute = func(i int) float64 { return sc.Pair(qh, ts, i) }
+		}
+	}
+
+	rescored := 0
+	var out []detector.Candidate
+	for i := range p.Vecs {
+		if !retrieved[p.uniqPos[i]] {
+			continue
+		}
+		rescored++
+		var s float64
+		if a.Dedup {
+			s = a.sharedScore(scoreKey{cve: entry.ID, mode: mode, fn: p.CAS[i]}, i, compute)
+		} else {
+			s = compute(i)
+		}
+		if s >= a.model.Threshold {
+			out = append(out, detector.Candidate{Index: i, Score: s})
+		}
+	}
+	if !a.Dedup {
+		// The dedup path counts per consult inside sharedScore; the direct
+		// paths count the rescored pairs here so the pairs_scored partition
+		// covers exactly the pairs the exact network actually scored.
+		a.Obs.Add(obs.CtrPairsScored, int64(rescored))
+	}
+	// Same total order as every exact path: score descending, index
+	// ascending. Rescored pairs carry exact scores, so on the pairs both
+	// paths score the permutation matches too.
+	slices.SortFunc(out, func(x, y detector.Candidate) int {
+		if x.Score != y.Score {
+			if x.Score > y.Score {
+				return -1
+			}
+			return 1
+		}
+		return x.Index - y.Index
+	})
+	a.Obs.Add(obs.CtrStaticCandidates, int64(len(out)))
+	scan.retrievedUnique = len(hits)
+	scan.rescoredPairs = rescored
+	scan.prunedFuncs = len(p.Vecs) - rescored
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package patchecko
+
+import (
+	"context"
+	"slices"
+	"testing"
+)
+
+// retrievalCombos enumerates the static-stage configurations retrieval must
+// compose with: the batched and scalar scoring paths, each with dedup on and
+// off.
+var retrievalCombos = []struct {
+	name    string
+	scalar  bool
+	noDedup bool
+}{
+	{"batched-dedup", false, false},
+	{"batched-nodedup", false, true},
+	{"scalar-dedup", true, false},
+	{"scalar-nodedup", true, true},
+}
+
+func retrievalAnalyzer(model *Model, db *DB, scalar, noDedup bool, emb *Embedder, topK int) *Analyzer {
+	an := NewAnalyzer(model, db)
+	an.StaticOnly = true // the property under test is the candidate list
+	an.StaticScalar = scalar
+	an.Dedup = !noDedup
+	an.Embedder = emb
+	an.TopK = topK
+	return an
+}
+
+// TestRetrievalCandidatesEquivalence is the engine-level recall property:
+// with top-K at least every image's unique-body count, the retrieval static
+// stage produces exactly the exact-scan candidate list — addresses, counts
+// and order — on every scoring path; and at a small K its candidate list is
+// an ordered subsequence of the exact list (retrieval prunes, never
+// re-ranks or invents).
+func TestRetrievalCandidatesEquivalence(t *testing.T) {
+	model, db, fw := goldenFixtures(t)
+	emb := goldenEmbedder(t)
+	ctx := context.Background()
+	prepared, err := PrepareImages(ctx, fw.Images, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := db.IDs()
+	for _, combo := range retrievalCombos {
+		t.Run(combo.name, func(t *testing.T) {
+			exact := retrievalAnalyzer(model, db, combo.scalar, combo.noDedup, nil, 0)
+			full := retrievalAnalyzer(model, db, combo.scalar, combo.noDedup, emb, 1<<20)
+			small := retrievalAnalyzer(model, db, combo.scalar, combo.noDedup, emb, 2)
+			prunedSomewhere := false
+			for _, p := range prepared {
+				for _, id := range ids {
+					for _, mode := range []QueryMode{QueryVulnerable, QueryPatched} {
+						se, err := exact.ScanImage(ctx, p, id, mode)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sf, err := full.ScanImage(ctx, p, id, mode)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !slices.Equal(se.CandidateAddr, sf.CandidateAddr) {
+							t.Fatalf("%s %s %s: full-K retrieval candidates %v != exact %v",
+								p.Image.LibName, id, mode, sf.CandidateAddr, se.CandidateAddr)
+						}
+						ss, err := small.ScanImage(ctx, p, id, mode)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !isSubsequence(ss.CandidateAddr, se.CandidateAddr) {
+							t.Fatalf("%s %s %s: small-K candidates %v are not a subsequence of exact %v",
+								p.Image.LibName, id, mode, ss.CandidateAddr, se.CandidateAddr)
+						}
+						if len(ss.CandidateAddr) < len(se.CandidateAddr) {
+							prunedSomewhere = true
+						}
+					}
+				}
+			}
+			// The small-K runs must actually exercise pruning somewhere, or
+			// the subsequence check above is vacuous.
+			if !prunedSomewhere {
+				t.Error("K=2 retrieval never pruned a candidate; fixture too small to exercise pruning")
+			}
+		})
+	}
+}
+
+// isSubsequence reports whether sub appears in seq in order.
+func isSubsequence(sub, seq []uint64) bool {
+	j := 0
+	for _, v := range seq {
+		if j < len(sub) && sub[j] == v {
+			j++
+		}
+	}
+	return j == len(sub)
+}
