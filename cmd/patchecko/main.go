@@ -78,14 +78,17 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   patchecko train  -scale <tiny|small|medium|large> -seed N -out model.json
   patchecko scan   -model model.json -db vulndb.json -image lib.img [-cve CVE-...] [-workers N]
-                   [-no-dedup] [-store DIR [-store-max BYTES]]
+                   [-no-dedup] [-no-prefilter] [-store DIR [-store-max BYTES]]
                    [-retrieval [-topk K] | -no-retrieval]
   (train and scan also take -cpuprofile file / -memprofile file for go tool pprof;
    scan also takes -metrics manifest.json / -trace events.jsonl for run observability;
    -store keeps static scores on disk keyed by function content address, so
    rescanning a firmware update only re-scores functions that changed;
    -retrieval serves static candidates from an embedding index distilled from
-   the model, rescoring only the top-K nearest unique bodies exactly)
+   the model, rescoring only the top-K nearest unique bodies exactly;
+   the component-identification prefilter skips CVEs whose signature rules the
+   image out — every skip is printed, true hosts are never skipped (recall 1.0
+   pinned by test), and -no-prefilter scans every CVE)
   patchecko disasm -image lib.img [-func name|-addr 0x...]
   patchecko compile -src file.mc [-arch amd64 -level O2 -out lib.img -strip]
   patchecko run -src file.mc -func f [-args 4096,8 -data "bytes"]
@@ -205,6 +208,9 @@ func runScan(args []string) (err error) {
 		retrieval   = fs.Bool("retrieval", false, "serve static candidates from an embedding index, rescoring only the top-K nearest unique bodies exactly")
 		noRetrieval = fs.Bool("no-retrieval", false, "force the exact static scan (overrides -retrieval)")
 		topK        = fs.Int("topk", patchecko.DefaultTopK, "unique bodies the embedding index nominates per query (with -retrieval)")
+
+		prefilter   = fs.Bool("prefilter", true, "skip CVEs whose component-identification signature rules the image out (each skip is printed; ground-truth recall is pinned at 1.0 by test)")
+		noPrefilter = fs.Bool("no-prefilter", false, "scan the image against every CVE (overrides -prefilter)")
 	)
 	prof := profiling.AddFlags(fs)
 	of := obs.AddFlags(fs)
@@ -275,6 +281,7 @@ func runScan(args []string) (err error) {
 	an.Workers = *workers
 	an.Obs = of.Collector()
 	an.Dedup = *dedup && !*noDedup
+	an.Prefilter = *prefilter && !*noPrefilter
 	if *retrieval && !*noRetrieval {
 		// Distillation is deterministic in (model, seed); a fixed seed keeps
 		// repeated invocations byte-identical for the same model file.
@@ -319,9 +326,19 @@ func runScan(args []string) (err error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	failed := 0
+	pruned := 0
 	for i, id := range ids {
 		if ctx.Err() != nil {
 			return fmt.Errorf("interrupted after %d of %d CVE scans", i, len(ids))
+		}
+		// Single-image mode has no grid to fold, so a pruned CVE needs no
+		// rescue pass: the prefilter only ever drops cells the full scan would
+		// report as no-match. -cve bypasses the skip — an explicit request is
+		// always scanned.
+		if an.Prefilter && *cveID == "" && !an.PrefilterKeep(prepared, id) {
+			pruned++
+			fmt.Printf("%-16s pruned (component prefilter: image lacks the CVE's component fingerprint)\n", id)
+			continue
 		}
 		scan, err := an.ScanImage(ctx, prepared, id, patchecko.QueryVulnerable)
 		if err != nil {
@@ -345,6 +362,10 @@ func runScan(args []string) (err error) {
 		fmt.Printf("%-16s match at %#x (sim %.3f, %d candidates -> %d executed) verdict: %s (confidence %.2f)\n",
 			id, scan.Match.Addr, scan.Match.Sim, scan.NumCandidates, scan.NumExecuted,
 			status, scan.Verdict.Confidence)
+	}
+	if pruned > 0 {
+		fmt.Printf("prefilter: pruned %d of %d CVEs (rerun with -no-prefilter to scan the full set)\n",
+			pruned, len(ids))
 	}
 	if an.Dedup {
 		dc := an.DedupCounts()

@@ -73,6 +73,9 @@ func run() (err error) {
 		retrieval   = fs.Bool("retrieval", false, "serve every job's static stage from an embedding index, rescoring only the top-K nearest unique bodies exactly")
 		noRetrieval = fs.Bool("no-retrieval", false, "force the exact static scan (overrides -retrieval)")
 		topK        = fs.Int("topk", patchecko.DefaultTopK, "unique bodies the embedding index nominates per query (with -retrieval)")
+
+		prefilter   = fs.Bool("prefilter", true, "prune scan-grid cells with the component-identification prefilter (served reports are identical either way)")
+		noPrefilter = fs.Bool("no-prefilter", false, "scan every job's full (image, CVE, mode) grid (overrides -prefilter)")
 	)
 	of := obs.AddFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -120,6 +123,7 @@ func run() (err error) {
 		RefCacheSize:  *refCache,
 		JournalPath:   *journal,
 		JournalMax:    *journalMax,
+		NoPrefilter:   *noPrefilter || !*prefilter,
 	}
 	if *storeDir != "" {
 		store, serr := cas.Open(*storeDir, obs.ModelHash(rawModel), *storeMax)

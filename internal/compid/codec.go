@@ -1,0 +1,223 @@
+// Versioned binary codec for component fingerprints, in the PKANN001 mold:
+// a magic tag, exhaustively validated sizes before any allocation, hard
+// caps on every dimension, and trailing-byte rejection, so a fingerprint
+// can later persist next to the delta-scan store and be loaded from
+// untrusted bytes without surprises.
+package compid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/features"
+)
+
+// Magic identifies fingerprint blobs; the trailing digits version the
+// layout.
+const Magic = "PKCID001"
+
+// Hard caps. A fingerprint summarizes one image, so these are generous by
+// orders of magnitude; their job is to bound allocation on hostile input.
+const (
+	maxArchLen = 64
+	maxBodies  = 1 << 20
+	maxStrings = 1 << 20
+	maxStrLen  = 1 << 12
+	maxConsts  = 1 << 20
+)
+
+// Marshal encodes the fingerprint in the PKCID001 layout:
+//
+//	magic        8 bytes
+//	archLen      u32, arch bytes
+//	nBodies      u32
+//	  digests    nBodies × 32 bytes, strictly ascending
+//	  vectors    nBodies × dims × f64
+//	nStrings     u32
+//	  strings    (u32 length + bytes) each, strictly ascending
+//	nConsts      u32
+//	  consts     u64 each, strictly ascending
+//
+// All integers are little-endian. The canonical ordering Extract
+// establishes is part of the format: Unmarshal rejects blobs that violate
+// it, so equal fingerprints have equal encodings.
+func (f *Fingerprint) Marshal() []byte {
+	dims := len(features.Vector{})
+	size := len(Magic) + 4 + len(f.Arch) + 4 + len(f.Digests)*(32+dims*8) + 4 + 4
+	for _, s := range f.Strings {
+		size += 4 + len(s)
+	}
+	size += 8 * len(f.Consts)
+	out := make([]byte, 0, size)
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Arch)))
+	out = append(out, f.Arch...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Digests)))
+	for _, d := range f.Digests {
+		out = append(out, d[:]...)
+	}
+	for _, v := range f.Vecs {
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Strings)))
+	for _, s := range f.Strings {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+		out = append(out, s...)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Consts)))
+	for _, c := range f.Consts {
+		out = binary.LittleEndian.AppendUint64(out, c)
+	}
+	return out
+}
+
+// reader is a bounds-checked cursor over an untrusted blob.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("compid: "+format, args...)
+	}
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail("truncated at offset %d (need %d bytes)", r.off, n)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// f64 decodes one float and rejects NaN/Inf — a fingerprint's feature
+// vectors are finite by construction, so non-finite values mean corruption.
+func (r *reader) f64() float64 {
+	v := math.Float64frombits(r.u64())
+	if r.err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		r.fail("non-finite feature value at offset %d", r.off-8)
+	}
+	return v
+}
+
+// Unmarshal decodes a PKCID001 blob, validating every declared size against
+// the remaining input and the hard caps before allocating, and rejecting
+// non-canonical ordering and trailing bytes.
+func Unmarshal(data []byte) (*Fingerprint, error) {
+	r := &reader{buf: data}
+	if got := r.bytes(len(Magic)); r.err != nil || string(got) != Magic {
+		return nil, fmt.Errorf("compid: bad magic")
+	}
+	archLen := int(r.u32())
+	if r.err == nil && (archLen < 1 || archLen > maxArchLen) {
+		r.fail("arch length %d out of range [1, %d]", archLen, maxArchLen)
+	}
+	arch := r.bytes(archLen)
+	if r.err != nil {
+		return nil, r.err
+	}
+	fp := &Fingerprint{Arch: string(arch)}
+
+	dims := len(features.Vector{})
+	nBodies := int(r.u32())
+	if r.err == nil && nBodies > maxBodies {
+		r.fail("body count %d exceeds cap %d", nBodies, maxBodies)
+	}
+	if r.err == nil && len(r.buf)-r.off < nBodies*(32+dims*8) {
+		r.fail("truncated: %d bodies declared, %d bytes remain", nBodies, len(r.buf)-r.off)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	fp.Digests = make([][32]byte, nBodies)
+	for i := range fp.Digests {
+		copy(fp.Digests[i][:], r.bytes(32))
+		if i > 0 && r.err == nil && !digestLess(fp.Digests[i-1], fp.Digests[i]) {
+			r.fail("digests not strictly ascending at index %d", i)
+		}
+	}
+	fp.Vecs = make([]features.Vector, nBodies)
+	for i := range fp.Vecs {
+		for j := range fp.Vecs[i] {
+			fp.Vecs[i][j] = r.f64()
+		}
+	}
+
+	nStrings := int(r.u32())
+	if r.err == nil && nStrings > maxStrings {
+		r.fail("string count %d exceeds cap %d", nStrings, maxStrings)
+	}
+	if r.err == nil && len(r.buf)-r.off < nStrings*4 {
+		r.fail("truncated: %d strings declared, %d bytes remain", nStrings, len(r.buf)-r.off)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	fp.Strings = make([]string, 0, nStrings)
+	for i := 0; i < nStrings; i++ {
+		n := int(r.u32())
+		if r.err == nil && (n < 1 || n > maxStrLen) {
+			r.fail("string %d length %d out of range [1, %d]", i, n, maxStrLen)
+		}
+		s := string(r.bytes(n))
+		if i > 0 && r.err == nil && fp.Strings[i-1] >= s {
+			r.fail("strings not strictly ascending at index %d", i)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		fp.Strings = append(fp.Strings, s)
+	}
+
+	nConsts := int(r.u32())
+	if r.err == nil && nConsts > maxConsts {
+		r.fail("const count %d exceeds cap %d", nConsts, maxConsts)
+	}
+	if r.err == nil && len(r.buf)-r.off < nConsts*8 {
+		r.fail("truncated: %d consts declared, %d bytes remain", nConsts, len(r.buf)-r.off)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	fp.Consts = make([]uint64, nConsts)
+	for i := range fp.Consts {
+		fp.Consts[i] = r.u64()
+		if i > 0 && r.err == nil && fp.Consts[i-1] >= fp.Consts[i] {
+			r.fail("consts not strictly ascending at index %d", i)
+		}
+	}
+
+	if r.err == nil && r.off != len(r.buf) {
+		r.fail("%d trailing bytes", len(r.buf)-r.off)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return fp, nil
+}

@@ -1,0 +1,162 @@
+package compid
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/features"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+func le32(n uint32) []byte { return binary.LittleEndian.AppendUint32(nil, n) }
+func le64(n uint64) []byte { return binary.LittleEndian.AppendUint64(nil, n) }
+
+// blob builds a PKCID001 byte string from parts, for hand-crafting both
+// valid and corrupt encodings.
+func blob(parts ...[]byte) []byte {
+	out := []byte(Magic)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// minimalBlob is the smallest valid fingerprint: an arch and three empty
+// sections.
+func minimalBlob() []byte {
+	return blob(le32(1), []byte("a"), le32(0), le32(0), le32(0))
+}
+
+// TestCodecRoundTrip pins Marshal/Unmarshal as exact inverses on real
+// fingerprints from every architecture, and the canonical-encoding property:
+// re-marshalling a decoded blob reproduces it byte for byte.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, arch := range isa.All() {
+		mod := minic.GenLibrary(minic.GenConfig{Seed: 19, Name: "libcodec", NumFuncs: 10})
+		fp := fingerprintImage(t, compileLib(t, mod, arch, compiler.O1))
+		enc := fp.Marshal()
+		dec, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		if !reflect.DeepEqual(fp, dec) {
+			t.Errorf("%s: decoded fingerprint differs from original", arch.Name)
+		}
+		if !bytes.Equal(dec.Marshal(), enc) {
+			t.Errorf("%s: re-encoding is not canonical", arch.Name)
+		}
+	}
+	dec, err := Unmarshal(minimalBlob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Arch != "a" || len(dec.Digests) != 0 || len(dec.Strings) != 0 || len(dec.Consts) != 0 {
+		t.Errorf("minimal blob decoded to %+v", dec)
+	}
+}
+
+// TestCodecRejects pins the validation surface: every malformed class of
+// input is rejected with a descriptive error, never a panic or a silent
+// partial decode.
+func TestCodecRejects(t *testing.T) {
+	dims := len(features.Vector{})
+	var d0, d1 [32]byte
+	d1[0] = 1
+	zeroVec := make([]byte, dims*8)
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"empty", nil, "bad magic"},
+		{"bad magic", []byte("PKANN001........"), "bad magic"},
+		{"arch length zero", blob(le32(0)), "arch length"},
+		{"arch length over cap", blob(le32(maxArchLen + 1)), "arch length"},
+		{"arch truncated", blob(le32(4), []byte("ab")), "truncated"},
+		{"body count over cap", blob(le32(1), []byte("a"), le32(maxBodies+1)), "exceeds cap"},
+		{"bodies truncated", blob(le32(1), []byte("a"), le32(2), d0[:]), "truncated"},
+		{"digests unordered", blob(le32(1), []byte("a"),
+			le32(2), d1[:], d0[:], zeroVec, zeroVec,
+			le32(0), le32(0)), "not strictly ascending"},
+		{"digests duplicated", blob(le32(1), []byte("a"),
+			le32(2), d0[:], d0[:], zeroVec, zeroVec,
+			le32(0), le32(0)), "not strictly ascending"},
+		{"non-finite vector", blob(le32(1), []byte("a"),
+			le32(1), d0[:], bytes.Repeat(le64(math.Float64bits(math.NaN())), dims),
+			le32(0), le32(0)), "non-finite"},
+		{"string count over cap", blob(le32(1), []byte("a"), le32(0), le32(maxStrings+1)), "exceeds cap"},
+		{"string length zero", blob(le32(1), []byte("a"), le32(0),
+			le32(1), le32(0), le32(0)), "length 0"},
+		{"string length over cap", blob(le32(1), []byte("a"), le32(0),
+			le32(1), le32(maxStrLen+1)), "out of range"},
+		{"strings unordered", blob(le32(1), []byte("a"), le32(0),
+			le32(2), le32(1), []byte("b"), le32(1), []byte("a"), le32(0)), "not strictly ascending"},
+		{"const count over cap", blob(le32(1), []byte("a"), le32(0), le32(0), le32(maxConsts+1)), "exceeds cap"},
+		{"consts truncated", blob(le32(1), []byte("a"), le32(0), le32(0), le32(2), le64(7)), "truncated"},
+		{"consts unordered", blob(le32(1), []byte("a"), le32(0), le32(0),
+			le32(2), le64(9), le64(7)), "not strictly ascending"},
+		{"trailing bytes", append(minimalBlob(), 0), "trailing"},
+	}
+	for _, c := range cases {
+		fp, err := Unmarshal(c.data)
+		if err == nil {
+			t.Errorf("%s: accepted as %+v", c.name, fp)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+
+	// Every strict prefix of a valid blob must be rejected, not panic.
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 19, Name: "libcodec", NumFuncs: 4})
+	enc := fingerprintImage(t, compileLib(t, mod, isa.X86, compiler.O0)).Marshal()
+	for i := 0; i < len(enc); i++ {
+		if _, err := Unmarshal(enc[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", i, len(enc))
+		}
+	}
+}
+
+// FuzzFingerprintDecode fuzzes the untrusted-input decoder. Any input the
+// decoder accepts must re-encode to exactly the input bytes (the format is
+// canonical) and survive a second decode to an equal value; everything else
+// must be rejected without panicking.
+func FuzzFingerprintDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(minimalBlob())
+	mod := minic.GenLibrary(minic.GenConfig{Seed: 19, Name: "libfuzz", NumFuncs: 3})
+	for _, arch := range []*isa.Arch{isa.XARM64, isa.X86} {
+		im, err := compiler.Compile(mod, arch, compiler.O1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		fp := &Fingerprint{Arch: im.Arch, Strings: rodataStrings(im.Rodata)}
+		f.Add(fp.Marshal())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re := fp.Marshal()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input is not canonical: %d bytes in, %d bytes re-encoded", len(data), len(re))
+		}
+		fp2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-encoded blob rejected: %v", err)
+		}
+		if !reflect.DeepEqual(fp, fp2) {
+			t.Fatal("second decode differs from first")
+		}
+	})
+}

@@ -1,0 +1,423 @@
+// Package compid is the component-identification prefilter: a cheap
+// fingerprint pass that binds a firmware library image to the components it
+// plausibly embeds, so the scan engine only schedules (image, CVE) grid
+// cells whose component fingerprints match (UVSCAN's architecture; VulMatch
+// shows instruction/constant signatures suffice to bind a binary to its
+// vulnerable components).
+//
+// A Fingerprint summarizes one prepared image as deterministic signature
+// sets: relocation-masked digests of every distinct function body, the
+// static feature vector of each, the image's .rodata string literals and a
+// sketch of its distinctive immediates. A Signature summarizes one CVE for
+// one architecture by compiling its vulnerable and patched reference
+// functions at every optimization level and collecting the same channels,
+// plus the spread — the maximum pairwise Canberra distance between variant
+// feature vectors — which bounds how far compilation settings alone can
+// move the reference.
+//
+// The keep rule (Signature.Matches) is calibrated to be recall-safe against
+// the scan engine's full-grid ground truth, not merely plausible:
+//
+//   - A degenerate signature (Spread < DegenerateSpread) describes a
+//     reference so generic that lookalikes appear at arbitrary feature
+//     distance; it matches every image, so the engine never prunes its row.
+//   - Otherwise the image matches on an exact digest hit (the component's
+//     code is embedded verbatim at SOME optimization level — masking makes
+//     this linkage-invariant), on a shared distinctive rodata string or
+//     immediate, or when any image function sits within MatchRadius of any
+//     reference variant in Canberra feature space.
+//
+// String and constant channels only ever ADD matches, so they can only
+// improve recall; the digest and feature-ball channels carry the measured
+// calibration (see patchecko's TestPrefilterRecall, which pins recall = 1.0
+// and report byte-identity against the full grid).
+package compid
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/binimg"
+	"repro/internal/compiler"
+	"repro/internal/disasm"
+	"repro/internal/features"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// Calibrated thresholds. Measured on the seed corpus (three devices, every
+// CVE, every optimization level, plus generated vendor libraries across
+// body-size profiles):
+//
+//   - Every full-grid winner cell that is not an exact digest hit sits
+//     within Canberra 0.067 of a reference variant; MatchRadius 0.08 keeps
+//     all of them with margin while pruning 40-90% of vendor cells
+//     (depending on how different the vendor code profile is).
+//   - Signatures with spread below 0.03 (three or four of the 25 CVEs —
+//     tiny helpers whose feature vectors barely move across optimization
+//     levels) attract lookalike winners at distances up to 0.11; no radius
+//     separates those from genuinely foreign code, so they are declared
+//     degenerate and never pruned.
+const (
+	// DegenerateSpread is the spread floor below which a signature is too
+	// generic to prune against.
+	DegenerateSpread = 0.03
+	// MatchRadius is the Canberra feature-space radius of the keep ball
+	// around each reference variant vector.
+	MatchRadius = 0.08
+)
+
+// Channel filters. Strings shorter than minStringLen are too common to
+// identify a component; immediates are distinctive only when they are large
+// magic numbers, not small operands and not addresses into the fixed data,
+// rodata or text windows (which encode linkage, not identity).
+const (
+	minStringLen  = 6
+	minConstMag   = 1 << 16
+	textWindowEnd = binimg.TextBase + 1<<24
+)
+
+// BodyDigest hashes a function body with relocations masked, so the digest
+// depends only on the code itself, not on where the module's linker placed
+// its neighbours or its string table:
+//
+//   - Call targets are module-layout-dependent absolute addresses; the
+//     operand is dropped (the digest keeps the fact of a call, not its
+//     destination).
+//   - Immediates inside the rodata window address the module's interned
+//     string table, whose layout depends on every OTHER function in the
+//     module; they are dropped the same way.
+//
+// Everything else — opcodes, registers, ordinary immediates — is hashed
+// verbatim, so any real code edit changes the digest.
+func BodyDigest(arch string, fn *disasm.Function) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(arch))
+	var buf [13]byte
+	for _, in := range fn.Instrs {
+		imm := uint64(in.Imm)
+		tag := byte(0)
+		switch {
+		case in.Op == isa.Call:
+			tag, imm = 2, 0
+		case in.Imm >= minic.RodataBase && in.Imm < minic.RodataBase+minic.RodataSize:
+			tag, imm = 1, 0
+		}
+		buf[0], buf[1], buf[2], buf[3], buf[4] = byte(in.Op), byte(in.Rd), byte(in.Rs1), byte(in.Rs2), tag
+		binary.LittleEndian.PutUint64(buf[5:13], imm)
+		h.Write(buf[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Fingerprint is one image's component-identification summary. All slices
+// are in canonical order (digests, strings and constants strictly
+// ascending; Vecs aligned index-for-index with Digests), so equal images
+// produce byte-identical fingerprints regardless of extraction order.
+type Fingerprint struct {
+	// Arch names the image's architecture; fingerprints and signatures only
+	// compare within one architecture.
+	Arch string
+	// Digests are the relocation-masked body digests of the image's
+	// distinct function bodies, strictly ascending.
+	Digests [][32]byte
+	// Vecs holds the static feature vector of each distinct body, aligned
+	// with Digests.
+	Vecs []features.Vector
+	// Strings are the image's .rodata string literals of at least
+	// minStringLen bytes, strictly ascending.
+	Strings []string
+	// Consts are the image's distinctive immediates, strictly ascending.
+	Consts []uint64
+}
+
+// distinctiveConst reports whether an immediate identifies code rather than
+// linkage: large in magnitude and outside the fixed data/rodata and text
+// address windows.
+func distinctiveConst(imm int64) bool {
+	if imm > -minConstMag && imm < minConstMag {
+		return false
+	}
+	if imm >= minic.DataBase && imm < minic.RodataBase+minic.RodataSize {
+		return false
+	}
+	if imm >= binimg.TextBase && imm < textWindowEnd {
+		return false
+	}
+	return true
+}
+
+// rodataStrings splits a .rodata section into its NUL-terminated string
+// literals and keeps the distinctive ones: at least minStringLen bytes,
+// printable ASCII throughout.
+func rodataStrings(rodata []byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(rodata); i++ {
+		if i < len(rodata) && rodata[i] != 0 {
+			continue
+		}
+		s := rodata[start:i]
+		start = i + 1
+		if len(s) < minStringLen {
+			continue
+		}
+		printable := true
+		for _, c := range s {
+			if c < 0x20 || c > 0x7e {
+				printable = false
+				break
+			}
+		}
+		if printable {
+			out = append(out, string(s))
+		}
+	}
+	return sortedUniqueStrings(out)
+}
+
+func sortedUniqueStrings(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func sortedUniqueU64(in []uint64) []uint64 {
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func digestLess(a, b [32]byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Extract fingerprints a prepared image from its decoded form, its
+// disassembly and the per-function feature vectors the static stage already
+// computed (aligned with dis.Funcs). The result is deterministic in the
+// image contents alone.
+func Extract(im *binimg.Image, dis *disasm.Disassembly, vecs []features.Vector) *Fingerprint {
+	fp := &Fingerprint{Arch: im.Arch}
+	seen := make(map[[32]byte]int, len(dis.Funcs))
+	var consts []uint64
+	for i, fn := range dis.Funcs {
+		d := BodyDigest(im.Arch, fn)
+		if _, ok := seen[d]; !ok {
+			seen[d] = i
+			fp.Digests = append(fp.Digests, d)
+			fp.Vecs = append(fp.Vecs, vecs[i])
+		}
+		for _, in := range fn.Instrs {
+			if in.Op != isa.Call && distinctiveConst(in.Imm) {
+				consts = append(consts, uint64(in.Imm))
+			}
+		}
+	}
+	sort.Sort(&bodySorter{fp.Digests, fp.Vecs})
+	fp.Strings = rodataStrings(im.Rodata)
+	fp.Consts = sortedUniqueU64(consts)
+	return fp
+}
+
+// bodySorter sorts the digest list and its aligned vectors together.
+type bodySorter struct {
+	d [][32]byte
+	v []features.Vector
+}
+
+func (s *bodySorter) Len() int           { return len(s.d) }
+func (s *bodySorter) Less(i, j int) bool { return digestLess(s.d[i], s.d[j]) }
+func (s *bodySorter) Swap(i, j int) {
+	s.d[i], s.d[j] = s.d[j], s.d[i]
+	s.v[i], s.v[j] = s.v[j], s.v[i]
+}
+
+// Signature is one CVE's component signature for one architecture, derived
+// from the reference builder: both patch states compiled at every
+// optimization level.
+type Signature struct {
+	CVE  string
+	Arch string
+	// Digests are the relocation-masked digests of every reference variant,
+	// strictly ascending.
+	Digests [][32]byte
+	// Vecs are the variant feature vectors (two patch states × every
+	// optimization level, in build order).
+	Vecs []features.Vector
+	// Spread is the maximum pairwise Canberra distance among Vecs: how far
+	// compilation settings alone move this reference in feature space.
+	Spread float64
+	// Strings and Consts are the distinctive rodata strings and immediates
+	// the variants carry, strictly ascending.
+	Strings []string
+	Consts  []uint64
+}
+
+// Degenerate reports whether the signature is too generic to prune against:
+// its variants are so close together that unrelated code produces
+// lookalikes at arbitrary distance. The engine keeps every cell of a
+// degenerate CVE's row.
+func (s *Signature) Degenerate() bool { return s.Spread < DegenerateSpread }
+
+// Canberra is the feature-space distance the keep ball is calibrated in:
+// the per-dimension relative difference |a-b|/(|a|+|b|), averaged over the
+// vector. Unlike Euclidean distance it weighs every feature equally no
+// matter its scale, which is what makes one radius meaningful across count
+// features that span orders of magnitude.
+func Canberra(a, b features.Vector) float64 {
+	var sum float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d == 0 {
+			continue
+		}
+		sum += d / (math.Abs(a[i]) + math.Abs(b[i]))
+	}
+	return sum / float64(len(a))
+}
+
+// DeriveSignature builds a CVE's signature for one architecture by
+// compiling the pair's vulnerable and patched functions as single-function
+// modules at every optimization level — exactly the space of builds the
+// reference database itself draws from.
+func DeriveSignature(pair *minic.CVEPair, arch *isa.Arch) (*Signature, error) {
+	sig := &Signature{CVE: pair.ID, Arch: arch.Name}
+	var strs []string
+	var consts []uint64
+	seen := make(map[[32]byte]bool)
+	for _, fn := range []*minic.Func{pair.Vulnerable, pair.Patched} {
+		for _, lvl := range compiler.Levels() {
+			mod := &minic.Module{Name: "sig", Funcs: []*minic.Func{minic.CloneFunc(fn)}}
+			im, err := compiler.Compile(mod, arch, lvl)
+			if err != nil {
+				return nil, fmt.Errorf("compid: %s: %s %s: %w", pair.ID, arch.Name, lvl, err)
+			}
+			dis, err := disasm.Disassemble(im)
+			if err != nil {
+				return nil, fmt.Errorf("compid: %s: %s %s: %w", pair.ID, arch.Name, lvl, err)
+			}
+			if len(dis.Funcs) != 1 {
+				return nil, fmt.Errorf("compid: %s: variant has %d functions, want 1", pair.ID, len(dis.Funcs))
+			}
+			fn := dis.Funcs[0]
+			d := BodyDigest(arch.Name, fn)
+			if !seen[d] {
+				seen[d] = true
+				sig.Digests = append(sig.Digests, d)
+			}
+			sig.Vecs = append(sig.Vecs, features.Extract(dis, fn))
+			strs = append(strs, rodataStrings(im.Rodata)...)
+			for _, in := range fn.Instrs {
+				if in.Op != isa.Call && distinctiveConst(in.Imm) {
+					consts = append(consts, uint64(in.Imm))
+				}
+			}
+		}
+	}
+	sort.Slice(sig.Digests, func(i, j int) bool { return digestLess(sig.Digests[i], sig.Digests[j]) })
+	sig.Strings = sortedUniqueStrings(strs)
+	sig.Consts = sortedUniqueU64(consts)
+	for i := range sig.Vecs {
+		for j := i + 1; j < len(sig.Vecs); j++ {
+			if d := Canberra(sig.Vecs[i], sig.Vecs[j]); d > sig.Spread {
+				sig.Spread = d
+			}
+		}
+	}
+	return sig, nil
+}
+
+// pairIndex memoizes the CVE reference builder's pair set; minic.CVEs is
+// deterministic, so one materialization serves every signature derivation.
+var (
+	pairOnce sync.Once
+	pairByID map[string]*minic.CVEPair
+)
+
+// SignatureFor derives the signature of a CVE from the reference builder by
+// ID. It returns an error for IDs the builder does not know — callers treat
+// that as "no signature" and keep the CVE's whole row.
+func SignatureFor(cveID string, arch *isa.Arch) (*Signature, error) {
+	pairOnce.Do(func() {
+		pairByID = make(map[string]*minic.CVEPair)
+		for _, p := range minic.CVEs() {
+			pairByID[p.ID] = p
+		}
+	})
+	pair, ok := pairByID[cveID]
+	if !ok {
+		return nil, fmt.Errorf("compid: no reference pair for %s", cveID)
+	}
+	return DeriveSignature(pair, arch)
+}
+
+// containsDigest reports membership in a strictly-ascending digest list.
+func containsDigest(sorted [][32]byte, d [32]byte) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return !digestLess(sorted[i], d) })
+	return i < len(sorted) && sorted[i] == d
+}
+
+func containsString(sorted []string, s string) bool {
+	i := sort.SearchStrings(sorted, s)
+	return i < len(sorted) && sorted[i] == s
+}
+
+func containsU64(sorted []uint64, v uint64) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return i < len(sorted) && sorted[i] == v
+}
+
+// Matches reports whether the image plausibly embeds the signature's
+// component — the prefilter's keep decision. It errs strictly on the side
+// of keeping: degenerate signatures and cross-architecture comparisons
+// match unconditionally, and the string/constant channels can only add
+// matches, never remove one.
+func (s *Signature) Matches(f *Fingerprint) bool {
+	if s.Degenerate() || s.Arch != f.Arch {
+		return true
+	}
+	for _, d := range s.Digests {
+		if containsDigest(f.Digests, d) {
+			return true
+		}
+	}
+	for _, str := range s.Strings {
+		if containsString(f.Strings, str) {
+			return true
+		}
+	}
+	for _, c := range s.Consts {
+		if containsU64(f.Consts, c) {
+			return true
+		}
+	}
+	for _, fv := range f.Vecs {
+		for _, rv := range s.Vecs {
+			if Canberra(rv, fv) <= MatchRadius {
+				return true
+			}
+		}
+	}
+	return false
+}

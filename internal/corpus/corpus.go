@@ -423,3 +423,28 @@ func BuildFirmware(dev Device, s Scale) (*Firmware, error) {
 	}
 	return fw, nil
 }
+
+// FleetVendorImages generates n extra vendor libraries the way a real fleet
+// diversifies beyond the reference corpus' code profile: body-size profiles
+// rotate through 2× and 3× the generator default, optimization levels
+// rotate, and every image ships stripped. The component prefilter's
+// grid-reduction measurements scan these alongside a device's own images to
+// model firmware dominated by vendor code that hosts no CVE at all.
+func FleetVendorImages(arch *isa.Arch, n int, seed int64) ([]*binimg.Image, error) {
+	levels := compiler.Levels()
+	out := make([]*binimg.Image, 0, n)
+	for i := 0; i < n; i++ {
+		mod := minic.GenLibrary(minic.GenConfig{
+			Seed:      seed + int64(i)*104729,
+			Name:      fmt.Sprintf("libfleet%02d", i),
+			NumFuncs:  10,
+			BodyScale: 2 + float64(i%2),
+		})
+		im, err := compiler.Compile(mod, arch, levels[i%len(levels)])
+		if err != nil {
+			return nil, fmt.Errorf("corpus: fleet vendor %s: %w", mod.Name, err)
+		}
+		out = append(out, im.Strip())
+	}
+	return out, nil
+}

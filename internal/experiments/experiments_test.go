@@ -423,6 +423,55 @@ func TestRetrievalSuiteEquivalence(t *testing.T) {
 	}
 }
 
+// TestPrefilterAblation locks the prefilter ablation's contract: every
+// fixture keeps all ground-truth cells (recall exactly 1.0), prunes a
+// non-trivial slice of the grid, stays byte-identical to the full scan, and
+// the fleet fixture clears the 2x grid-reduction floor DESIGN.md records.
+func TestPrefilterAblation(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewSuite(ctx, Config{Scale: corpus.ScaleTiny, Seed: 42, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.AblatePrefilter(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Devices()) + 1; len(r.Rows) != want {
+		t.Fatalf("got %d rows, want %d (devices + fleet)", len(r.Rows), want)
+	}
+	var fleet *PrefilterRow
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Recall != 1.0 {
+			t.Errorf("%s: ground-truth recall %.3f, want exactly 1.0", row.Fixture, row.Recall)
+		}
+		if !row.Identical {
+			t.Errorf("%s: pruned report is not byte-identical to the full grid", row.Fixture)
+		}
+		if row.Pruned <= 0 {
+			t.Errorf("%s: prefilter pruned nothing (grid %d)", row.Fixture, row.GridCells)
+		}
+		if row.GridCells <= 0 || row.Pruned >= row.GridCells {
+			t.Errorf("%s: implausible grid accounting: %d pruned of %d", row.Fixture, row.Pruned, row.GridCells)
+		}
+		if strings.HasPrefix(row.Fixture, "fleet-") {
+			fleet = row
+		}
+	}
+	if fleet == nil {
+		t.Fatal("no fleet fixture row")
+	}
+	if fleet.Reduction < 2 {
+		t.Errorf("fleet grid reduction %.2fx below the 2x floor", fleet.Reduction)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "prefilter") {
+		t.Error("render missing header")
+	}
+}
+
 func TestCensusAndCharts(t *testing.T) {
 	s := testSuite(t)
 	c, err := s.Census()

@@ -40,6 +40,10 @@ type Config struct {
 	// forcing every (query, function) pair to be scored and validated
 	// independently. Experiment artifacts are byte-identical either way.
 	NoDedup bool
+	// NoPrefilter disables the component-identification prefilter, scanning
+	// the full (image, CVE, mode) grid. Experiment artifacts are
+	// byte-identical either way; AblatePrefilter measures the difference.
+	NoPrefilter bool
 	// Retrieval routes the static stage through the embedding index
 	// (distilled from the trained model at Seed): top-K nomination + exact
 	// rescoring. TopK overrides the nomination budget when > 0. At the
@@ -122,6 +126,7 @@ func NewSuite(ctx context.Context, cfg Config) (*Suite, error) {
 	s.Analyzer.Workers = cfg.Workers
 	s.Analyzer.Obs = cfg.Obs
 	s.Analyzer.Dedup = !cfg.NoDedup
+	s.Analyzer.Prefilter = !cfg.NoPrefilter
 	if cfg.Retrieval {
 		logf("distilling the retrieval embedding tower...")
 		emb, err := patchecko.DistillEmbedder(s.Model, cfg.Seed)

@@ -52,6 +52,12 @@ const (
 	// failure: jobs must keep completing with crash-safety degraded and the
 	// failure counted, never fail because their bookkeeping did.
 	JournalFail Point = "server.journal"
+	// CompidMatch fires in the component-identification prefilter's keep
+	// decision, keyed by "<libname>|<cve>". Arming it simulates a broken
+	// fingerprint/signature comparison for that cell: the prefilter must
+	// degrade to keeping the cell (full-grid behavior, counted as
+	// prefilter_degraded), never prune on a faulty match.
+	CompidMatch Point = "compid.match"
 	// StoreReadFail fires in cas.Store.GetScore, keyed by the entry key.
 	// Arming it simulates unreadable store files: every read degrades to a
 	// miss (recompute), so armed store faults may slow a scan but can never

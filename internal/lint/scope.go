@@ -34,6 +34,7 @@ var deterministicPkgs = []string{
 	modulePath + "/internal/emu",
 	modulePath + "/internal/embed",
 	modulePath + "/internal/annindex",
+	modulePath + "/internal/compid",
 	selftestPath,
 }
 

@@ -22,13 +22,20 @@ type GenConfig struct {
 	// FragileFrac is the fraction of functions generated without defensive
 	// index masking (they may trap under fuzzed inputs). Default 0.3.
 	FragileFrac float64
+	// BodyScale multiplies the number of fragments per function body,
+	// modelling codebases with systematically larger (or smaller) functions
+	// than the default profile. Values <= 1 (including the zero value) leave
+	// generation byte-identical to the default profile: the generator draws
+	// from the rng in exactly the same order either way.
+	BodyScale float64
 }
 
 // libgen carries generator state.
 type libgen struct {
-	rng     *rand.Rand
-	mod     *Module
-	fragile bool
+	rng       *rand.Rand
+	mod       *Module
+	fragile   bool
+	bodyScale float64
 	// vars available in the function under construction.
 	scalars []string
 	ptrs    []string
@@ -62,8 +69,9 @@ func GenLibrary(cfg GenConfig) *Module {
 		cfg.FragileFrac = 0.3
 	}
 	g := &libgen{
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		mod: &Module{Name: cfg.Name},
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		mod:       &Module{Name: cfg.Name},
+		bodyScale: cfg.BodyScale,
 	}
 	names := make(map[string]bool)
 	for i := 0; i < cfg.NumFuncs; i++ {
@@ -116,6 +124,9 @@ func (g *libgen) genFunc(name string) *Func {
 		))
 	}
 	nFrags := 2 + g.rng.Intn(4)
+	if g.bodyScale > 1 {
+		nFrags = int(float64(nFrags) * g.bodyScale)
+	}
 	for i := 0; i < nFrags; i++ {
 		body = append(body, g.genFragment()...)
 	}

@@ -25,6 +25,7 @@ const (
 	EvVerdictReached                         // the differential stage decided a cell's verdict
 	EvScanError                              // a typed ScanError was recorded (passthrough)
 	EvRetrieval                              // embedding-index retrieval pruned a cell's pair set
+	EvPrefilter                              // component prefilter decided one CVE row's keeps
 
 	// Scan-service job lifecycle. Emitted into the job's own traced sink,
 	// interleaved with the scan events above, so /jobs/{id}/events streams
@@ -45,6 +46,7 @@ var eventNames = map[EventKind]string{
 	EvVerdictReached:    "verdict_reached",
 	EvScanError:         "scan_error",
 	EvRetrieval:         "retrieval",
+	EvPrefilter:         "prefilter",
 	EvJobQueued:         "job_queued",
 	EvJobStarted:        "job_started",
 	EvJobRetried:        "job_retried",
@@ -91,6 +93,8 @@ func (k *EventKind) UnmarshalJSON(b []byte) error {
 //	verdict_reached:    CVE, Library, Mode, Addr, Patched, Confidence
 //	scan_error:         CVE, Library, Mode, Fail, Reason
 //	retrieval:          CVE, Library, Mode, Retrieved, Rescored, Pruned
+//	prefilter:          CVE, Images (candidate images), Pruned (images pruned),
+//	                    Reason (set when the row degraded to the full grid)
 type Event struct {
 	Seq  uint64    `json:"seq"`
 	Kind EventKind `json:"kind"`

@@ -115,6 +115,11 @@ const (
 	CtrRescoredPairs    // retrieved pairs rescored by the exact pair network
 	CtrCandidatesPruned // pairs skipped because their body was not retrieved
 
+	// Component-identification prefilter (grid pruning). Counted from the
+	// sequential prefilter pass before the grid is scheduled.
+	CtrCellsPruned       // (image, CVE, mode) grid cells skipped by the prefilter
+	CtrPrefilterDegraded // CVE rows degraded to the full grid (fault, no signature, all-pruned row)
+
 	NumCounters
 )
 
@@ -168,6 +173,8 @@ var counterNames = [NumCounters]string{
 	CtrRetrievalHits:       "retrieval_hits",
 	CtrRescoredPairs:       "rescored_pairs",
 	CtrCandidatesPruned:    "candidates_pruned",
+	CtrCellsPruned:         "cells_pruned",
+	CtrPrefilterDegraded:   "prefilter_degraded",
 }
 
 func (c Counter) String() string {

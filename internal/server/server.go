@@ -121,6 +121,12 @@ type Config struct {
 	Embedder *patchecko.Embedder
 	TopK     int
 
+	// NoPrefilter disables the component-identification prefilter, scanning
+	// every job's full (image, CVE, mode) grid. Served Reports are
+	// byte-identical either way; the flag exists as the operator's escape
+	// hatch.
+	NoPrefilter bool
+
 	// JournalPath enables the crash-safe job journal ("" = in-memory only:
 	// no crash safety, no resume). JournalMax is its compaction threshold
 	// in bytes (0 = default).
@@ -794,6 +800,7 @@ func (s *Server) runJob(j *job) {
 		an.StaticOnly = degraded
 		an.Embedder = s.cfg.Embedder
 		an.TopK = s.cfg.TopK
+		an.Prefilter = !s.cfg.NoPrefilter
 
 		// Full-pipeline attempts under a deadline get a soft budget of 3/4
 		// of the remaining wall-clock: if the scan blows it while the job

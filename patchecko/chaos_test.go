@@ -61,10 +61,15 @@ func TestScanFirmwareChaos(t *testing.T) {
 		t.Fatal("could not pick distinct fault-target libraries")
 	}
 
-	// One fault per pipeline layer.
+	// One fault per pipeline layer. The compid.match fault targets the same
+	// cell as the worker panic: a faulted prefilter decision must degrade to
+	// keeping the cell — never prune it — so the panic cell stays scheduled
+	// in the prefiltered runs and the panic fault fires there too.
 	disarms := []func(){
 		faultinject.Arm(faultinject.PrepareFail, badLib,
 			errors.New("injected prepare failure")),
+		faultinject.Arm(faultinject.CompidMatch, panicLib+"|"+panicCVE,
+			errors.New("injected prefilter fault")),
 		faultinject.Arm(faultinject.ScanPanic, panicLib+"|"+panicCVE+"|"+QueryVulnerable.String(),
 			errors.New("injected worker panic")),
 		faultinject.Arm(faultinject.ExecTrap, trapEntry.Library+".patched:"+trapEntry.FuncName,
@@ -88,36 +93,48 @@ func TestScanFirmwareChaos(t *testing.T) {
 	}
 
 	healthy := len(fw.Images) - 1
-	var base *Report
-	// Deterministic counters depend on the dedup and retrieval settings
-	// (shared work is counted as deduped, not scored; retrieval counters are
-	// zero on exact scans), so each setting pair keeps its own
-	// worker-count-invariant baseline.
-	type counterKey struct{ noDedup, retrieval bool }
+	// Normalized reports are worker-count-invariant within one prefilter
+	// setting, but under armed faults the prefiltered grid can legitimately
+	// fold a different (still correct) no-match winner and a different
+	// CellsFailed count than the full grid — the byte-identity of prefilter
+	// on vs off is a fault-free guarantee, pinned by the golden and recall
+	// suites — so each prefilter setting keeps its own baseline report.
+	bases := make(map[bool]*Report)
+	// Deterministic counters depend on the dedup, retrieval and prefilter
+	// settings (shared work is counted as deduped, not scored; retrieval
+	// counters are zero on exact scans; pruned cells never count), so each
+	// setting tuple keeps its own worker-count-invariant baseline.
+	type counterKey struct{ noDedup, retrieval, prefilter bool }
 	baseCounters := make(map[counterKey]map[string]int64)
 	// The scalar runs pin the static stage to the reference path, the traced
 	// runs arm full observability, the noDedup runs disable the
-	// content-addressed fast path, and the retrieval runs route the static
-	// stage through the embedding index: batched, scalar, observed,
-	// unobserved, deduped, every-pair, retrieval and exact scans must all
-	// produce byte-identical reports even with every fault armed, and the
-	// deterministic pipeline counters must not depend on the worker count
-	// either.
+	// content-addressed fast path, the retrieval runs route the static
+	// stage through the embedding index, and the prefilter runs let the
+	// component prefilter prune the grid: batched, scalar, observed,
+	// unobserved, deduped, every-pair, retrieval, exact, pruned and
+	// full-grid scans must all produce byte-identical reports (per prefilter
+	// setting) even with every fault armed, and the deterministic pipeline
+	// counters must not depend on the worker count either.
 	for _, cfg := range []struct {
 		workers   int
 		scalar    bool
 		traced    bool
 		noDedup   bool
 		retrieval bool
+		prefilter bool
 	}{
-		{1, false, false, false, false}, {4, false, false, false, false}, {16, false, false, false, false},
-		{1, true, false, false, false}, {4, true, false, false, false},
-		{1, false, true, false, false}, {4, false, true, false, false}, {16, false, true, false, false},
-		{1, false, false, true, false}, {16, false, false, true, false},
-		{4, true, false, true, false}, {1, false, true, true, false}, {16, false, true, true, false},
-		{1, false, false, false, true}, {16, false, false, false, true},
-		{4, false, true, false, true}, {16, false, true, false, true},
-		{4, true, false, true, true}, {1, false, true, true, true},
+		{1, false, false, false, false, false}, {4, false, false, false, false, false}, {16, false, false, false, false, false},
+		{1, true, false, false, false, false}, {4, true, false, false, false, false},
+		{1, false, true, false, false, false}, {4, false, true, false, false, false}, {16, false, true, false, false, false},
+		{1, false, false, true, false, false}, {16, false, false, true, false, false},
+		{4, true, false, true, false, false}, {1, false, true, true, false, false}, {16, false, true, true, false, false},
+		{1, false, false, false, true, false}, {16, false, false, false, true, false},
+		{4, false, true, false, true, false}, {16, false, true, false, true, false},
+		{4, true, false, true, true, false}, {1, false, true, true, true, false},
+		{1, false, true, false, false, true}, {4, false, true, false, false, true}, {16, false, true, false, false, true},
+		{1, false, true, true, false, true}, {16, false, true, true, false, true},
+		{4, false, true, false, true, true}, {16, false, true, false, true, true},
+		{4, true, false, false, false, true},
 	} {
 		workers := cfg.workers
 		// A fresh analyzer per run: reference failures memoize per analyzer,
@@ -126,6 +143,7 @@ func TestScanFirmwareChaos(t *testing.T) {
 		an.Workers = workers
 		an.StaticScalar = cfg.scalar
 		an.Dedup = !cfg.noDedup
+		an.Prefilter = cfg.prefilter
 		if cfg.retrieval {
 			an.Embedder = chaosEmb
 		}
@@ -138,7 +156,7 @@ func TestScanFirmwareChaos(t *testing.T) {
 		}
 		if cfg.traced {
 			counters := an.Obs.Counters()
-			key := counterKey{cfg.noDedup, cfg.retrieval}
+			key := counterKey{cfg.noDedup, cfg.retrieval, cfg.prefilter}
 			if baseCounters[key] == nil {
 				baseCounters[key] = counters
 			} else {
@@ -152,16 +170,24 @@ func TestScanFirmwareChaos(t *testing.T) {
 		}
 
 		// Every cell the faults did not touch completed: no CVE lost its
-		// result, and the run/fail split accounts for the whole grid over
+		// result — even when every cell the prefilter kept failed, the
+		// second-chance pass must fold an answer from the pruned cells —
+		// and the run/fail/pruned split accounts for the whole grid over
 		// the healthy images.
 		for id, scan := range report.Results {
 			if scan == nil {
 				t.Errorf("workers=%d: %s: no result despite healthy cells", workers, id)
 			}
 		}
-		if got, want := report.Stats.ScansRun+report.Stats.CellsFailed, report.Stats.CVEs*healthy*2; got != want {
-			t.Errorf("workers=%d: ScansRun+CellsFailed = %d, want %d (full healthy grid)",
+		if got, want := report.Stats.ScansRun+report.Stats.CellsFailed+report.Stats.CellsPruned, report.Stats.CVEs*healthy*2; got != want {
+			t.Errorf("workers=%d: ScansRun+CellsFailed+CellsPruned = %d, want %d (full healthy grid)",
 				workers, got, want)
+		}
+		if !cfg.prefilter && report.Stats.CellsPruned != 0 {
+			t.Errorf("workers=%d: full-grid run pruned %d cells", workers, report.Stats.CellsPruned)
+		}
+		if cfg.prefilter && report.Stats.CellsPruned == 0 {
+			t.Errorf("workers=%d: prefiltered chaos run pruned nothing", workers)
 		}
 		if report.Stats.ImagesFailed != 1 {
 			t.Errorf("workers=%d: ImagesFailed = %d, want 1", workers, report.Stats.ImagesFailed)
@@ -232,14 +258,17 @@ func TestScanFirmwareChaos(t *testing.T) {
 		}
 
 		// The determinism guarantee holds under faults: the whole Report —
-		// results, errors, and counters — is identical at any worker count.
+		// results, errors, and counters — is identical at any worker count
+		// within one prefilter setting.
 		normalizeReport(report)
-		if base == nil {
-			base = report
+		if bases[cfg.prefilter] == nil {
+			bases[cfg.prefilter] = report
 			continue
 		}
+		base := bases[cfg.prefilter]
 		if !reflect.DeepEqual(base, report) {
-			t.Errorf("workers=%d: chaos report diverges from single-worker scan", workers)
+			t.Errorf("workers=%d prefilter=%v: chaos report diverges from first scan of this setting",
+				workers, cfg.prefilter)
 			if !reflect.DeepEqual(base.Errors, report.Errors) {
 				t.Errorf("  errors:\n got %+v\nwant %+v", report.Errors, base.Errors)
 			}
@@ -264,7 +293,10 @@ func TestScanFirmwareChaos(t *testing.T) {
 	if len(report.Errors) != 0 {
 		t.Errorf("post-chaos scan recorded errors: %v", report.Errors)
 	}
-	if report.Stats.ScansRun != report.Stats.CVEs*report.Stats.Images*2 {
+	if report.Stats.ScansRun+report.Stats.CellsPruned != report.Stats.CVEs*report.Stats.Images*2 {
 		t.Errorf("post-chaos scan incomplete: %+v", report.Stats)
+	}
+	if report.Stats.CellsPruned == 0 {
+		t.Errorf("post-chaos default-configuration scan pruned nothing: %+v", report.Stats)
 	}
 }

@@ -60,11 +60,15 @@ func TestDeltaScanStore(t *testing.T) {
 
 	// scan returns the pre-normalization stats (the dedup/store counters
 	// under test) alongside the normalized report bytes (the equivalence
-	// half of the contract).
+	// half of the contract). The store-consult arithmetic below counts one
+	// consult per (CVE, mode, unique function) over the FULL grid, so these
+	// scans turn the component prefilter off; the prefilter×store
+	// combination is byte-equality-checked at the end.
 	scan := func(st *cas.Store, fw *Firmware) (ScanStats, []byte) {
 		t.Helper()
 		an := NewAnalyzer(model, db)
 		an.Workers = 4
+		an.Prefilter = false
 		an.Store = st
 		report, err := an.ScanFirmware(context.Background(), fw)
 		if err != nil {
@@ -178,6 +182,33 @@ func TestDeltaScanStore(t *testing.T) {
 	}
 	if stale.StoreHits != 0 {
 		t.Errorf("stale scan: hits %d, want 0", stale.StoreHits)
+	}
+
+	// Prefilter × store: a prefiltered scan against the warm store consults
+	// less (pruned cells never reach the store) but must produce the same
+	// bytes as every other configuration.
+	anPre := NewAnalyzer(model, db)
+	anPre.Workers = 4
+	anPre.Store = open(dir, hash)
+	preReport, err := anPre.ScanFirmware(context.Background(), fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preStats := preReport.Stats
+	normalizeReport(preReport)
+	preRaw, err := json.Marshal(preReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(preRaw, baseRaw) {
+		t.Error("prefiltered warm-store report bytes diverge from store-less full grid")
+	}
+	if preStats.CellsPruned == 0 {
+		t.Error("prefiltered warm-store scan pruned nothing")
+	}
+	if total := preStats.StoreHits + preStats.StoreMisses + preStats.StoreInvalidated; total >= consults(preStats) {
+		t.Errorf("prefiltered scan consulted the store %d times, want fewer than the full grid's %d",
+			total, consults(preStats))
 	}
 }
 

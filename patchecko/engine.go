@@ -256,6 +256,7 @@ type ScanStats struct {
 	Images      int           // library images prepared
 	CVEs        int           // CVEs scanned
 	ScansRun    int           // (image, CVE, mode) grid cells completed
+	CellsPruned int           // grid cells the component prefilter skipped (see Analyzer.Prefilter)
 	CacheHits   int64         // reference-profile consults answered from cache
 	CacheMisses int64         // reference-profile consults that computed
 	PrepareWall time.Duration // wall-clock of the prepare stage
@@ -480,6 +481,11 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	hits0, misses0 := a.refcache().counts()
 	dedup0 := a.DedupCounts()
 	scanWatch := obs.StartStopwatch()
+	// Component-identification prefilter: a sequential pass deciding which
+	// (image, CVE) rows the grid schedules at all. keep is nil when the
+	// prefilter is off; pruned cells are skipped below and counted in
+	// Stats.CellsPruned.
+	keep, cellsPruned := a.prefilterGrid(prepared, ids, len(modes))
 	scans := make([]*CVEScan, nTasks)
 	errs := make([]error, nTasks)
 	var (
@@ -505,6 +511,9 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 				ci := i / (len(modes) * len(prepared))
 				if prepared[pi] == nil {
 					continue // image failed prepare; recorded already
+				}
+				if keep != nil && !keep[ci][pi] {
+					continue // pruned by the component prefilter; counted already
 				}
 				scan, err := a.runCell(ctx, prepared[pi], ids[ci], modes[mi], validateWorkers, sc)
 				if err != nil {
@@ -536,38 +545,88 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	}
 	stats := ScanStats{ImagesFailed: len(prepErrs)}
 	seen := make(map[ScanError]bool)
+	rescued := 0
+	var rescueSc *detector.Scorer
+	rescueScReady := false
 	for ci, id := range ids {
 		var best *CVEScan
+		foldCell := func(pi, mi int) {
+			i := (ci*len(prepared)+pi)*len(modes) + mi
+			if err := errs[i]; err != nil {
+				stats.CellsFailed++
+				a.Obs.Add(obs.CtrCellsFailed, 1)
+				se := cellError(id, prepared[pi].Image.LibName, modes[mi], err)
+				if !seen[se] {
+					seen[se] = true
+					report.Errors = append(report.Errors, se)
+					a.emitScanError(se)
+				}
+				return
+			}
+			scan := scans[i]
+			if scan == nil {
+				return
+			}
+			stats.CandidatesExcluded += len(scan.Excluded)
+			stats.PartialSurvivors += scan.NumPartial
+			if scan.retrievalUsed {
+				stats.RetrievalHits += int64(scan.retrievedUnique)
+				stats.RescoredPairs += int64(scan.rescoredPairs)
+				stats.CandidatesPruned += int64(scan.prunedFuncs)
+			}
+			a.Obs.Add(obs.CtrCellsCompleted, 1)
+			a.emitCellEvents(scan)
+			if best == nil || better(scan, best) {
+				best = scan
+			}
+		}
 		for pi := range prepared {
 			for mi := range modes {
-				i := (ci*len(prepared)+pi)*len(modes) + mi
-				if err := errs[i]; err != nil {
-					stats.CellsFailed++
-					a.Obs.Add(obs.CtrCellsFailed, 1)
-					se := cellError(id, prepared[pi].Image.LibName, modes[mi], err)
-					if !seen[se] {
-						seen[se] = true
-						report.Errors = append(report.Errors, se)
-						a.emitScanError(se)
+				foldCell(pi, mi)
+			}
+		}
+		if best == nil && keep != nil {
+			// Second-chance pass: every cell the prefilter scheduled for
+			// this CVE failed (or none were healthy), yet pruned cells
+			// remain. A pruned cell is a would-be no-match, but the full
+			// grid would still have reported that no-match — and a report
+			// answer must never depend on the prefilter — so run the pruned
+			// cells now, sequentially, and fold them in grid order.
+			rescuedRow := 0
+			for pi := range prepared {
+				if prepared[pi] == nil || keep[ci][pi] {
+					continue
+				}
+				keep[ci][pi] = true
+				for mi := range modes {
+					i := (ci*len(prepared)+pi)*len(modes) + mi
+					if !rescueScReady {
+						rescueSc = a.newScorer()
+						rescueScReady = true
 					}
-					continue
+					scan, err := a.runCell(ctx, prepared[pi], id, modes[mi], validateWorkers, rescueSc)
+					if err != nil {
+						if cerr := ctx.Err(); cerr != nil {
+							return nil, cerr
+						}
+						errs[i] = err
+					} else {
+						scans[i] = scan
+						ran.Add(1)
+					}
+					rescued++
+					rescuedRow++
+					foldCell(pi, mi)
 				}
-				scan := scans[i]
-				if scan == nil {
-					continue
-				}
-				stats.CandidatesExcluded += len(scan.Excluded)
-				stats.PartialSurvivors += scan.NumPartial
-				if scan.retrievalUsed {
-					stats.RetrievalHits += int64(scan.retrievedUnique)
-					stats.RescoredPairs += int64(scan.rescoredPairs)
-					stats.CandidatesPruned += int64(scan.prunedFuncs)
-				}
-				a.Obs.Add(obs.CtrCellsCompleted, 1)
-				a.emitCellEvents(scan)
-				if best == nil || better(scan, best) {
-					best = scan
-				}
+			}
+			if rescuedRow > 0 {
+				a.Obs.Add(obs.CtrPrefilterDegraded, 1)
+				a.Obs.Emit(obs.Event{
+					Kind:   obs.EvPrefilter,
+					CVE:    id,
+					Images: rescuedRow / len(modes),
+					Reason: "all kept cells failed; ran pruned cells",
+				})
 			}
 		}
 		report.Results[id] = best
@@ -589,6 +648,7 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	stats.Images = len(prepared)
 	stats.CVEs = len(ids)
 	stats.ScansRun = int(ran.Load())
+	stats.CellsPruned = cellsPruned - rescued
 	stats.CacheHits = hits1 - hits0
 	stats.CacheMisses = misses1 - misses0
 	stats.PrepareWall = prepWall
@@ -603,6 +663,7 @@ func (a *Analyzer) ScanFirmware(ctx context.Context, fw *Firmware) (*Report, err
 	report.Stats = stats
 	a.Obs.Add(obs.CtrRefHits, stats.CacheHits)
 	a.Obs.Add(obs.CtrRefMisses, stats.CacheMisses)
+	a.Obs.Add(obs.CtrCellsPruned, int64(stats.CellsPruned))
 	return report, nil
 }
 

@@ -35,9 +35,8 @@ func TestScanFirmwareParallelMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		if report.Stats.ScansRun != report.Stats.Images*report.Stats.CVEs*2 {
-			t.Errorf("workers=%d: ran %d grid cells, want %d", workers,
-				report.Stats.ScansRun, report.Stats.Images*report.Stats.CVEs*2)
+		if got, want := report.Stats.ScansRun+report.Stats.CellsPruned, report.Stats.Images*report.Stats.CVEs*2; got != want {
+			t.Errorf("workers=%d: ran+pruned %d grid cells, want %d", workers, got, want)
 		}
 		// The cache guarantee: reference profiling runs at most once per
 		// CVE×mode, however many images consult it.
@@ -248,9 +247,9 @@ func TestPrepareImagesDeterministicError(t *testing.T) {
 		}
 	}
 	healthy := len(images) - 2
-	if report.Stats.ScansRun != report.Stats.CVEs*healthy*2 {
-		t.Errorf("ScansRun = %d, want the full grid over the %d healthy images",
-			report.Stats.ScansRun, healthy)
+	if got, want := report.Stats.ScansRun+report.Stats.CellsPruned, report.Stats.CVEs*healthy*2; got != want {
+		t.Errorf("ScansRun+CellsPruned = %d, want the full grid (%d) over the %d healthy images",
+			got, want, healthy)
 	}
 }
 

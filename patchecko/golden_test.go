@@ -72,12 +72,13 @@ func goldenFixtures(t *testing.T) (*Model, *DB, *Firmware) {
 // zero value is the default scan: dedup on, no persistent store, exact
 // static stage.
 type goldenConfig struct {
-	workers   int
-	sink      *obs.Metrics
-	noDedup   bool
-	store     *cas.Store
-	retrieval bool // embedding-index static stage at topK
-	topK      int  // 0 means DefaultTopK
+	workers     int
+	sink        *obs.Metrics
+	noDedup     bool
+	noPrefilter bool // full scan grid instead of the component-prefiltered one
+	store       *cas.Store
+	retrieval   bool // embedding-index static stage at topK
+	topK        int  // 0 means DefaultTopK
 }
 
 var (
@@ -114,6 +115,7 @@ func goldenReportConfigJSON(t *testing.T, cfg goldenConfig) []byte {
 	an.Workers = cfg.workers
 	an.Obs = cfg.sink
 	an.Dedup = !cfg.noDedup
+	an.Prefilter = !cfg.noPrefilter
 	an.Store = cfg.store
 	if cfg.retrieval {
 		an.Embedder = goldenEmbedder(t)
@@ -212,6 +214,25 @@ func TestGoldenReport(t *testing.T) {
 		}
 	}
 
+	// Prefilter equivalence: the component prefilter (on by default, and on
+	// in every run above) prunes grid cells whose fingerprints cannot host
+	// the CVE, but a pruned cell is always one the full grid would score as
+	// a no-match — so the full grid must reproduce the same committed bytes
+	// at every worker count, with dedup on and off and through the retrieval
+	// static stage.
+	for _, workers := range []int{1, 4, 16} {
+		for _, noDedup := range []bool{false, true} {
+			got := goldenReportConfigJSON(t, goldenConfig{workers: workers, noDedup: noDedup, noPrefilter: true})
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d dedup=%v no-prefilter: report bytes diverge from golden", workers, !noDedup)
+			}
+		}
+		got := goldenReportConfigJSON(t, goldenConfig{workers: workers, retrieval: true, noPrefilter: true})
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d retrieval no-prefilter: report bytes diverge from golden", workers)
+		}
+	}
+
 	// Store equivalence: a cold persistent store (every consult misses and
 	// populates) and a warm one (every consult hits) must both reproduce the
 	// golden bytes. A fresh Store handle on the same directory separates the
@@ -255,6 +276,10 @@ func TestScanMetricsConsistency(t *testing.T) {
 			want int64
 		}{
 			{"cells completed", obs.CtrCellsCompleted, int64(report.Stats.ScansRun)},
+			{"cells pruned", obs.CtrCellsPruned, int64(report.Stats.CellsPruned)},
+			// Every CVE in the fixture has a derivable signature and a host
+			// image the filter keeps, so no degrade path fires.
+			{"prefilter degraded", obs.CtrPrefilterDegraded, 0},
 			{"ref cache hits", obs.CtrRefHits, report.Stats.CacheHits},
 			{"ref cache misses", obs.CtrRefMisses, report.Stats.CacheMisses},
 			{"images prepared", obs.CtrImagesPrepared, int64(report.Stats.Images - report.Stats.ImagesFailed)},
@@ -295,7 +320,7 @@ func TestScanMetricsConsistency(t *testing.T) {
 		// Counters vs the event stream: pairs scored must equal the sum of
 		// per-cell pair counts, and cell/exclusion events must match their
 		// counters one-to-one.
-		var evPairs, evCells, evExcluded int64
+		var evPairs, evCells, evExcluded, evPruned int64
 		for _, ev := range sink.Events() {
 			switch ev.Kind {
 			case obs.EvCellCompleted:
@@ -303,6 +328,8 @@ func TestScanMetricsConsistency(t *testing.T) {
 				evPairs += int64(ev.Pairs)
 			case obs.EvCandidateExcluded:
 				evExcluded++
+			case obs.EvPrefilter:
+				evPruned += int64(ev.Pruned)
 			}
 		}
 		if dropped := sink.Dropped(); dropped != 0 {
@@ -322,6 +349,23 @@ func TestScanMetricsConsistency(t *testing.T) {
 		}
 		if got := sink.Get(obs.CtrCandidatesExcluded); got != evExcluded {
 			t.Errorf("workers=%d: candidates_excluded = %d, want %d exclusion events", workers, got, evExcluded)
+		}
+		// The prefilter (on by default) runs before the grid: its trace
+		// events account for every pruned cell (two query modes per pruned
+		// image), the pruned/scanned split partitions the full grid, and on
+		// this fixture it must actually prune.
+		if got := sink.Get(obs.CtrCellsPruned); got != evPruned*2 {
+			t.Errorf("workers=%d: cells_pruned = %d, want 2× the %d images pruned in prefilter events",
+				workers, got, evPruned)
+		}
+		if report.Stats.CellsPruned == 0 {
+			t.Errorf("workers=%d: default-on prefilter pruned nothing on the golden fixture", workers)
+		}
+		healthy := report.Stats.Images - report.Stats.ImagesFailed
+		if got, want := report.Stats.ScansRun+report.Stats.CellsFailed+report.Stats.CellsPruned,
+			report.Stats.CVEs*healthy*2; got != want {
+			t.Errorf("workers=%d: scanned %d + failed %d + pruned %d cells, want full grid %d",
+				workers, report.Stats.ScansRun, report.Stats.CellsFailed, report.Stats.CellsPruned, want)
 		}
 
 		// Determinism across worker counts.

@@ -38,6 +38,7 @@ import (
 	"repro/internal/annindex"
 	"repro/internal/binimg"
 	"repro/internal/cas"
+	"repro/internal/compid"
 	"repro/internal/corpus"
 	"repro/internal/detector"
 	"repro/internal/diffengine"
@@ -218,6 +219,21 @@ type Analyzer struct {
 	// TopK is the retrieval depth when Embedder is set; <= 0 means
 	// DefaultTopK. Ignored on the exact paths.
 	TopK int
+	// Prefilter — on by default via NewAnalyzer — runs the component-
+	// identification prefilter (internal/compid) before ScanFirmware
+	// schedules its grid: each prepared image is fingerprinted once, and a
+	// CVE row only schedules the images whose fingerprints match the CVE's
+	// component signature. The keep rule is calibrated recall-safe — a
+	// pruned cell is one the full grid would have scored as a no-match — so
+	// reports are byte-identical with the prefilter on or off (after
+	// Normalize, which zeroes the grid-scheduling accounting), and the
+	// recall suite pins that against full-grid ground truth rather than
+	// assuming it. Every escape path (no derivable signature, a degenerate
+	// signature, an armed compid.match fault, a row the filter would empty)
+	// degrades to the full grid; pruning is never silent — see
+	// Stats.CellsPruned, the cells_pruned/prefilter_degraded counters and
+	// the prefilter trace event.
+	Prefilter bool
 	// StaticOnly degrades the pipeline to its static stage: candidates are
 	// scored and reported, but dynamic validation and the differential
 	// verdict are shed. Every scan and the Report are explicitly marked
@@ -234,13 +250,17 @@ type Analyzer struct {
 	// is on.
 	scores scoreCache
 	dyn    dynCache
+	// sigs memoizes per-(CVE, arch) component signatures for the prefilter;
+	// nil entries memoize failed derivations (degrade, never prune blindly).
+	sigMu sync.Mutex
+	sigs  map[string]*compid.Signature
 }
 
 // NewAnalyzer builds an analyzer from a trained model and a CVE database.
 // Content-addressed dedup is on by default; results are byte-identical to a
 // dedup-off analyzer.
 func NewAnalyzer(model *Model, db *DB) *Analyzer {
-	return &Analyzer{model: model, db: db, StepLimit: 1 << 20, Dedup: true}
+	return &Analyzer{model: model, db: db, StepLimit: 1 << 20, Dedup: true, Prefilter: true}
 }
 
 // DB returns the analyzer's vulnerability database.
@@ -282,6 +302,10 @@ type PreparedImage struct {
 	annEmb *embed.Embedder
 	ann    *annindex.Index
 	annErr error
+
+	// fp is the image's component fingerprint for the prefilter, built
+	// lazily under mu by Fingerprint and shared across every CVE row.
+	fp *compid.Fingerprint
 }
 
 // Targets returns the image's precomputed first-layer target halves for the
@@ -700,7 +724,11 @@ type Report struct {
 // and the work-saved accounting that depends on cache warmth, the Dedup
 // flag and the persistent store — so two reports of the same scan can be
 // compared byte-for-byte (marshal after Normalize; encoding/json sorts map
-// keys). Everything it leaves alone is deterministic in the scan inputs.
+// keys). It also zeroes the grid-scheduling accounting (cells run/pruned
+// and the per-cell byproducts summed only over scheduled cells), which
+// varies with the Prefilter flag while the Results and Errors it describes
+// do not. Everything it leaves alone is deterministic in the scan inputs
+// and configuration-independent.
 func (r *Report) Normalize() {
 	for _, s := range r.Results {
 		if s != nil {
@@ -711,6 +739,8 @@ func (r *Report) Normalize() {
 	}
 	r.Stats.PrepareWall, r.Stats.ScanWall = 0, 0
 	r.Stats.Workers = 0
+	r.Stats.ScansRun, r.Stats.CellsPruned = 0, 0
+	r.Stats.CandidatesExcluded, r.Stats.PartialSurvivors = 0, 0
 	r.Stats.CacheHits, r.Stats.CacheMisses = 0, 0
 	r.Stats.PairsDeduped, r.Stats.PairsFromStore = 0, 0
 	r.Stats.ValidationsDeduped = 0
